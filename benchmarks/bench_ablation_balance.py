@@ -1,0 +1,53 @@
+"""Ablation: two-tier load balancing vs adjacent-only (DESIGN.md item 2).
+
+§IV-D argues that balancing only with adjacent nodes lets migrations
+"ripple through the network" under skew.  This bench runs the same Zipf(1.0)
+stream through both configurations and compares (a) how evenly the load
+ends up spread and (b) how much balancing traffic was spent per insert.
+"""
+
+import statistics
+
+from repro.core import BatonConfig, BatonNetwork, LoadBalanceConfig
+from repro.workloads.generators import ZipfianKeys
+
+
+def _run_stream(allow_rejoin: bool, n_peers: int, n_inserts: int, seed: int):
+    config = BatonConfig(
+        balance=LoadBalanceConfig(
+            capacity=40, enabled=True, allow_rejoin=allow_rejoin
+        )
+    )
+    net = BatonNetwork.build(n_peers, seed=seed, config=config)
+    gen = ZipfianKeys(theta=1.0, seed=seed + 1)
+    balance_messages = 0
+    for _ in range(n_inserts):
+        outcome = net.insert(gen.draw())
+        if outcome.balance_trace is not None:
+            balance_messages += outcome.balance_trace.total
+    sizes = [len(peer.store) for peer in net.peers.values()]
+    return {
+        "balance_messages": balance_messages,
+        "max_load": max(sizes),
+        "mean_load": statistics.fmean(sizes),
+        "stdev_load": statistics.pstdev(sizes),
+    }
+
+
+def test_ablation_two_tier_balancing(benchmark):
+    """Two-tier balancing must cap hot-spot growth better than adjacent-only."""
+    n_peers, n_inserts, seed = 80, 4000, 3
+
+    def run_both():
+        return {
+            "two_tier": _run_stream(True, n_peers, n_inserts, seed),
+            "adjacent_only": _run_stream(False, n_peers, n_inserts, seed),
+        }
+
+    results = benchmark.pedantic(run_both, iterations=1, rounds=1)
+    benchmark.extra_info["results"] = results
+    two_tier = results["two_tier"]
+    adjacent_only = results["adjacent_only"]
+    # The recruit mechanism bounds the hottest store harder than pure
+    # neighbour diffusion does.
+    assert two_tier["max_load"] <= adjacent_only["max_load"]

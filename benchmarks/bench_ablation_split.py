@@ -1,0 +1,42 @@
+"""Ablation: data-aware (median) vs arithmetic (midpoint) range splits.
+
+DESIGN.md item 4.  When a network grows *around* an already-skewed dataset,
+median splits hand each child half the parent's actual content, so store
+sizes stay comparable; midpoint splits track the key space instead and leave
+hot-range peers holding most of the data.
+"""
+
+import statistics
+
+from repro.core import BatonConfig, BatonNetwork
+from repro.workloads.generators import zipfian_keys
+
+
+def _grow_around_data(split_policy: str, n_peers: int, seed: int):
+    config = BatonConfig(split_policy=split_policy)
+    net = BatonNetwork(config=config, seed=seed)
+    root = net.bootstrap()
+    net.peer(root).store.extend(zipfian_keys(n_peers * 50, theta=1.0, seed=seed))
+    for _ in range(n_peers - 1):
+        net.join()
+    sizes = [len(peer.store) for peer in net.peers.values()]
+    return {
+        "max_load": max(sizes),
+        "mean_load": statistics.fmean(sizes),
+        "p99_load": sorted(sizes)[int(0.99 * (len(sizes) - 1))],
+    }
+
+
+def test_ablation_split_policy(benchmark):
+    """Median splits must spread a skewed dataset far better than midpoint."""
+    n_peers, seed = 120, 5
+
+    def run_both():
+        return {
+            "median": _grow_around_data("median", n_peers, seed),
+            "midpoint": _grow_around_data("midpoint", n_peers, seed),
+        }
+
+    results = benchmark.pedantic(run_both, iterations=1, rounds=1)
+    benchmark.extra_info["results"] = results
+    assert results["median"]["max_load"] < results["midpoint"]["max_load"]

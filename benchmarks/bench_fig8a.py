@@ -1,0 +1,19 @@
+"""Benchmark regenerating Figure 8(a): finding join/replacement nodes."""
+
+from benchmarks.conftest import attach_series
+from repro.experiments import fig8a_join_leave_find
+
+
+def test_fig8a_join_leave_find(benchmark, scale):
+    """BATON join/leave discovery stays low; Chord join grows with N."""
+    result = benchmark.pedantic(
+        lambda: fig8a_join_leave_find.run(scale),
+        iterations=1,
+        rounds=1,
+    )
+    attach_series(benchmark, result)
+    assert result.rows
+    baton = result.column("join_find", where={"system": "baton"})
+    chord = result.column("join_find", where={"system": "chord"})
+    assert max(baton) < max(chord)
+

@@ -1,0 +1,19 @@
+"""Benchmark regenerating Figure 8(b): routing-table update cost."""
+
+from benchmarks.conftest import attach_series
+from repro.experiments import fig8b_table_updates
+
+
+def test_fig8b_table_updates(benchmark, scale):
+    """BATON updates in O(log N); Chord pays ~log^2 N."""
+    result = benchmark.pedantic(
+        lambda: fig8b_table_updates.run(scale),
+        iterations=1,
+        rounds=1,
+    )
+    attach_series(benchmark, result)
+    assert result.rows
+    baton = result.column("join_update", where={"system": "baton"})
+    chord = result.column("join_update", where={"system": "chord"})
+    assert all(b < c for b, c in zip(baton, chord))
+

@@ -1,0 +1,19 @@
+"""Benchmark regenerating Figure 8(c): insert and delete cost."""
+
+from benchmarks.conftest import attach_series
+from repro.experiments import fig8c_insert_delete
+
+
+def test_fig8c_insert_delete(benchmark, scale):
+    """BATON ~ Chord for updates; multiway far above both."""
+    result = benchmark.pedantic(
+        lambda: fig8c_insert_delete.run(scale),
+        iterations=1,
+        rounds=1,
+    )
+    attach_series(benchmark, result)
+    assert result.rows
+    baton = result.column("insert", where={"system": "baton"})
+    multiway = result.column("insert", where={"system": "multiway"})
+    assert all(b < m for b, m in zip(baton, multiway))
+

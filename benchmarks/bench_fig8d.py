@@ -1,0 +1,20 @@
+"""Benchmark regenerating Figure 8(d): exact-match query cost."""
+
+from benchmarks.conftest import attach_series
+from repro.experiments import fig8d_exact_query
+
+
+def test_fig8d_exact_query(benchmark, scale):
+    """BATON ~ Chord (1.44 factor); multiway far above; all hits found."""
+    result = benchmark.pedantic(
+        lambda: fig8d_exact_query.run(scale),
+        iterations=1,
+        rounds=1,
+    )
+    attach_series(benchmark, result)
+    assert result.rows
+    assert all(rate == 1.0 for rate in result.column("hit_rate"))
+    baton = result.column("messages", where={"system": "baton"})
+    multiway = result.column("messages", where={"system": "multiway"})
+    assert all(b < m for b, m in zip(baton, multiway))
+

@@ -1,0 +1,19 @@
+"""Benchmark regenerating Figure 8(e): range query cost."""
+
+from benchmarks.conftest import attach_series
+from repro.experiments import fig8e_range_query
+
+
+def test_fig8e_range_query(benchmark, scale):
+    """BATON O(log N + X) lowest; Chord ring-walk shows the O(N) cliff."""
+    result = benchmark.pedantic(
+        lambda: fig8e_range_query.run(scale),
+        iterations=1,
+        rounds=1,
+    )
+    attach_series(benchmark, result)
+    assert result.rows
+    baton = result.column("messages", where={"system": "baton"})
+    chord = result.column("messages", where={"system": "chord_ring_walk"})
+    assert all(b < c for b, c in zip(baton, chord))
+

@@ -1,0 +1,19 @@
+"""Benchmark regenerating Figure 8(f): access load by tree level."""
+
+from benchmarks.conftest import attach_series
+from repro.experiments import fig8f_access_load
+
+
+def test_fig8f_access_load(benchmark, scale):
+    """No root hot-spot: insert load flat, search load leaf-leaning."""
+    result = benchmark.pedantic(
+        lambda: fig8f_access_load.run(scale),
+        iterations=1,
+        rounds=1,
+    )
+    attach_series(benchmark, result)
+    assert result.rows
+    loads = {row["level"]: row["insert_per_node"] for row in result.rows}
+    deep = [v for level, v in loads.items() if level >= 2]
+    assert loads[0] <= 4 * (sum(deep) / len(deep)) + 4
+

@@ -1,0 +1,18 @@
+"""Benchmark regenerating Figure 8(h): restructuring shift-size distribution."""
+
+from benchmarks.conftest import attach_series
+from repro.experiments import fig8h_shift_sizes
+
+
+def test_fig8h_shift_sizes(benchmark, scale):
+    """Shift sizes lean small; long shifts are rare."""
+    result = benchmark.pedantic(
+        lambda: fig8h_shift_sizes.run(scale),
+        iterations=1,
+        rounds=1,
+    )
+    attach_series(benchmark, result)
+    assert result.rows
+    counts = [row["count"] for row in result.rows]
+    assert sum(counts) >= 0  # histogram may be empty at tiny scales
+

@@ -1,0 +1,19 @@
+"""Benchmark regenerating Figure 8(i): network dynamics (concurrent churn)."""
+
+from benchmarks.conftest import attach_series
+from repro.experiments import fig8i_dynamics
+
+
+def test_fig8i_dynamics(benchmark, scale):
+    """Extra messages per query grow with concurrent churn."""
+    result = benchmark.pedantic(
+        lambda: fig8i_dynamics.run(scale, levels=(2, 8)),
+        iterations=1,
+        rounds=1,
+    )
+    attach_series(benchmark, result)
+    assert result.rows
+    extras = result.column("extra")
+    assert extras[-1] > 0
+    assert all(v == 0 for v in result.column("violations"))
+

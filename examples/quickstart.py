@@ -1,0 +1,52 @@
+"""Quickstart: build a BATON overlay, store keys, run queries.
+
+Run::
+
+    python examples/quickstart.py
+"""
+
+from repro import BatonNetwork, check_invariants, tree_height
+
+
+def main() -> None:
+    # A 100-peer network. Every peer is a simulated host; `seed` makes the
+    # whole run (join order, entry points, splits) reproducible.
+    net = BatonNetwork.build(100, seed=7)
+    print(f"built a {net.size}-peer BATON overlay, tree height {tree_height(net)}")
+
+    # Insert a few keys. Each insert is routed through the overlay; the
+    # trace tells you how many messages it cost (the paper's metric).
+    keys = [123_456, 777_000_111, 42, 999_999_998]
+    for key in keys:
+        result = net.insert(key)
+        print(f"insert({key}): owner=peer@{result.owner}, "
+              f"{result.trace.total} messages")
+
+    # Exact-match lookups (O(log N) messages).
+    for key in keys:
+        hit = net.search_exact(key)
+        assert hit.found
+        print(f"search_exact({key}): found at peer@{hit.owner} "
+              f"in {hit.trace.total} messages")
+
+    # A range query: O(log N) to reach the range, O(1) per covered peer.
+    span = net.search_range(100_000, 200_000_000)
+    print(f"search_range([1e5, 2e8)): {len(span.keys)} keys from "
+          f"{span.nodes_visited} peers in {span.trace.total} messages")
+
+    # Membership changes keep the tree balanced automatically.
+    departure = net.leave(net.random_peer_address())
+    print(f"one peer left (replacement={departure.replacement}), "
+          f"{departure.total_messages} messages")
+    arrival = net.join()
+    print(f"one peer joined under peer@{arrival.parent}, "
+          f"{arrival.total_messages} messages")
+
+    # The structural invariants from the paper's theorems all still hold.
+    check_invariants(net)
+    print("all invariants hold: balance, Theorem 1/2, adjacency, "
+          "range partition")
+
+
+if __name__ == "__main__":
+    main()

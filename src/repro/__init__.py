@@ -1,0 +1,40 @@
+"""BATON reproduction: a balanced tree overlay for peer-to-peer networks.
+
+Reimplements Jagadish, Ooi, Rinard & Vu, *BATON: A Balanced Tree Structure
+for Peer-to-Peer Networks* (VLDB 2005), together with the Chord and
+multiway-tree baselines its evaluation compares against and the simulation
+substrate the experiments run on.
+
+Quickstart::
+
+    from repro import BatonNetwork
+
+    net = BatonNetwork.build(100, seed=7)
+    net.insert(123_456)
+    hit = net.search_exact(123_456)
+    assert hit.found
+    span = net.search_range(100_000, 200_000)
+"""
+
+from repro.core import (
+    BatonConfig,
+    BatonNetwork,
+    LoadBalanceConfig,
+    Position,
+    Range,
+    check_invariants,
+    tree_height,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BatonNetwork",
+    "BatonConfig",
+    "LoadBalanceConfig",
+    "Position",
+    "Range",
+    "check_invariants",
+    "tree_height",
+    "__version__",
+]

@@ -1,0 +1,370 @@
+"""The Chord ring: joins, leaves, lookups and data operations.
+
+Message accounting mirrors the BATON side: every inter-node hop crosses the
+shared :class:`~repro.net.bus.MessageBus` with a semantic category, and the
+public operations return traces, so the Figure 8 experiments read both
+systems with the same code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.chord.hashing import DEFAULT_M_BITS, hash_key, in_interval, in_open_interval
+from repro.chord.node import ChordNode
+from repro.core.results import DataOpResult, JoinResult, LeaveResult, SearchResult
+from repro.net.address import Address, AddressAllocator
+from repro.net.bus import MessageBus, Trace
+from repro.net.message import MsgType
+from repro.util.errors import NetworkEmptyError, ProtocolError
+from repro.util.rng import SeededRng
+
+
+@dataclass
+class ChordConfig:
+    """Ring-wide settings."""
+
+    m_bits: int = DEFAULT_M_BITS
+
+
+@dataclass
+class ChordRangeResult:
+    """Outcome of the (degenerate) Chord range scan."""
+
+    keys: List[int]
+    nodes_visited: int
+    trace: Trace
+
+
+class ChordNetwork:
+    """A simulated Chord ring with per-operation message traces."""
+
+    def __init__(self, config: Optional[ChordConfig] = None, seed: int = 0):
+        self.config = config or ChordConfig()
+        self.rng = SeededRng(seed)
+        self.bus = MessageBus()
+        self.alloc = AddressAllocator()
+        self.nodes: Dict[Address, ChordNode] = {}
+        self._used_ids: set[int] = set()
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def m_bits(self) -> int:
+        return self.config.m_bits
+
+    def node(self, address: Address) -> ChordNode:
+        return self.nodes[address]
+
+    def random_node_address(self) -> Address:
+        if not self.nodes:
+            raise NetworkEmptyError("ring has no nodes")
+        return self.rng.choice(sorted(self.nodes))
+
+    def _new_id(self) -> int:
+        space = 1 << self.m_bits
+        if len(self._used_ids) >= space:
+            raise ProtocolError("identifier space exhausted")
+        while True:
+            node_id = self.rng.randint(0, space - 1)
+            if node_id not in self._used_ids:
+                self._used_ids.add(node_id)
+                return node_id
+
+    @classmethod
+    def build(
+        cls, n_nodes: int, seed: int = 0, config: Optional[ChordConfig] = None
+    ) -> "ChordNetwork":
+        """Bootstrap a ring of ``n_nodes``."""
+        if n_nodes < 1:
+            raise ValueError("need at least one node")
+        net = cls(config=config, seed=seed)
+        net.bootstrap()
+        for _ in range(n_nodes - 1):
+            net.join()
+        return net
+
+    # -- construction ----------------------------------------------------------
+
+    def bootstrap(self) -> Address:
+        """Create the first node; it is its own successor and predecessor."""
+        if self.nodes:
+            raise ValueError("ring is already bootstrapped")
+        node = ChordNode(self.alloc.allocate(), self._new_id(), self.m_bits)
+        node.predecessor = node.address
+        for i in range(self.m_bits):
+            node.finger[i] = node.address
+        self.nodes[node.address] = node
+        self.bus.register(node.address)
+        return node.address
+
+    def join(self, via: Optional[Address] = None) -> JoinResult:
+        """Classic Chord join: lookup, init_finger_table, update_others."""
+        entry = via if via is not None else self.random_node_address()
+        node = ChordNode(self.alloc.allocate(), self._new_id(), self.m_bits)
+        self.nodes[node.address] = node
+        self.bus.register(node.address)
+
+        with self.bus.trace("chord.join.find") as find_trace:
+            successor = self._find_successor(entry, node.node_id, MsgType.JOIN_FIND)
+        with self.bus.trace("chord.join.update") as update_trace:
+            self._init_finger_table(node, entry, successor)
+            self._update_others(node)
+            self._transfer_keys_on_join(node)
+        return JoinResult(
+            address=node.address,
+            parent=successor,
+            find_trace=find_trace,
+            update_trace=update_trace,
+        )
+
+    def leave(self, address: Address) -> LeaveResult:
+        """Graceful departure: hand keys to the successor, repair fingers."""
+        node = self.nodes[address]
+        if self.size == 1:
+            with self.bus.trace("chord.leave.update") as update_trace:
+                del self.nodes[address]
+                self.bus.unregister(address)
+            return LeaveResult(
+                departed=address,
+                replacement=None,
+                find_trace=Trace(label="chord.leave.find"),
+                update_trace=update_trace,
+            )
+        with self.bus.trace("chord.leave.find") as find_trace:
+            successor = node.successor  # known locally: no search needed
+        with self.bus.trace("chord.leave.update") as update_trace:
+            succ = self.nodes[successor]
+            self.bus.send_typed(
+                address, successor, MsgType.LEAVE_TRANSFER, keys=len(node.store)
+            )
+            succ.store.extend(node.store.clear())
+            succ.predecessor = node.predecessor
+            if node.predecessor is not None:
+                self.bus.send_typed(address, node.predecessor, MsgType.LEAVE_TRANSFER)
+                self.nodes[node.predecessor].successor = successor
+            self._repoint_fingers_on_leave(node)
+            del self.nodes[address]
+            self.bus.unregister(address)
+        return LeaveResult(
+            departed=address,
+            replacement=successor,
+            find_trace=find_trace,
+            update_trace=update_trace,
+        )
+
+    # -- routing ---------------------------------------------------------------
+
+    def _closest_preceding_finger(self, node: ChordNode, target_id: int) -> Address:
+        for i in reversed(range(self.m_bits)):
+            finger = node.finger[i]
+            if finger is None or finger not in self.nodes:
+                continue
+            finger_id = self.nodes[finger].node_id
+            if in_open_interval(finger_id, node.node_id, target_id, self.m_bits):
+                return finger
+        return node.address
+
+    def _find_predecessor(
+        self, start: Address, target_id: int, mtype: MsgType
+    ) -> Address:
+        current = start
+        limit = 4 * max(self.size.bit_length(), 2) + self.size + 16
+        for _ in range(limit):
+            node = self.nodes[current]
+            successor = node.successor
+            successor_id = self.nodes[successor].node_id
+            if in_interval(target_id, node.node_id, successor_id, self.m_bits):
+                return current
+            next_hop = self._closest_preceding_finger(node, target_id)
+            if next_hop == current:
+                next_hop = successor
+            self.bus.send_typed(current, next_hop, mtype)
+            current = next_hop
+        raise ProtocolError(f"chord lookup for {target_id} did not terminate")
+
+    def _find_successor(self, start: Address, target_id: int, mtype: MsgType) -> Address:
+        predecessor = self._find_predecessor(start, target_id, mtype)
+        successor = self.nodes[predecessor].successor
+        if successor != predecessor:
+            self.bus.send_typed(predecessor, successor, mtype)
+        return successor
+
+    # -- join helpers -------------------------------------------------------------
+
+    def _init_finger_table(
+        self, node: ChordNode, entry: Address, successor: Address
+    ) -> None:
+        node.successor = successor
+        succ = self.nodes[successor]
+        node.predecessor = succ.predecessor
+        self.bus.send_typed(node.address, successor, MsgType.TABLE_UPDATE)
+        succ.predecessor = node.address
+        if node.predecessor is not None:
+            self.bus.send_typed(node.address, node.predecessor, MsgType.TABLE_UPDATE)
+            self.nodes[node.predecessor].successor = node.address
+        for i in range(1, self.m_bits):
+            start = node.finger_start(i)
+            previous = node.finger[i - 1]
+            previous_id = self.nodes[previous].node_id
+            if in_interval(start, node.node_id, previous_id, self.m_bits) and not (
+                previous == node.address
+            ):
+                # The interval [start_i, previous finger] is empty of nodes:
+                # reuse without a lookup (the classic optimisation).
+                node.finger[i] = previous
+            else:
+                node.finger[i] = self._find_successor(
+                    entry, start, MsgType.TABLE_UPDATE
+                )
+
+    def _update_others(self, node: ChordNode) -> None:
+        """Tell existing nodes to adopt the newcomer into their fingers."""
+        space = 1 << self.m_bits
+        for i in range(self.m_bits):
+            target = (node.node_id - (1 << i)) % space
+            predecessor = self._find_predecessor(
+                node.address, target, MsgType.TABLE_UPDATE
+            )
+            self._update_finger_table(predecessor, node, i)
+
+    def _update_finger_table(self, address: Address, node: ChordNode, index: int) -> None:
+        limit = self.size + 4
+        current = address
+        for _ in range(limit):
+            holder = self.nodes[current]
+            if holder.address == node.address:
+                return
+            finger = holder.finger[index]
+            finger_id = self.nodes[finger].node_id if finger in self.nodes else None
+            if finger_id is None or in_open_interval(
+                node.node_id, holder.node_id, finger_id, self.m_bits
+            ):
+                self.bus.send_typed(node.address, current, MsgType.TABLE_UPDATE)
+                holder.finger[index] = node.address
+                if holder.predecessor is None or holder.predecessor == current:
+                    return
+                current = holder.predecessor  # cascade to the predecessor
+            else:
+                return
+
+    def _transfer_keys_on_join(self, node: ChordNode) -> None:
+        """Pull the keys the newcomer is now responsible for."""
+        succ = self.nodes[node.successor]
+        if succ.address == node.address:
+            return
+        self.bus.send_typed(node.address, succ.address, MsgType.JOIN_TRANSFER)
+        moved = [
+            key
+            for key in list(succ.store)
+            if in_interval(
+                hash_key(key, self.m_bits),
+                self.nodes[node.predecessor].node_id
+                if node.predecessor is not None
+                else node.node_id,
+                node.node_id,
+                self.m_bits,
+            )
+        ]
+        for key in moved:
+            succ.store.delete(key)
+        node.store.extend(moved)
+
+    def _repoint_fingers_on_leave(self, node: ChordNode) -> None:
+        """Repair fingers that pointed at the departing node (Θ(log² N))."""
+        space = 1 << self.m_bits
+        successor = node.successor
+        for i in range(self.m_bits):
+            target = (node.node_id - (1 << i)) % space
+            predecessor = self._find_predecessor(
+                node.address, target, MsgType.TABLE_UPDATE
+            )
+            current = predecessor
+            for _ in range(self.size + 4):
+                holder = self.nodes[current]
+                if holder.finger[i] == node.address:
+                    self.bus.send_typed(node.address, current, MsgType.TABLE_UPDATE)
+                    holder.finger[i] = successor
+                    if holder.predecessor is None or holder.predecessor == current:
+                        break
+                    current = holder.predecessor
+                else:
+                    break
+
+    # -- data operations -----------------------------------------------------------
+
+    def insert(self, key: int, via: Optional[Address] = None) -> DataOpResult:
+        """Hash the key and store it at its successor node."""
+        entry = via if via is not None else self.random_node_address()
+        with self.bus.trace("chord.insert") as trace:
+            owner = self._find_successor(
+                entry, hash_key(key, self.m_bits), MsgType.INSERT
+            )
+            self.nodes[owner].store.insert(key)
+        return DataOpResult(applied=True, owner=owner, trace=trace)
+
+    def delete(self, key: int, via: Optional[Address] = None) -> DataOpResult:
+        entry = via if via is not None else self.random_node_address()
+        with self.bus.trace("chord.delete") as trace:
+            owner = self._find_successor(
+                entry, hash_key(key, self.m_bits), MsgType.DELETE
+            )
+            applied = self.nodes[owner].store.delete(key)
+        return DataOpResult(applied=applied, owner=owner, trace=trace)
+
+    def search_exact(self, key: int, via: Optional[Address] = None) -> SearchResult:
+        entry = via if via is not None else self.random_node_address()
+        with self.bus.trace("chord.search") as trace:
+            owner = self._find_successor(
+                entry, hash_key(key, self.m_bits), MsgType.SEARCH
+            )
+            found = key in self.nodes[owner].store
+        return SearchResult(found=found, owner=owner, trace=trace)
+
+    def search_range(
+        self, low: int, high: int, via: Optional[Address] = None
+    ) -> ChordRangeResult:
+        """Range scan on a hash-partitioned ring: visit *every* node.
+
+        Hashing scatters [low, high) uniformly over the ring, so the only
+        complete answer walks all successors — the O(N) cliff that motivates
+        order-preserving overlays like BATON.
+        """
+        entry = via if via is not None else self.random_node_address()
+        with self.bus.trace("chord.range") as trace:
+            keys: List[int] = []
+            current = entry
+            visited = 0
+            for _ in range(self.size):
+                node = self.nodes[current]
+                keys.extend(k for k in node.store if low <= k < high)
+                visited += 1
+                successor = node.successor
+                if successor == entry or successor is None:
+                    break
+                self.bus.send_typed(current, successor, MsgType.RANGE_SEARCH)
+                current = successor
+        return ChordRangeResult(keys=sorted(keys), nodes_visited=visited, trace=trace)
+
+    def bulk_load(self, keys: List[int]) -> int:
+        """Place keys at their owners without routed messages (untimed load)."""
+        by_id = sorted(
+            (node.node_id, address) for address, node in self.nodes.items()
+        )
+        ids = [node_id for node_id, _ in by_id]
+        import bisect
+
+        placed = 0
+        for key in keys:
+            key_id = hash_key(key, self.m_bits)
+            index = bisect.bisect_left(ids, key_id)
+            if index == len(ids):
+                index = 0
+            self.nodes[by_id[index][1]].store.insert(key)
+            placed += 1
+        return placed

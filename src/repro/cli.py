@@ -1,0 +1,117 @@
+"""Command-line interface: quick demos and inspection.
+
+Usage::
+
+    python -m repro demo --peers 50 --keys 500
+    python -m repro tree --peers 31
+    python -m repro ranges --peers 20 --keys 400
+    python -m repro experiments --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core import BatonNetwork, check_invariants, tree_height
+from repro.core import viz
+from repro.workloads.generators import uniform_keys
+
+
+def _build(args: argparse.Namespace) -> BatonNetwork:
+    net = BatonNetwork.build(args.peers, seed=args.seed)
+    if args.keys:
+        net.bulk_load(uniform_keys(args.keys, seed=args.seed + 1))
+    return net
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    net = _build(args)
+    print(f"{net.size} peers, height {tree_height(net)}")
+    probes = uniform_keys(5, seed=args.seed + 2)
+    for key in probes:
+        result = net.search_exact(key)
+        state = "hit" if result.found else "miss"
+        print(f"  search {key}: {state} at addr={result.owner} "
+              f"({result.trace.total} msgs)")
+    span = net.search_range(10**8, 2 * 10**8)
+    print(f"  range [1e8, 2e8): {len(span.keys)} keys from "
+          f"{span.nodes_visited} peers ({span.trace.total} msgs)")
+    check_invariants(net)
+    print("invariants: OK")
+    return 0
+
+
+def cmd_tree(args: argparse.Namespace) -> int:
+    net = _build(args)
+    print(viz.render_tree(net, max_level=args.max_level))
+    print()
+    print(viz.level_histogram(net))
+    return 0
+
+
+def cmd_ranges(args: argparse.Namespace) -> int:
+    net = _build(args)
+    print(viz.render_range_map(net))
+    return 0
+
+
+def cmd_peer(args: argparse.Namespace) -> int:
+    net = _build(args)
+    address = args.address if args.address is not None else net.random_peer_address()
+    print(viz.render_peer(net, address))
+    return 0
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments import runall
+
+    argv = ["--quick"] if args.quick else []
+    if args.out:
+        argv += ["--out", args.out]
+    return runall.main(argv)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--peers", type=int, default=50)
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--keys", type=int, default=0)
+
+    demo = sub.add_parser("demo", help="build a network and run sample queries")
+    common(demo)
+    demo.set_defaults(func=cmd_demo)
+
+    tree = sub.add_parser("tree", help="print the overlay as an ASCII tree")
+    common(tree)
+    tree.add_argument("--max-level", type=int, default=None)
+    tree.set_defaults(func=cmd_tree)
+
+    ranges = sub.add_parser("ranges", help="print the range partition map")
+    common(ranges)
+    ranges.set_defaults(func=cmd_ranges)
+
+    peer = sub.add_parser("peer", help="dump one peer's full state")
+    common(peer)
+    peer.add_argument("--address", type=int, default=None)
+    peer.set_defaults(func=cmd_peer)
+
+    experiments = sub.add_parser("experiments", help="run the Figure-8 suite")
+    experiments.add_argument("--quick", action="store_true")
+    experiments.add_argument("--out", default=None)
+    experiments.set_defaults(func=cmd_experiments)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

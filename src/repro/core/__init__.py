@@ -1,0 +1,48 @@
+"""BATON core: the balanced tree overlay (the paper's primary contribution).
+
+Public entry point is :class:`BatonNetwork`; everything else here is the
+structure it is made of (positions, ranges, links, peers) plus the protocol
+modules it delegates to.
+"""
+
+from repro.core.ids import Position, ROOT
+from repro.core.invariants import check_invariants, collect_violations, tree_height
+from repro.core.links import LEFT, RIGHT, NodeInfo, RoutingTable
+from repro.core.network import BatonConfig, BatonNetwork, LoadBalanceConfig
+from repro.core.peer import BatonPeer
+from repro.core.ranges import Range
+from repro.core.results import (
+    BalanceEvent,
+    DataOpResult,
+    JoinResult,
+    LeaveResult,
+    RangeSearchResult,
+    RepairResult,
+    SearchResult,
+)
+from repro.core.storage import LocalStore
+
+__all__ = [
+    "Position",
+    "ROOT",
+    "Range",
+    "LocalStore",
+    "NodeInfo",
+    "RoutingTable",
+    "LEFT",
+    "RIGHT",
+    "BatonPeer",
+    "BatonConfig",
+    "BatonNetwork",
+    "LoadBalanceConfig",
+    "JoinResult",
+    "LeaveResult",
+    "SearchResult",
+    "RangeSearchResult",
+    "DataOpResult",
+    "RepairResult",
+    "BalanceEvent",
+    "check_invariants",
+    "collect_violations",
+    "tree_height",
+]

@@ -1,0 +1,268 @@
+"""Load balancing (§IV-D): adjacent data shifts and leaf rejoins.
+
+A peer is overloaded when its store exceeds the configured capacity.
+
+* A **non-leaf** peer only balances with its adjacent nodes: it shifts part
+  of its keys across the shared range boundary (cheap, and its adjacents are
+  its in-order neighbours so the partition stays contiguous).
+* A **leaf** first tries the same adjacent shift; if both adjacents are
+  themselves loaded, it recruits a *lightly loaded leaf* found by probing
+  through its routing tables.  The recruit hands its range and keys to its
+  own right adjacent, departs (with a forced restructuring shift if its
+  departure would unbalance the tree), and rejoins as a child of the
+  overloaded peer, taking half its content — again with forced
+  restructuring when Theorem 1 would be violated.
+
+The paper's claim, which Figures 8(g) and 8(h) quantify: shifts are short
+with exponentially decaying length, and the amortized cost per insertion is
+O(log N).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, TYPE_CHECKING
+
+from repro.core.links import LEFT, RIGHT, NodeInfo
+from repro.core.peer import BatonPeer
+from repro.core.results import BalanceEvent
+from repro.net.address import Address
+from repro.net.bus import Trace
+from repro.net.message import MsgType
+
+if TYPE_CHECKING:
+    from repro.core.network import BatonNetwork, LoadBalanceConfig
+
+
+@dataclass
+class BalanceOutcome:
+    """What a balancing episode did (internal; summarised in BalanceEvent)."""
+
+    kind: str
+    trace: Trace
+    shift_size: int = 0
+
+
+def maybe_balance(net: "BatonNetwork", address: Address) -> Optional[BalanceOutcome]:
+    """Run one §IV-D balancing episode if the peer is overloaded.
+
+    A peer whose last balancing attempt found nothing to do (all neighbours
+    loaded, no light recruit) backs off until its store has grown another
+    ~10%: retrying on every insert would turn the probe traffic itself into
+    the hot-spot.
+    """
+    config = net.config.balance
+    if not config.enabled:
+        return None
+    peer = net.peers.get(address)
+    if peer is None or len(peer.store) <= config.capacity:
+        return None
+    stuck_at = net._balance_backoff.get(address)
+    if stuck_at is not None and len(peer.store) < 1.1 * stuck_at:
+        return None
+    with net.open_trace("balance") as trace:
+        if not peer.is_leaf:
+            kind, shift = _balance_with_adjacent(net, peer, config), 0
+        else:
+            kind = _balance_with_adjacent(net, peer, config)
+            shift = 0
+            if kind is None and config.allow_rejoin:
+                rejoin = _balance_by_rejoin(net, peer, config)
+                if rejoin is not None:
+                    kind, shift = "rejoin", rejoin
+    if kind is None:
+        net._balance_backoff[address] = len(peer.store)
+        return None
+    net._balance_backoff.pop(address, None)
+    outcome = BalanceOutcome(kind=kind, trace=trace, shift_size=shift)
+    net.stats.balance_events.append(
+        BalanceEvent(kind=kind, messages=trace.total, shift_size=shift)
+    )
+    return outcome
+
+
+# ---------------------------------------------------------------------------
+# Adjacent-node balancing
+# ---------------------------------------------------------------------------
+
+
+def _balance_with_adjacent(
+    net: "BatonNetwork", peer: BatonPeer, config: "LoadBalanceConfig"
+) -> Optional[str]:
+    """Shift keys across a range boundary to a lighter adjacent node."""
+    best: Optional[tuple[int, str, BatonPeer]] = None
+    for side in (RIGHT, LEFT):
+        info = peer.adjacent_on(side)
+        if info is None:
+            continue
+        neighbor = net.peers.get(info.address)
+        if neighbor is None:
+            continue
+        net.count_message(peer.address, info.address, MsgType.BALANCE)  # load probe
+        headroom = int(config.absorb_factor * config.capacity) - len(neighbor.store)
+        if headroom <= 0:
+            continue
+        if best is None or headroom > best[0]:
+            best = (headroom, side, neighbor)
+    if best is None:
+        return None
+    headroom, side, neighbor = best
+    surplus = (len(peer.store) - len(neighbor.store)) // 2
+    amount = min(surplus, headroom)
+    if amount <= 0:
+        return None
+    moved = _shift_keys(net, peer, neighbor, side, amount)
+    if moved == 0:
+        return None
+    return "adjacent"
+
+
+def _shift_keys(
+    net: "BatonNetwork",
+    donor: BatonPeer,
+    receiver: BatonPeer,
+    side: str,
+    amount: int,
+) -> int:
+    """Move ~``amount`` boundary keys from donor to its ``side`` adjacent.
+
+    The boundary between the two ranges moves with the keys; duplicates are
+    never split across the boundary.  Returns the number of keys moved.
+    """
+    keys = list(donor.store)
+    if side == RIGHT:
+        index = len(keys) - amount
+        while index > 0 and keys[index - 1] == keys[index]:
+            index -= 1
+        if index <= 0:
+            return 0  # all duplicates: cannot place a boundary
+        moved = keys[index:]
+        boundary = moved[0]
+        if boundary <= donor.range.low:
+            return 0
+        for key in moved:
+            donor.store.delete(key)
+        receiver.store.extend(moved)
+        donor.range, handed = donor.range.split_at(boundary)
+        receiver.range = receiver.range.merge(handed)
+    else:
+        index = amount
+        while index < len(keys) and keys[index] == keys[index - 1]:
+            index += 1
+        if index >= len(keys):
+            return 0
+        moved = keys[:index]
+        boundary = moved[-1] + 1
+        if boundary >= donor.range.high:
+            return 0
+        for key in moved:
+            donor.store.delete(key)
+        receiver.store.extend(moved)
+        handed, donor.range = donor.range.split_at(boundary)
+        receiver.range = receiver.range.merge(handed)
+    net.count_message(
+        donor.address, receiver.address, MsgType.BALANCE, keys=len(moved)
+    )
+    # Both ranges changed: linkers of both peers must refresh.
+    net.broadcast_update(donor, mtype=MsgType.TABLE_UPDATE)
+    net.broadcast_update(receiver, mtype=MsgType.TABLE_UPDATE)
+    return len(moved)
+
+
+# ---------------------------------------------------------------------------
+# Remote-leaf rejoin balancing
+# ---------------------------------------------------------------------------
+
+
+def _balance_by_rejoin(
+    net: "BatonNetwork", overloaded: BatonPeer, config: "LoadBalanceConfig"
+) -> Optional[int]:
+    """Recruit a lightly loaded leaf to share the overloaded leaf's load.
+
+    Returns the forced-restructuring shift size, or None if no recruit was
+    found within the probe budget.
+    """
+    victim = _probe_for_light_leaf(net, overloaded, config)
+    if victim is None:
+        return None
+
+    from repro.core import leave as leave_protocol
+    from repro.core import restructure as restructure_protocol
+
+    # The recruit hands its range and keys to its right adjacent, then
+    # leaves its slot (shifting the tree if its departure is unsafe).
+    shift = 0
+    if leave_protocol.can_depart_simply(victim):
+        detached = leave_protocol.depart_leaf(
+            net, victim, content_target="right_adjacent"
+        )
+    else:
+        shift += restructure_protocol.depart_with_restructure(
+            net, victim, content_target="right_adjacent"
+        )
+        detached = victim
+    # ... and rejoins as a child of the overloaded peer, taking half its
+    # content; forced restructuring may shift the tree again.
+    side = LEFT if overloaded.child_on(LEFT) is None else RIGHT
+    shift += restructure_protocol.forced_add_child(net, overloaded, side, detached)
+    return shift
+
+
+def _probe_for_light_leaf(
+    net: "BatonNetwork", overloaded: BatonPeer, config: "LoadBalanceConfig"
+) -> Optional[BatonPeer]:
+    """Probe sideways-table neighbours (and their children) for a light leaf.
+
+    The paper's footnote: neighbour tables suffice to find *a* lighter
+    loaded node, even if not the lightest.  Each probe is one message.
+    """
+    threshold = max(1, int(config.low_watermark * config.capacity))
+    candidates: List[NodeInfo] = []
+    for side in (LEFT, RIGHT):
+        for _, info in overloaded.table_on(side).occupied():
+            candidates.append(info)
+    probes = 0
+    seen: set[Address] = {overloaded.address}
+    queue = list(candidates)
+    while queue and probes < config.probe_limit:
+        info = queue.pop(0)
+        if info.address in seen:
+            continue
+        seen.add(info.address)
+        target = net.peers.get(info.address)
+        if target is None:
+            continue
+        net.count_message(overloaded.address, info.address, MsgType.BALANCE)
+        probes += 1
+        if (
+            target.is_leaf
+            and len(target.store) < threshold
+            and target.parent is not None
+            and not _bad_recruit(overloaded, target)
+        ):
+            return target
+        for child in (target.left_child, target.right_child):
+            if child is not None and child.address not in seen:
+                queue.append(child)
+    return None
+
+
+def _bad_recruit(overloaded: BatonPeer, candidate: BatonPeer) -> bool:
+    """Recruits whose hand-over would interact with the overloaded peer.
+
+    A candidate that is one of the overloaded peer's adjacents — or whose
+    own right adjacent *is* the overloaded peer — would hand its keys right
+    back into the hot spot; the probe skips those, there are plenty of other
+    leaves.
+    """
+    adjacents = {
+        info.address
+        for info in (overloaded.left_adjacent, overloaded.right_adjacent)
+        if info is not None
+    }
+    if candidate.address in adjacents:
+        return True
+    return (
+        candidate.right_adjacent is not None
+        and candidate.right_adjacent.address == overloaded.address
+    )

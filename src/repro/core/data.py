@@ -1,0 +1,82 @@
+"""Data operations: insert and delete (§IV-C).
+
+Both ride the exact-match routing; an insert that falls outside the covered
+domain reaches the leftmost (or rightmost) peer, which expands its range to
+cover the new key and spends an extra O(log N) round of routing-table
+updates — the special case called out in §IV-C.  Inserts may then trigger
+load balancing (§IV-D) at the receiving peer.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core import search as search_protocol
+from repro.core.results import DataOpResult
+from repro.net.address import Address
+from repro.net.message import MsgType
+
+if TYPE_CHECKING:
+    from repro.core.network import BatonNetwork
+
+
+def insert(net: "BatonNetwork", start: Address, key: int) -> DataOpResult:
+    """Route ``key`` to its owner and store it there."""
+    with net.open_trace("insert") as trace:
+        owner_address = search_protocol.route_to_owner(
+            net, start, key, MsgType.INSERT
+        )
+        owner = net.peer(owner_address)
+        if not owner.range.contains(key):
+            _expand_extreme_range(net, owner, key)
+        owner.store.insert(key)
+        if net.config.replication:
+            from repro.core import replication
+
+            replication.replicate_insert(net, owner, key)
+    result = DataOpResult(applied=True, owner=owner_address, trace=trace)
+
+    from repro.core import balance as balance_protocol
+
+    event = balance_protocol.maybe_balance(net, owner_address)
+    if event is not None:
+        result.balance_trace = event.trace
+        result.balance_moves = event.shift_size
+    return result
+
+
+def delete(net: "BatonNetwork", start: Address, key: int) -> DataOpResult:
+    """Route to the owner of ``key`` and remove one occurrence of it."""
+    with net.open_trace("delete") as trace:
+        owner_address = search_protocol.route_to_owner(
+            net, start, key, MsgType.DELETE
+        )
+        owner = net.peer(owner_address)
+        applied = owner.store.delete(key)
+        if applied and net.config.replication:
+            from repro.core import replication
+
+            replication.replicate_delete(net, owner, key)
+    return DataOpResult(applied=applied, owner=owner_address, trace=trace)
+
+
+def _expand_extreme_range(net: "BatonNetwork", owner, key: int) -> None:
+    """Extreme-node range expansion for out-of-domain inserts.
+
+    Only the leftmost peer (no left adjacent) may grow downward and only the
+    rightmost (no right adjacent) upward; anything else reaching here means
+    routing failed and we must not paper over it.
+    """
+    if key < owner.range.low and owner.left_adjacent is None:
+        owner.range = owner.range.extend_to_include(key)
+    elif key >= owner.range.high and owner.right_adjacent is None:
+        owner.range = owner.range.extend_to_include(key)
+    else:
+        from repro.util.errors import ProtocolError
+
+        raise ProtocolError(
+            f"insert of {key} routed to non-covering peer {owner.position} "
+            f"{owner.range}"
+        )
+    # "It takes an additional log N step for updating its routing tables."
+    net.broadcast_update(owner)

@@ -1,0 +1,337 @@
+"""Node failure and repair (§III-C).
+
+A failed peer simply stops answering: senders pay for the undelivered
+message and route around it (see :mod:`repro.core.search`).  Repair is
+coordinated by the failed node's parent (with §III-D fallbacks to adjacents
+or children when the parent is gone too).  The coordinator regenerates the
+missing routing state by contacting the children of the nodes in *its own*
+routing tables — Theorem 2: the failed child's sideways neighbours are
+exactly those children — and then drives a graceful departure on the failed
+node's behalf.  The failed peer's locally stored keys are lost (the paper
+does not replicate data) but its *range* is reassigned so the key-space
+partition stays complete.
+
+After the structural surgery the repair re-establishes link consistency with
+the map-based rebuild helper from :mod:`repro.core.restructure` (the same
+documented cost-model substitution), charging the coordinator one REPAIR
+message per regenerated link.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from repro.core.links import LEFT, RIGHT
+from repro.core.peer import BatonPeer
+from repro.core.results import RepairResult
+from repro.net.address import Address
+from repro.net.message import MsgType
+from repro.util.errors import PeerNotFoundError, ProtocolError
+
+if TYPE_CHECKING:
+    from repro.core.network import BatonNetwork
+
+
+def fail(net: "BatonNetwork", address: Address) -> None:
+    """Kill the peer at ``address`` abruptly (no protocol runs).
+
+    The peer's last state is retained as a *ghost*: it stands in for the
+    routing knowledge that survives at its linkers (parent, neighbours),
+    which is what the repair coordinator reconstructs.  Its slot stays in
+    the position map until repair so the hole is visible.
+    """
+    peer = net.peers.pop(address, None)
+    if peer is None:
+        raise PeerNotFoundError(address)
+    net.bus.unregister(address)
+    net.ghosts[address] = peer
+
+
+def repair(net: "BatonNetwork", failed: Address) -> RepairResult:
+    """Run the parent-coordinated repair for a failed peer."""
+    ghost = net.ghosts.get(failed)
+    if ghost is None:
+        raise PeerNotFoundError(failed)
+    coordinator = _find_coordinator(net, ghost)
+    with net.open_trace("repair") as trace:
+        if coordinator is None:
+            if net.size == 0:
+                # The sole peer died: nothing to reconnect.
+                _release_slot(net, ghost)
+                del net.ghosts[failed]
+                return RepairResult(failed=failed, replacement=None, trace=trace)
+            # Every neighbour is dead too: block until another repair
+            # revives one (repair_all retries in passes).
+            raise ProtocolError(
+                f"repair of {ghost.position} blocked: no live coordinator"
+            )
+        _regenerate_tables(net, coordinator, ghost)
+        if _safe_leaf_removal(ghost):
+            _remove_dead_leaf(net, coordinator, ghost)
+            replacement: Optional[BatonPeer] = None
+        else:
+            replacement = _replace_dead_internal(net, coordinator, ghost)
+        del net.ghosts[failed]
+    return RepairResult(
+        failed=failed,
+        replacement=replacement.address if replacement else None,
+        trace=trace,
+    )
+
+
+def _release_slot(net: "BatonNetwork", ghost: BatonPeer) -> None:
+    if net._positions.get(ghost.position) == ghost.address:
+        del net._positions[ghost.position]
+
+
+def _find_coordinator(net: "BatonNetwork", ghost: BatonPeer) -> Optional[BatonPeer]:
+    """The live peer that manages the repair: parent first, §III-D fallbacks."""
+    candidates = [
+        ghost.parent,
+        ghost.left_adjacent,
+        ghost.right_adjacent,
+        ghost.left_child,
+        ghost.right_child,
+    ]
+    for info in candidates:
+        if info is not None and info.address in net.peers:
+            return net.peers[info.address]
+    # The ghost's snapshots may all be stale (its neighbours were repaired
+    # under new addresses); fall back to the current slot occupants.
+    slots = [
+        ghost.position.parent(),
+        ghost.position.left_child(),
+        ghost.position.right_child(),
+    ]
+    for slot in slots:
+        if slot is None:
+            continue
+        address = net.occupant(slot)
+        if address is not None and address in net.peers:
+            return net.peers[address]
+    return None
+
+
+def _live_parent(net: "BatonNetwork", ghost: BatonPeer) -> Optional[BatonPeer]:
+    """The live peer at the ghost's parent slot (address may have changed)."""
+    if ghost.parent is not None and ghost.parent.address in net.peers:
+        return net.peers[ghost.parent.address]
+    parent_slot = ghost.position.parent()
+    if parent_slot is None:
+        return None
+    address = net.occupant(parent_slot)
+    if address is not None and address in net.peers:
+        return net.peers[address]
+    return None
+
+
+def _live_ghost_linkers(net: "BatonNetwork", ghost: BatonPeer) -> set[Address]:
+    """Addresses of the ghost's linkers that are still alive."""
+    return {
+        info.address for _, info in ghost.iter_links() if info.address in net.peers
+    }
+
+
+def _regenerate_tables(
+    net: "BatonNetwork", coordinator: BatonPeer, ghost: BatonPeer
+) -> None:
+    """Recreate the failed node's links at the coordinator, *current*.
+
+    The coordinator queries each live node in its own routing tables for the
+    relevant child (request + response, two counted messages per neighbour).
+    Crucially the answers reflect the network as it is **now** — joins and
+    repairs that happened after the crash — not the dead node's last view;
+    repairing against a stale snapshot can remove a slot whose neighbours
+    have since gained children and break Theorem 1.  The refreshed state is
+    written into the ghost object, which stands in for the regenerated
+    tables for the rest of the repair.
+    """
+    for side in (LEFT, RIGHT):
+        for _, info in coordinator.table_on(side).occupied():
+            if info.address not in net.peers:
+                continue
+            net.count_message(coordinator.address, info.address, MsgType.REPAIR)
+            net.count_message(info.address, coordinator.address, MsgType.RESPONSE)
+    from repro.core.restructure import refresh_links_from_map
+
+    # Ghost-held slots stay visible: a dead child still owns its slot and
+    # its slice of the key space, so the dead parent must not be mistaken
+    # for a leaf (its repair would skip the child's range).
+    refresh_links_from_map(net, ghost, include_ghosts=True)
+
+
+def _safe_leaf_removal(ghost: BatonPeer) -> bool:
+    """Whether simply dropping the dead node's slot keeps the tree balanced.
+
+    Same test as graceful leave: a leaf none of whose sideways neighbours
+    has children (evaluated on the regenerated link state).
+    """
+    if not ghost.is_leaf:
+        return False
+    return not ghost.left_table.nodes_with_children() and not (
+        ghost.right_table.nodes_with_children()
+    )
+
+
+def _remove_dead_leaf(
+    net: "BatonNetwork", coordinator: BatonPeer, ghost: BatonPeer
+) -> None:
+    """Drop a dead leaf: its parent absorbs the range; keys are lost."""
+    parent = _live_parent(net, ghost)
+    if parent is None:
+        # Parent-child double failure (§III-C): fold the dead child's slice
+        # into the dead parent's ghost state; whichever repair handles the
+        # parent later carries the combined range forward.
+        parent_slot = ghost.position.parent()
+        parent_address = net.occupant(parent_slot) if parent_slot else None
+        ghost_parent = net.ghosts.get(parent_address) if parent_address else None
+        if ghost_parent is None:
+            raise ProtocolError(f"dead leaf {ghost.position} has no parent at all")
+        ghost_parent.range = ghost_parent.range.merge(ghost.range)
+        _release_slot(net, ghost)
+
+        from repro.core.restructure import rebuild_after_moves
+
+        rebuild_after_moves(net, [coordinator], _live_ghost_linkers(net, ghost))
+        return
+    parent.range = parent.range.merge(ghost.range)
+    if net.config.replication:
+        from repro.core import replication
+
+        replication.restore_from_replica(net, ghost, parent)
+    linkers = _live_ghost_linkers(net, ghost)
+    for address in sorted(linkers):
+        if address != coordinator.address:
+            net.count_message(coordinator.address, address, MsgType.REPAIR)
+    _release_slot(net, ghost)
+
+    from repro.core.restructure import rebuild_after_moves
+
+    rebuild_after_moves(net, [parent], linkers)
+
+
+def _replace_dead_internal(
+    net: "BatonNetwork", coordinator: BatonPeer, ghost: BatonPeer
+) -> BatonPeer:
+    """Move a replacement leaf into a dead internal node's slot."""
+    from repro.core import leave as leave_protocol
+    from repro.core.restructure import rebuild_after_moves
+
+    start = _live_descent_entry(net, ghost)
+    if start is None:
+        raise ProtocolError(
+            f"cannot repair {ghost.position}: no live entry into its subtree"
+        )
+    replacement = net.peer(_walk_replacement(net, start))
+    if not leave_protocol.can_depart_simply(replacement):
+        # Cornered by other unrepaired failures (for example the candidate
+        # still has a dead child whose slot would be orphaned): moving it
+        # would break the tree.  Block; repair_all retries after the
+        # blocking ghosts are handled.
+        raise ProtocolError(
+            f"repair of {ghost.position} blocked: replacement "
+            f"{replacement.position} cannot depart safely yet"
+        )
+    pre_links = set(replacement.link_addresses()) | _live_ghost_linkers(net, ghost)
+
+    parent_slot = replacement.position.parent()
+    if parent_slot == ghost.position:
+        # The replacement hangs directly under the dead node, so its keys
+        # cannot go to its parent.  It keeps them and absorbs the dead
+        # node's (now data-less) range, which is adjacent in order.
+        merged_range = replacement.range.merge(ghost.range)
+        net.unregister_peer(replacement.address)
+    elif replacement.parent is None or replacement.parent.address not in net.peers:
+        raise ProtocolError(
+            f"repair of {ghost.position} blocked: replacement "
+            f"{replacement.position}'s parent also failed; repair it first"
+        )
+    else:
+        leave_protocol.depart_leaf(net, replacement, content_target="parent")
+        merged_range = ghost.range
+
+    replacement.move_to(ghost.position)
+    replacement.range = merged_range
+    _release_slot(net, ghost)
+    net.register_peer(replacement)
+    if net.config.replication:
+        from repro.core import replication
+
+        replication.restore_from_replica(net, ghost, replacement)
+
+    for address in sorted(pre_links):
+        if address in net.peers and address != coordinator.address:
+            net.count_message(coordinator.address, address, MsgType.REPAIR)
+    rebuild_after_moves(net, [replacement], pre_links)
+    return replacement
+
+
+def _live_descent_entry(net: "BatonNetwork", ghost: BatonPeer) -> Optional[Address]:
+    """A live node from which the replacement walk can descend.
+
+    For a dead leaf the natural entries are the children of its sideways
+    neighbours (the same entry point graceful leave uses); for a dead
+    internal node, its adjacents sit in its own subtree.
+    """
+    candidates: list[Optional[Address]] = []
+    if ghost.is_leaf:
+        neighbours = (
+            ghost.left_table.nodes_with_children()
+            + ghost.right_table.nodes_with_children()
+        )
+        for info in sorted(
+            neighbours,
+            key=lambda i: abs(i.position.number - ghost.position.number),
+        ):
+            candidates.append(info.left_child or info.right_child)
+    for info in (
+        ghost.left_adjacent,
+        ghost.right_adjacent,
+        ghost.left_child,
+        ghost.right_child,
+    ):
+        if info is not None:
+            candidates.append(info.address)
+    for address in candidates:
+        if address is not None and address in net.peers:
+            return address
+    return None
+
+
+def _walk_replacement(net: "BatonNetwork", start: Address) -> Address:
+    """Algorithm 2, tolerating dead hops along the way."""
+    limit = 4 * max(net.size.bit_length(), 2) + 32
+    current = start
+    for _ in range(limit):
+        peer = net.peer(current)
+        hops: list[Address] = []
+        if peer.left_child is not None:
+            hops.append(peer.left_child.address)
+        if peer.right_child is not None:
+            hops.append(peer.right_child.address)
+        if not hops:
+            with_children = (
+                peer.left_table.nodes_with_children()
+                + peer.right_table.nodes_with_children()
+            )
+            for info in sorted(
+                with_children,
+                key=lambda i: abs(i.position.number - peer.position.number),
+            ):
+                child = info.left_child or info.right_child
+                if child is not None:
+                    hops.append(child)
+        if not hops:
+            return current
+        next_hop: Optional[Address] = None
+        for candidate in hops:
+            try:
+                net.count_message(current, candidate, MsgType.LEAVE_FIND)
+            except PeerNotFoundError:
+                continue
+            next_hop = candidate
+            break
+        if next_hop is None:
+            return current  # everything deeper is dead; stop here
+        current = next_hop
+    raise ProtocolError("repair replacement walk did not terminate")

@@ -1,0 +1,134 @@
+"""Logical node positions in the BATON tree.
+
+A node's *logical id* is the pair ``(level, number)`` from §III of the paper:
+the root is level 0; at level ``L`` positions are numbered 1..2^L whether or
+not a peer currently occupies them.  The pair fully determines the node's
+place in the binary tree, its parent/children positions, and — through the
+in-order traversal — its place in the linear key order that ranges follow.
+
+Positions are immutable values; peers move *between* positions during
+restructuring, so identity of a peer is its address, never its position.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+
+@dataclass(frozen=True, order=False)
+class Position:
+    """A slot in the (conceptually infinite) binary tree."""
+
+    level: int
+    number: int
+
+    def __post_init__(self) -> None:
+        if self.level < 0:
+            raise ValueError(f"level must be >= 0, got {self.level}")
+        if not 1 <= self.number <= (1 << self.level):
+            raise ValueError(
+                f"number must be in [1, 2^{self.level}], got {self.number}"
+            )
+
+    # -- tree geometry ------------------------------------------------------
+
+    @property
+    def is_root(self) -> bool:
+        return self.level == 0
+
+    @property
+    def is_left_child(self) -> bool:
+        """Left children have odd numbers (root is neither side)."""
+        return self.level > 0 and self.number % 2 == 1
+
+    @property
+    def is_right_child(self) -> bool:
+        return self.level > 0 and self.number % 2 == 0
+
+    def parent(self) -> Optional["Position"]:
+        """Position of the parent slot, or None for the root."""
+        if self.level == 0:
+            return None
+        return Position(self.level - 1, (self.number + 1) // 2)
+
+    def left_child(self) -> "Position":
+        return Position(self.level + 1, 2 * self.number - 1)
+
+    def right_child(self) -> "Position":
+        return Position(self.level + 1, 2 * self.number)
+
+    def sibling(self) -> Optional["Position"]:
+        """The other child of this node's parent, or None for the root."""
+        if self.level == 0:
+            return None
+        offset = 1 if self.is_left_child else -1
+        return Position(self.level, self.number + offset)
+
+    def ancestor_at(self, level: int) -> "Position":
+        """The ancestor slot at the given (shallower or equal) level."""
+        if not 0 <= level <= self.level:
+            raise ValueError(f"level {level} is not an ancestor level of {self}")
+        shift = self.level - level
+        # Repeated parent() is ceil-halving the number `shift` times.
+        number = ((self.number - 1) >> shift) + 1
+        return Position(level, number)
+
+    def is_ancestor_of(self, other: "Position") -> bool:
+        """Strict ancestry test (a position is not its own ancestor)."""
+        return self.level < other.level and other.ancestor_at(self.level) == self
+
+    # -- sideways (routing-table) geometry -----------------------------------
+
+    def left_table_positions(self) -> Iterator["Position"]:
+        """Valid left-routing-table slots: numbers ``number - 2^i`` >= 1."""
+        i = 0
+        while self.number - (1 << i) >= 1:
+            yield Position(self.level, self.number - (1 << i))
+            i += 1
+
+    def right_table_positions(self) -> Iterator["Position"]:
+        """Valid right-routing-table slots: numbers ``number + 2^i`` <= 2^L."""
+        i = 0
+        while self.number + (1 << i) <= (1 << self.level):
+            yield Position(self.level, self.number + (1 << i))
+            i += 1
+
+    def table_position(self, side: str, index: int) -> Optional["Position"]:
+        """The slot at distance ``2^index`` on ``side``, or None if invalid."""
+        if side == "left":
+            number = self.number - (1 << index)
+            return Position(self.level, number) if number >= 1 else None
+        if side == "right":
+            number = self.number + (1 << index)
+            return Position(self.level, number) if number <= (1 << self.level) else None
+        raise ValueError(f"side must be 'left' or 'right', got {side!r}")
+
+    # -- in-order (key) order -------------------------------------------------
+
+    def inorder_num_den(self) -> tuple[int, int]:
+        """Exact in-order key as the fraction ``(2*number - 1) / 2^(level+1)``.
+
+        Mapping every slot into (0, 1) this way linearises the infinite tree:
+        slot A precedes slot B in an in-order traversal iff key(A) < key(B).
+        Returned as (numerator, denominator) of exact integers.
+        """
+        return 2 * self.number - 1, 1 << (self.level + 1)
+
+    def inorder_lt(self, other: "Position") -> bool:
+        """True iff self comes before other in the in-order traversal."""
+        num_a, den_a = self.inorder_num_den()
+        num_b, den_b = other.inorder_num_den()
+        return num_a * den_b < num_b * den_a
+
+    def inorder_key(self) -> float:
+        """Float approximation of the in-order key (debugging/plots only)."""
+        num, den = self.inorder_num_den()
+        return num / den
+
+    def __str__(self) -> str:
+        return f"({self.level},{self.number})"
+
+
+ROOT = Position(0, 1)
+"""The root slot (level 0, number 1)."""

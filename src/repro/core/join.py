@@ -1,0 +1,342 @@
+"""Node join: Algorithm 1 and the routing-table update protocol (§III-A).
+
+A joining node contacts any existing peer; the JOIN request is forwarded —
+to the parent when the contacted node's sideways tables are not full, to a
+same-level neighbour that lacks a child, or to an adjacent node — until it
+reaches a node with **full routing tables and a free child slot**, which by
+Theorem 1 can accept a child without unbalancing the tree.
+
+On acceptance the parent splits its range (and the stored keys) with the new
+child, splices the child into the adjacent-link chain, and drives the table
+update protocol: the parent notifies each of its sideways neighbours (≤ 2·L1
+messages), each neighbour informs its children that border the new node
+(≤ 2·L2 messages in total), and those children reply to the new node with
+their own coordinates (≤ 2·L2 messages), which fills the new node's tables
+and everyone else's — fewer than 6·log N messages end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from repro.core.ids import Position
+from repro.core.links import LEFT, RIGHT, NodeInfo
+from repro.core.peer import BatonPeer
+from repro.core.results import JoinResult
+from repro.net.address import Address
+from repro.net.message import MsgType
+from repro.util.errors import PeerNotFoundError, ProtocolError
+
+if TYPE_CHECKING:
+    from repro.core.network import BatonNetwork
+
+
+def _try_message(
+    net: "BatonNetwork", src: Address, dst: Address, mtype: MsgType
+) -> bool:
+    """Send one counted message; False if the target turned out dead.
+
+    During churn windows (§V-E) a join can hold stale links to peers that
+    failed concurrently; the attempt is paid for and the protocol skips the
+    dead neighbour — repair fills the resulting gaps afterwards.
+    """
+    try:
+        net.count_message(src, dst, mtype)
+    except PeerNotFoundError:
+        return False
+    return True
+
+
+def join(net: "BatonNetwork", start: Address) -> JoinResult:
+    """Join one new peer, entering the overlay at ``start``.
+
+    In a degraded network (unrepaired failures) the placement walk can get
+    boxed in by dead neighbours; the joiner then retries through a different
+    entry point, as a real joining host would.
+    """
+    with net.open_trace("join.find") as find_trace:
+        attempts = 3 if net.ghosts else 1
+        parent_address: Optional[Address] = None
+        for attempt in range(attempts):
+            try:
+                parent_address = find_join_parent(net, start)
+                break
+            except ProtocolError:
+                if attempt == attempts - 1:
+                    raise
+                start = net.random_peer_address()
+    with net.open_trace("join.update") as update_trace:
+        parent = net.peer(parent_address)
+        side = LEFT if parent.left_child is None else RIGHT
+        new_peer = add_child(net, parent, side)
+    return JoinResult(
+        address=new_peer.address,
+        parent=parent_address,
+        find_trace=find_trace,
+        update_trace=update_trace,
+    )
+
+
+def find_join_parent(net: "BatonNetwork", start: Address) -> Address:
+    """Algorithm 1: walk the overlay to a node that may accept a child."""
+    limit = 8 * max(net.size.bit_length(), 1) + 2 * net.size + 64
+    current = start
+    for _ in range(limit):
+        peer = net.peer(current)
+        if peer.can_accept_child():
+            return current
+        next_hop = None
+        for candidate in _forward_targets(net, peer):
+            if _try_message(net, current, candidate, MsgType.JOIN_FIND):
+                next_hop = candidate
+                break
+        if next_hop is None:
+            raise ProtocolError(
+                f"join request stuck at {peer.position}: no forwarding target"
+            )
+        current = next_hop
+    raise ProtocolError("join request did not terminate (routing state corrupt?)")
+
+
+def _forward_targets(net: "BatonNetwork", peer: BatonPeer) -> list[Address]:
+    """Where Algorithm 1 forwards a JOIN request from ``peer``, in order.
+
+    The head of the list is the paper's choice; the tail adds §III-D-style
+    fallbacks that only come into play when the preferred target died
+    concurrently (the walk pays for the failed attempt either way).
+    """
+    targets: list[Address] = []
+    if not peer.tables_full():
+        # Some same-level slot next to us is empty; our parent can see the
+        # would-be parent of that slot in *its* tables (Theorem 2).
+        if peer.parent is not None:
+            targets.append(peer.parent.address)
+    else:
+        # Tables full but both children taken: prefer a sideways neighbour
+        # that still lacks a child; the entry's child links tell us locally.
+        missing = (
+            peer.left_table.nodes_missing_children()
+            + peer.right_table.nodes_missing_children()
+        )
+        missing.sort(
+            key=lambda info: abs(info.position.number - peer.position.number)
+        )
+        targets.extend(info.address for info in missing)
+    # Descend via an adjacent node (the paper's remaining case), then any
+    # other live link as a failure fallback.
+    adjacents = [
+        info.address
+        for info in (peer.left_adjacent, peer.right_adjacent)
+        if info is not None
+    ]
+    if len(adjacents) == 2 and net.rng.random() < 0.5:
+        adjacents.reverse()
+    targets.extend(adjacents)
+    for _, info in peer.iter_links():
+        targets.append(info.address)
+    deduped: list[Address] = []
+    seen: set[Address] = {peer.address}
+    for address in targets:
+        if address not in seen:
+            seen.add(address)
+            deduped.append(address)
+    return deduped
+
+
+def choose_split_pivot(net: "BatonNetwork", parent: BatonPeer) -> int:
+    """Where the parent's range splits when handing half to a new child.
+
+    ``median`` policy: the median stored key, so the child takes half the
+    *content* (the paper's wording); falls back to the arithmetic midpoint
+    when the store is empty or the median sits on a range boundary.
+    """
+    if parent.range.width < 2:
+        raise ProtocolError(
+            f"range {parent.range} too narrow to split at {parent.position}"
+        )
+    if net.config.split_policy == "median":
+        median = parent.store.median()
+        if median is not None and parent.range.low < median < parent.range.high:
+            return median
+    return parent.range.midpoint()
+
+
+def add_child(
+    net: "BatonNetwork",
+    parent: BatonPeer,
+    side: str,
+    peer: Optional[BatonPeer] = None,
+) -> BatonPeer:
+    """Attach a new (or rejoining) peer as ``parent``'s ``side`` child.
+
+    Performs the §III-A acceptance: range/content split, adjacent-link
+    splice, and the full table update protocol.  ``peer`` is provided when a
+    load-balancing victim rejoins with its existing address; otherwise a
+    fresh peer is created.
+    """
+    if parent.child_on(side) is not None:
+        raise ProtocolError(f"{parent.position} already has a {side} child")
+    child_position = (
+        parent.position.left_child() if side == LEFT else parent.position.right_child()
+    )
+
+    # --- range and content split -----------------------------------------
+    pivot = choose_split_pivot(net, parent)
+    if side == LEFT:
+        child_range, parent_range = parent.range.split_at(pivot)
+        moved_keys = parent.store.split_below(pivot)
+    else:
+        parent_range, child_range = parent.range.split_at(pivot)
+        moved_keys = parent.store.split_at_or_above(pivot)
+
+    if peer is None:
+        peer = BatonPeer(net.alloc.allocate(), child_position, child_range)
+    else:
+        peer.move_to(child_position)
+        peer.range = child_range
+    parent.range = parent_range
+    peer.store.extend(moved_keys)
+
+    net.register_peer(peer)
+    net.count_message(
+        parent.address, peer.address, MsgType.JOIN_TRANSFER, keys=len(moved_keys)
+    )
+
+    # --- parent/child links ------------------------------------------------
+    parent.set_child(side, peer.snapshot())
+    peer.parent = parent.snapshot()
+
+    # --- adjacent links ------------------------------------------------------
+    far_adjacent = parent.adjacent_on(side)
+    if side == LEFT:
+        peer.left_adjacent = far_adjacent.copy() if far_adjacent else None
+        peer.right_adjacent = parent.snapshot()
+        parent.left_adjacent = peer.snapshot()
+    else:
+        peer.right_adjacent = far_adjacent.copy() if far_adjacent else None
+        peer.left_adjacent = parent.snapshot()
+        parent.right_adjacent = peer.snapshot()
+    if far_adjacent is not None:
+        # The one message the new node itself sends (the paper's "+1").
+        _try_message(net, peer.address, far_adjacent.address, MsgType.TABLE_UPDATE)
+        far_peer = net.peers.get(far_adjacent.address)
+        if far_peer is not None:
+            if side == LEFT:
+                far_peer.right_adjacent = peer.snapshot()
+            else:
+                far_peer.left_adjacent = peer.snapshot()
+
+    # --- sibling table entries (the parent's other child) ---------------------
+    sibling_info = parent.child_on(RIGHT if side == LEFT else LEFT)
+    if sibling_info is not None and _try_message(
+        net, parent.address, sibling_info.address, MsgType.TABLE_UPDATE
+    ):
+        sibling = net.peer(sibling_info.address)
+        sibling.set_table_entry(peer.snapshot())
+        sibling.update_link_info(parent.snapshot())
+        net.count_message(sibling.address, peer.address, MsgType.RESPONSE)
+        peer.set_table_entry(sibling.snapshot())
+
+    # --- sideways tables via the parent's neighbours ----------------------------
+    _fill_child_tables(net, parent, peer)
+
+    # --- remaining stale links about the parent (range shrank) ------------------
+    _refresh_parent_periphery(net, parent, exclude={peer.address})
+    return peer
+
+
+def _fill_child_tables(net: "BatonNetwork", parent: BatonPeer, child: BatonPeer) -> None:
+    """Table update relay of §III-A.
+
+    For every valid slot of the child's tables, Theorem 2 locates the slot
+    occupant's parent inside *our* parent's tables; the parent messages that
+    neighbour (carrying its own fresh snapshot), the neighbour relays to its
+    bordering child, and that child replies to the new node.  Both ends
+    record each other.
+    """
+    sibling_position = child.position.sibling()
+    contacted: dict[Address, BatonPeer] = {}
+    for side in (LEFT, RIGHT):
+        table = child.table_on(side)
+        for index in table.valid_indices():
+            slot = table.position_at(index)
+            if slot is None or slot == sibling_position:
+                continue
+            parent_slot = slot.parent()
+            table_slot = parent.table_slot_for(parent_slot)
+            if table_slot is None:
+                continue
+            w_side, w_index = table_slot
+            w_info = parent.table_on(w_side).get(w_index)
+            if w_info is None:
+                continue  # no parent over there, hence no occupant (Theorem 2)
+            w_peer = contacted.get(w_info.address)
+            if w_peer is None:
+                # Parent -> neighbour: announce the new child; the neighbour
+                # also refreshes what it knows about the parent.
+                if not _try_message(
+                    net, parent.address, w_info.address, MsgType.TABLE_UPDATE
+                ):
+                    continue  # neighbour died concurrently; repair fills in
+                w_peer = net.peer(w_info.address)
+                w_peer.update_link_info(parent.snapshot())
+                contacted[w_info.address] = w_peer
+            occupant = None
+            if w_peer.left_child is not None and w_peer.left_child.position == slot:
+                occupant = w_peer.left_child.address
+            elif w_peer.right_child is not None and w_peer.right_child.position == slot:
+                occupant = w_peer.right_child.address
+            if occupant is None:
+                continue  # slot itself is unoccupied
+            # Neighbour -> its child: "add the new node to your table".
+            if not _try_message(net, w_peer.address, occupant, MsgType.TABLE_UPDATE):
+                continue
+            c_peer = net.peer(occupant)
+            c_peer.set_table_entry(child.snapshot())
+            # Child of neighbour -> new node: reply with its coordinates.
+            net.count_message(occupant, child.address, MsgType.RESPONSE)
+            child.set_table_entry(c_peer.snapshot())
+    # Any remaining sideways neighbour of the parent that the relay did not
+    # touch still holds the parent's old range/children: refresh them.
+    for side in (LEFT, RIGHT):
+        for _, info in parent.table_on(side).occupied():
+            if info.address in contacted:
+                continue
+            receiver = net.peers.get(info.address)
+            if receiver is None:
+                continue
+
+            def apply(receiver: BatonPeer = receiver) -> None:
+                receiver.update_link_info(parent.snapshot())
+
+            net.updates.notify(
+                parent.address, info.address, MsgType.TABLE_UPDATE, apply
+            )
+
+
+def _refresh_parent_periphery(
+    net: "BatonNetwork", parent: BatonPeer, exclude: set[Address]
+) -> None:
+    """Refresh the parent's parent and far adjacent after the range split."""
+    targets: list[NodeInfo] = []
+    if parent.parent is not None:
+        targets.append(parent.parent)
+    for info in (parent.left_adjacent, parent.right_adjacent):
+        if info is not None:
+            targets.append(info)
+    snapshot = parent.snapshot()
+    seen: set[Address] = set(exclude)
+    for info in targets:
+        if info.address in seen or info.address == parent.address:
+            continue
+        seen.add(info.address)
+        receiver = net.peers.get(info.address)
+        if receiver is None:
+            continue
+
+        def apply(receiver: BatonPeer = receiver) -> None:
+            receiver.update_link_info(snapshot)
+
+        net.updates.notify(
+            parent.address, info.address, MsgType.TABLE_UPDATE, apply
+        )

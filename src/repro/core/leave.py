@@ -1,0 +1,288 @@
+"""Node departure: Algorithm 2 and the graceful-leave protocol (§III-B).
+
+A leaf whose departure cannot unbalance the tree — no sideways neighbour has
+children, so Theorem 1 keeps holding — leaves directly: content and range go
+to its parent, adjacent links are spliced, LEAVE notices null the entries in
+its neighbours' tables (≤ 2·L2 + 2·L1 + 2 messages total).
+
+Any other node must find a *replacement*: a FINDREPLACEMENT request descends
+(children first, else a sideways neighbour's child) to a deepest leaf whose
+own departure is safe.  That leaf leaves its slot the simple way, then takes
+over the departing node's position, address change broadcast to everyone who
+linked to it (≤ 8·log N messages).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from repro.core.links import LEFT, RIGHT
+from repro.core.peer import BatonPeer
+from repro.core.results import LeaveResult
+from repro.net.address import Address
+from repro.net.message import MsgType
+from repro.util.errors import PeerNotFoundError, ProtocolError
+
+if TYPE_CHECKING:
+    from repro.core.network import BatonNetwork
+
+
+def can_depart_simply(peer: BatonPeer) -> bool:
+    """Theorem 1's safe-departure test: a leaf with child-free neighbours."""
+    if not peer.is_leaf:
+        return False
+    return not peer.left_table.nodes_with_children() and not (
+        peer.right_table.nodes_with_children()
+    )
+
+
+def leave(net: "BatonNetwork", address: Address) -> LeaveResult:
+    """Gracefully remove the peer at ``address`` from the overlay."""
+    departing = net.peer(address)
+    if net.size == 1:
+        with net.open_trace("leave.update") as update_trace:
+            net.unregister_peer(address)
+        return LeaveResult(
+            departed=address,
+            replacement=None,
+            find_trace=net.new_trace("leave.find"),
+            update_trace=update_trace,
+        )
+
+    if can_depart_simply(departing):
+        with net.open_trace("leave.update") as update_trace:
+            depart_leaf(net, departing, content_target="parent")
+        return LeaveResult(
+            departed=address,
+            replacement=None,
+            find_trace=net.new_trace("leave.find"),
+            update_trace=update_trace,
+        )
+
+    with net.open_trace("leave.find") as find_trace:
+        replacement_address = find_replacement(net, departing)
+    with net.open_trace("leave.update") as update_trace:
+        replacement = net.peer(replacement_address)
+        if not can_depart_simply(replacement):
+            raise ProtocolError(
+                f"replacement {replacement.position} cannot depart safely"
+            )
+        depart_leaf(net, replacement, content_target="parent")
+        transplant(net, departing, replacement)
+    return LeaveResult(
+        departed=address,
+        replacement=replacement_address,
+        find_trace=find_trace,
+        update_trace=update_trace,
+    )
+
+
+def find_replacement(net: "BatonNetwork", departing: BatonPeer) -> Address:
+    """Algorithm 2: locate a deepest leaf that can safely move."""
+    start = _replacement_entry_point(net, departing)
+    limit = 4 * max(net.size.bit_length(), 2) + 32
+    current = start
+    for _ in range(limit):
+        peer = net.peer(current)
+        next_hop: Optional[Address] = None
+        if peer.left_child is not None:
+            next_hop = peer.left_child.address
+        elif peer.right_child is not None:
+            next_hop = peer.right_child.address
+        else:
+            with_children = (
+                peer.left_table.nodes_with_children()
+                + peer.right_table.nodes_with_children()
+            )
+            if with_children:
+                nearest = min(
+                    with_children,
+                    key=lambda info: abs(
+                        info.position.number - peer.position.number
+                    ),
+                )
+                next_hop = nearest.left_child or nearest.right_child
+            else:
+                return current
+        if next_hop is None:
+            raise ProtocolError("replacement walk lost its target")
+        net.count_message(current, next_hop, MsgType.LEAVE_FIND)
+        current = next_hop
+    raise ProtocolError("replacement search did not terminate")
+
+
+def _replacement_entry_point(net: "BatonNetwork", departing: BatonPeer) -> Address:
+    """Where the FINDREPLACEMENT request is first sent."""
+    if departing.is_leaf:
+        with_children = (
+            departing.left_table.nodes_with_children()
+            + departing.right_table.nodes_with_children()
+        )
+        if not with_children:
+            raise ProtocolError("leaf with safe departure needs no replacement")
+        nearest = min(
+            with_children,
+            key=lambda info: abs(info.position.number - departing.position.number),
+        )
+        target = nearest.left_child or nearest.right_child
+        if target is None:
+            raise ProtocolError("neighbour advertises children it does not have")
+        net.count_message(departing.address, target, MsgType.LEAVE_FIND)
+        return target
+    # Internal node: descend through the adjacent node inside our own
+    # subtree ("a leaf node, or as deep as possible").
+    if departing.left_child is not None and departing.left_adjacent is not None:
+        target = departing.left_adjacent.address
+    elif departing.right_child is not None and departing.right_adjacent is not None:
+        target = departing.right_adjacent.address
+    else:
+        raise ProtocolError(f"internal node {departing.position} has no adjacent")
+    net.count_message(departing.address, target, MsgType.LEAVE_FIND)
+    return target
+
+
+def depart_leaf(
+    net: "BatonNetwork",
+    leaf: BatonPeer,
+    content_target: str,
+) -> BatonPeer:
+    """Remove a safely-departing leaf from the overlay.
+
+    ``content_target`` names who absorbs the leaf's range and keys:
+    ``"parent"`` for the standard graceful leave, ``"right_adjacent"`` /
+    ``"left_adjacent"`` for the load-balancing hand-off of §IV-D, or
+    ``"none"`` when a failed peer's content is already lost (§III-C).
+    Returns the detached peer object (links cleared, address retained).
+    """
+    if leaf.parent is None:
+        raise ProtocolError("the last peer cannot depart via this path")
+    parent = net.peer(leaf.parent.address)
+    side = LEFT if leaf.position.is_left_child else RIGHT
+
+    _hand_over_content(net, leaf, content_target)
+
+    # Splice adjacent links: the leaf's far adjacent now borders the parent
+    # on the vacated side (the near adjacent *is* the parent for a leaf).
+    far = leaf.adjacent_on(side)
+    parent.set_child(side, None)
+    if content_target != "parent":
+        # The parent still needs to hear about the departure (child link).
+        net.count_message(leaf.address, parent.address, MsgType.LEAVE_TRANSFER)
+    parent.set_adjacent(side, far.copy() if far is not None else None)
+    if far is not None:
+        try:
+            net.count_message(leaf.address, far.address, MsgType.LEAVE_TRANSFER)
+        except PeerNotFoundError:
+            pass  # the far adjacent failed; repair will reconnect it
+        far_peer = net.peers.get(far.address)
+        if far_peer is not None:
+            opposite = RIGHT if side == LEFT else LEFT
+            far_peer.set_adjacent(opposite, parent.snapshot())
+
+    # LEAVE notices to sideways neighbours: null their entry for our slot.
+    position = leaf.position
+    for table_side in (LEFT, RIGHT):
+        for _, info in leaf.table_on(table_side).occupied():
+            receiver = net.peers.get(info.address)
+            if receiver is None:
+                continue
+
+            def apply(receiver: BatonPeer = receiver) -> None:
+                receiver.clear_table_entry(position)
+
+            net.updates.notify(
+                leaf.address, info.address, MsgType.LEAVE_TRANSFER, apply
+            )
+
+    # The parent announces its new content/children to its own linkers.
+    net.broadcast_update(parent, exclude={leaf.address})
+
+    detached = net.unregister_peer(leaf.address)
+    detached.parent = None
+    detached.left_adjacent = None
+    detached.right_adjacent = None
+    return detached
+
+
+def _hand_over_content(
+    net: "BatonNetwork", leaf: BatonPeer, content_target: str
+) -> None:
+    """Transfer the departing leaf's range and keys to its absorber."""
+    if content_target == "none":
+        return
+    if content_target == "parent":
+        absorber_info = leaf.parent
+    elif content_target == "right_adjacent":
+        absorber_info = leaf.right_adjacent or leaf.left_adjacent
+    elif content_target == "left_adjacent":
+        absorber_info = leaf.left_adjacent or leaf.right_adjacent
+    else:
+        raise ValueError(f"unknown content target {content_target!r}")
+    if absorber_info is None:
+        raise ProtocolError(f"{leaf.position} has nobody to absorb its range")
+    absorber = net.peer(absorber_info.address)
+    net.count_message(
+        leaf.address, absorber.address, MsgType.LEAVE_TRANSFER, keys=len(leaf.store)
+    )
+    absorber.range = absorber.range.merge(leaf.range)
+    absorber.store.extend(leaf.store.clear())
+    if absorber_info is not leaf.parent:
+        # Range change at a non-parent absorber: its linkers must hear.
+        net.broadcast_update(absorber, exclude={leaf.address})
+
+
+def transplant(net: "BatonNetwork", departing: BatonPeer, replacement: BatonPeer) -> None:
+    """The replacement peer assumes the departing peer's position.
+
+    The logical position, range and content stay put; only the physical
+    address changes, so every linker of the departing node is told to
+    repoint (§III-B's ≤ 8·log N message budget).
+    """
+    replacement.position = departing.position
+    replacement.range = departing.range
+    replacement.store = departing.store
+    replacement.parent = departing.parent
+    replacement.left_child = departing.left_child
+    replacement.right_child = departing.right_child
+    replacement.left_adjacent = departing.left_adjacent
+    replacement.right_adjacent = departing.right_adjacent
+    replacement.left_table = departing.left_table
+    replacement.right_table = departing.right_table
+
+    net.register_peer(replacement)
+    net.unregister_peer(departing.address)
+    net.count_message(
+        departing.address, replacement.address, MsgType.LEAVE_TRANSFER
+    )
+    _announce_replacement(net, departing.address, replacement)
+
+
+def _announce_replacement(
+    net: "BatonNetwork", old_address: Address, replacement: BatonPeer
+) -> None:
+    """Repoint every linker of ``old_address`` at the replacement."""
+    snapshot = replacement.snapshot()
+    notified: set[Address] = set()
+    for _, info in replacement.iter_links():
+        if info.address in notified or info.address == replacement.address:
+            continue
+        notified.add(info.address)
+        receiver = net.peers.get(info.address)
+        if receiver is None:
+            continue
+
+        def apply(receiver: BatonPeer = receiver) -> None:
+            receiver.replace_link_address(old_address, snapshot)
+
+        net.updates.notify(
+            replacement.address, info.address, MsgType.TABLE_UPDATE, apply
+        )
+    # The parent's sideways neighbours track the parent's child addresses;
+    # the parent re-announces itself to them (the paper's 2·L1 block).
+    if replacement.parent is not None:
+        parent = net.peers.get(replacement.parent.address)
+        if parent is not None:
+            parent.replace_link_address(old_address, snapshot)
+            # No exclusions: the replacement itself inherited a parent link
+            # naming the old address as a child and needs the refresh too.
+            net.broadcast_update(parent)

@@ -1,0 +1,168 @@
+"""Links between peers: remote-node snapshots and sideways routing tables.
+
+A *link* is what one peer knows about another: its physical address, its
+logical position, the range it currently manages, and the addresses of its
+children.  The paper is explicit that routing-table entries carry this extra
+information beyond the bare IP address (§III) — search needs the ranges, and
+the join algorithm needs to know which neighbours lack children.
+
+The two sideways routing tables hold links to same-level nodes at distances
+``2^i``.  An *in-range* slot with no occupant holds ``None`` ("an entry is
+still made ... but marked as null"); slots beyond the level's number range
+(``number ± 2^i`` outside ``[1, 2^L]``) do not exist at all.  A table is
+*full* when every existing slot is non-null — the local condition behind
+Theorem 1's balance guarantee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Iterator, List, Optional
+
+from repro.core.ids import Position
+from repro.core.ranges import Range
+from repro.net.address import Address
+
+LEFT = "left"
+RIGHT = "right"
+
+
+@dataclass
+class NodeInfo:
+    """One peer's view of a remote peer.
+
+    Mutable on purpose: link owners update these snapshots when the remote
+    peer notifies them of a change (range move, new child, replacement).
+    """
+
+    address: Address
+    position: Position
+    range: Range
+    left_child: Optional[Address] = None
+    right_child: Optional[Address] = None
+
+    @property
+    def has_both_children(self) -> bool:
+        return self.left_child is not None and self.right_child is not None
+
+    @property
+    def has_any_child(self) -> bool:
+        return self.left_child is not None or self.right_child is not None
+
+    def copy(self) -> "NodeInfo":
+        """An independent snapshot (links must not be aliased across peers)."""
+        return replace(self)
+
+    def __str__(self) -> str:
+        return f"peer@{self.address}{self.position}{self.range}"
+
+
+@dataclass
+class RoutingTable:
+    """One sideways routing table (left or right) of a peer.
+
+    ``entries[i]`` describes the node at distance ``2^i`` on this side, or is
+    ``None`` if that in-range slot is currently unoccupied.  Only in-range
+    indices appear as keys.
+    """
+
+    owner: Position
+    side: str
+    entries: Dict[int, Optional[NodeInfo]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.side not in (LEFT, RIGHT):
+            raise ValueError(f"side must be {LEFT!r} or {RIGHT!r}")
+        indices = []
+        i = 0
+        while self.owner.table_position(self.side, i) is not None:
+            indices.append(i)
+            i += 1
+        # The owner position is frozen for the table's lifetime (peers get a
+        # fresh table when they move), so the slot geometry is cached.
+        self._valid_indices: List[int] = indices
+        for index in indices:
+            self.entries.setdefault(index, None)
+        extraneous = set(self.entries) - set(indices)
+        if extraneous:
+            raise ValueError(f"indices {extraneous} out of range for {self.owner}")
+
+    # -- geometry -----------------------------------------------------------
+
+    def valid_indices(self) -> List[int]:
+        """Indices i whose slot ``number ± 2^i`` exists at this level."""
+        return self._valid_indices
+
+    def position_at(self, index: int) -> Optional[Position]:
+        """The slot at distance ``2^index``, or None when out of range."""
+        return self.owner.table_position(self.side, index)
+
+    # -- access ---------------------------------------------------------------
+
+    def get(self, index: int) -> Optional[NodeInfo]:
+        return self.entries.get(index)
+
+    def set(self, index: int, info: Optional[NodeInfo]) -> None:
+        if self.position_at(index) is None:
+            raise ValueError(
+                f"index {index} out of range for {self.side} table of {self.owner}"
+            )
+        if info is not None and info.position != self.position_at(index):
+            raise ValueError(
+                f"entry position {info.position} does not match slot "
+                f"{self.position_at(index)}"
+            )
+        self.entries[index] = info
+
+    def occupied(self) -> Iterator[tuple[int, NodeInfo]]:
+        """(index, link) pairs for every non-null entry, nearest first."""
+        for index in sorted(self.entries):
+            info = self.entries[index]
+            if info is not None:
+                yield index, info
+
+    def addresses(self) -> List[Address]:
+        """Addresses of all linked neighbours on this side."""
+        return [info.address for _, info in self.occupied()]
+
+    # -- paper-level predicates -----------------------------------------------
+
+    def is_full(self) -> bool:
+        """All in-range slots occupied (the Theorem 1 condition)."""
+        return all(self.entries[index] is not None for index in self.entries)
+
+    def first_missing_index(self) -> Optional[int]:
+        """Smallest in-range index with a null entry, if any."""
+        for index in sorted(self.entries):
+            if self.entries[index] is None:
+                return index
+        return None
+
+    def nodes_missing_children(self) -> List[NodeInfo]:
+        """Linked neighbours that do not yet have both children."""
+        return [info for _, info in self.occupied() if not info.has_both_children]
+
+    def nodes_with_children(self) -> List[NodeInfo]:
+        """Linked neighbours that have at least one child."""
+        return [info for _, info in self.occupied() if info.has_any_child]
+
+    def farthest_satisfying(
+        self, predicate: Callable[[NodeInfo], bool]
+    ) -> Optional[NodeInfo]:
+        """The farthest linked neighbour passing ``predicate`` (search step).
+
+        "Farthest" is by table index, i.e. by distance ``2^i`` along the
+        level, exactly the greedy step of the exact-match algorithm.
+        """
+        for index in sorted(self.entries, reverse=True):
+            info = self.entries[index]
+            if info is not None and predicate(info):
+                return info
+        return None
+
+    def entry_for_address(self, address: Address) -> Optional[tuple[int, NodeInfo]]:
+        """Locate the entry linking to ``address``, if present."""
+        for index, info in self.occupied():
+            if info.address == address:
+                return index, info
+        return None

@@ -1,0 +1,417 @@
+"""The BATON overlay network: public API and shared protocol plumbing.
+
+:class:`BatonNetwork` owns the peers, the message bus and the position map,
+and exposes the paper's operations — join, leave, fail/repair, insert,
+delete, exact-match and range search — by delegating to the protocol modules
+(:mod:`repro.core.join`, :mod:`repro.core.leave`, …).
+
+Honesty rules (see DESIGN.md): protocol decisions use only the acting peer's
+local links.  The global position map kept here serves three sanctioned
+purposes only — the invariant checker, the restructuring link-rebuild helper
+(a documented cost-model substitution), and test assertions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.ids import ROOT, Position
+from repro.core.links import LEFT, RIGHT, NodeInfo
+from repro.core.peer import BatonPeer
+from repro.core.ranges import Range
+from repro.core.results import (
+    DataOpResult,
+    JoinResult,
+    LeaveResult,
+    NetworkStats,
+    RangeSearchResult,
+    RepairResult,
+    SearchResult,
+)
+from repro.net.address import Address, AddressAllocator
+from repro.net.bus import MessageBus, Trace
+from repro.net.message import MsgType
+from repro.util.errors import NetworkEmptyError, PeerNotFoundError
+from repro.util.rng import SeededRng
+
+
+@dataclass
+class LoadBalanceConfig:
+    """Tuning for §IV-D load balancing.
+
+    A peer is *overloaded* when its store exceeds ``capacity`` keys and
+    *lightly loaded* when below ``low_watermark * capacity``.  An overloaded
+    leaf first tries its adjacent nodes; an adjacent node can absorb keys if
+    that keeps it under ``absorb_factor * capacity``.  Otherwise the leaf
+    recruits a lightly loaded leaf found by probing through the routing
+    tables (``probe_limit`` probes at most).
+    """
+
+    capacity: int = 200
+    low_watermark: float = 0.25
+    absorb_factor: float = 0.75
+    probe_limit: int = 16
+    enabled: bool = True
+    #: Ablation toggle: with rejoins disabled, overloaded leaves only shift
+    #: data to adjacents — the "ripple through the network" regime §IV-D
+    #: argues against.
+    allow_rejoin: bool = True
+
+
+@dataclass
+class BatonConfig:
+    """Network-wide settings."""
+
+    domain: Range = field(default_factory=Range.full_domain)
+    #: "median" splits a parent's range at the median of its stored keys
+    #: (data-aware, the paper's "splits half of its content"); "midpoint"
+    #: splits the range arithmetically.  Ablation toggle.
+    split_policy: str = "median"
+    balance: LoadBalanceConfig = field(default_factory=LoadBalanceConfig)
+    #: Data-durability extension (not in the paper): mirror each peer's
+    #: store at its right adjacent and restore it during repair.  See
+    #: :mod:`repro.core.replication`.
+    replication: bool = False
+
+    def __post_init__(self) -> None:
+        if self.split_policy not in ("median", "midpoint"):
+            raise ValueError(f"unknown split policy {self.split_policy!r}")
+
+
+class UpdateChannel:
+    """Delivery channel for third-party routing-state notifications.
+
+    In normal (immediate) mode a notification is counted on the bus and
+    applied at the receiver right away.  In *deferred* mode — used by the
+    network-dynamics experiment (Fig 8i) to model update-propagation delay —
+    the message is still counted at send time (it is in flight) but the
+    receiver-side application is queued until :meth:`flush`.  Queries issued
+    in between see stale link state and pay recovery messages, which is
+    exactly the effect §V-E measures.
+
+    Only fire-and-forget refreshes go through this channel.  Request/response
+    handshakes inside join/leave (which the initiator blocks on) are always
+    immediate.
+    """
+
+    def __init__(self, bus: MessageBus):
+        self._bus = bus
+        self.deferred = False
+        self._queue: List[Callable[[], None]] = []
+
+    def notify(
+        self,
+        src: Address,
+        dst: Address,
+        mtype: MsgType,
+        apply: Callable[[], None],
+    ) -> bool:
+        """Send one notification; returns False if the target is dead."""
+        try:
+            self._bus.send_typed(src, dst, mtype)
+        except PeerNotFoundError:
+            return False
+        if self.deferred:
+            self._queue.append(apply)
+        else:
+            apply()
+        return True
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._queue)
+
+    def flush(self) -> int:
+        """Apply every queued notification; returns how many were applied."""
+        applied = 0
+        while self._queue:
+            action = self._queue.pop(0)
+            action()
+            applied += 1
+        return applied
+
+
+class BatonNetwork:
+    """A simulated BATON overlay."""
+
+    def __init__(self, config: Optional[BatonConfig] = None, seed: int = 0):
+        self.config = config or BatonConfig()
+        self.rng = SeededRng(seed)
+        self.bus = MessageBus()
+        self.updates = UpdateChannel(self.bus)
+        self.alloc = AddressAllocator()
+        self.peers: Dict[Address, BatonPeer] = {}
+        #: Peers that failed abruptly; state retained for the repair
+        #: coordinator's reconstruction and for test assertions.
+        self.ghosts: Dict[Address, BatonPeer] = {}
+        self.stats = NetworkStats()
+        self._positions: Dict[Position, Address] = {}
+        #: Back-off bookkeeping for §IV-D (see balance.maybe_balance).
+        self._balance_backoff: Dict[Address, int] = {}
+        self.bus.set_level_resolver(self._level_of)
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def _level_of(self, address: Address) -> Optional[int]:
+        peer = self.peers.get(address)
+        return peer.position.level if peer is not None else None
+
+    @property
+    def size(self) -> int:
+        """Number of live peers."""
+        return len(self.peers)
+
+    def peer(self, address: Address) -> BatonPeer:
+        """The live peer at ``address`` (raises if dead/unknown)."""
+        try:
+            return self.peers[address]
+        except KeyError:
+            raise PeerNotFoundError(address) from None
+
+    def occupant(self, position: Position) -> Optional[Address]:
+        """Address occupying a tree position (sanctioned uses only)."""
+        return self._positions.get(position)
+
+    def addresses(self) -> List[Address]:
+        return list(self.peers)
+
+    def random_peer_address(self) -> Address:
+        """A uniformly random live peer (query/join entry points)."""
+        if not self.peers:
+            raise NetworkEmptyError("network has no peers")
+        return self.rng.choice(sorted(self.peers))
+
+    def register_peer(self, peer: BatonPeer) -> None:
+        self.peers[peer.address] = peer
+        self._positions[peer.position] = peer.address
+        self.bus.register(peer.address)
+
+    def unregister_peer(self, address: Address) -> BatonPeer:
+        peer = self.peers.pop(address)
+        if self._positions.get(peer.position) == address:
+            del self._positions[peer.position]
+        self.bus.unregister(address)
+        return peer
+
+    def record_move(self, peer: BatonPeer, old_position: Position) -> None:
+        """Update the position map after a restructuring move."""
+        if self._positions.get(old_position) == peer.address:
+            del self._positions[old_position]
+        self._positions[peer.position] = peer.address
+
+    # -- construction ----------------------------------------------------------
+
+    def bootstrap(self) -> Address:
+        """Create the first peer, owning the whole domain, at the root."""
+        if self.peers:
+            raise ValueError("network is already bootstrapped")
+        peer = BatonPeer(self.alloc.allocate(), ROOT, self.config.domain)
+        self.register_peer(peer)
+        self.stats.joins += 1
+        return peer.address
+
+    @classmethod
+    def build(
+        cls,
+        n_peers: int,
+        seed: int = 0,
+        config: Optional[BatonConfig] = None,
+    ) -> "BatonNetwork":
+        """Convenience constructor: bootstrap and join ``n_peers - 1`` peers."""
+        if n_peers < 1:
+            raise ValueError("need at least one peer")
+        net = cls(config=config, seed=seed)
+        net.bootstrap()
+        for _ in range(n_peers - 1):
+            net.join()
+        return net
+
+    # -- operations (delegate to protocol modules) ------------------------------
+
+    def join(self, via: Optional[Address] = None) -> JoinResult:
+        """Add one peer, contacting ``via`` (default: a random peer)."""
+        from repro.core import join as join_protocol
+
+        start = via if via is not None else self.random_peer_address()
+        result = join_protocol.join(self, start)
+        self.stats.joins += 1
+        return result
+
+    def leave(self, address: Address) -> LeaveResult:
+        """Gracefully remove the peer at ``address``."""
+        from repro.core import leave as leave_protocol
+
+        result = leave_protocol.leave(self, address)
+        self.stats.leaves += 1
+        return result
+
+    def fail(self, address: Address) -> None:
+        """Abrupt departure: the peer vanishes without any protocol."""
+        from repro.core import failure as failure_protocol
+
+        failure_protocol.fail(self, address)
+        self.stats.failures += 1
+
+    def repair(self, failed: Address) -> RepairResult:
+        """Run the §III-C repair for a failed peer."""
+        from repro.core import failure as failure_protocol
+
+        result = failure_protocol.repair(self, failed)
+        self.stats.repairs += 1
+        return result
+
+    def repair_all(self) -> List[RepairResult]:
+        """Repair every outstanding failure, retrying order-sensitive cases.
+
+        Concurrent failures can depend on each other (a replacement's parent
+        failed too); repairing in a different order resolves them, mirroring
+        how independent repairs interleave in a real deployment.
+        """
+        from repro.util.errors import ProtocolError
+
+        results: List[RepairResult] = []
+        blocked: List[Address] = []
+        passes = 0
+        while self.ghosts and passes < len(self.ghosts) + 8:
+            passes += 1
+            progress = False
+            for address in sorted(self.ghosts):
+                try:
+                    results.append(self.repair(address))
+                    progress = True
+                except ProtocolError:
+                    blocked.append(address)
+            if not progress:
+                raise ProtocolError(
+                    f"repairs deadlocked on ghosts {sorted(self.ghosts)}"
+                )
+        return results
+
+    def search_exact(
+        self, key: int, via: Optional[Address] = None
+    ) -> SearchResult:
+        """Route an exact-match query from ``via`` (default random peer)."""
+        from repro.core import search as search_protocol
+
+        start = via if via is not None else self.random_peer_address()
+        return search_protocol.search_exact(self, start, key)
+
+    def search_range(
+        self, low: int, high: int, via: Optional[Address] = None
+    ) -> RangeSearchResult:
+        """Route a range query for [low, high) from ``via``."""
+        from repro.core import search as search_protocol
+
+        start = via if via is not None else self.random_peer_address()
+        return search_protocol.search_range(self, start, low, high)
+
+    def insert(self, key: int, via: Optional[Address] = None) -> DataOpResult:
+        """Route an insert; may trigger load balancing (§IV-D)."""
+        from repro.core import data as data_protocol
+
+        start = via if via is not None else self.random_peer_address()
+        return data_protocol.insert(self, start, key)
+
+    def delete(self, key: int, via: Optional[Address] = None) -> DataOpResult:
+        """Route a delete of one occurrence of ``key``."""
+        from repro.core import data as data_protocol
+
+        start = via if via is not None else self.random_peer_address()
+        return data_protocol.delete(self, start, key)
+
+    def refresh_replicas(self) -> int:
+        """Anti-entropy sweep of the replication extension (if enabled)."""
+        from repro.core import replication
+
+        if not self.config.replication:
+            return 0
+        return replication.refresh_replicas(self)
+
+    # -- bulk loading -----------------------------------------------------------
+
+    def bulk_load(self, keys: List[int]) -> int:
+        """Place keys directly into their owners without routed messages.
+
+        Experiments use this for the untimed initial data load (the paper
+        loads 1000·N values "in batches"); the measured operations are then
+        routed individually.  Returns the number of keys placed.
+        """
+        owners = sorted(self.peers.values(), key=lambda p: p.range.low)
+        bounds = [p.range.low for p in owners]
+        import bisect
+
+        placed = 0
+        for key in keys:
+            index = bisect.bisect_right(bounds, key) - 1
+            if index < 0:
+                index = 0
+            owner = owners[index]
+            if not owner.range.contains(key):
+                continue
+            owner.store.insert(key)
+            placed += 1
+        return placed
+
+    # -- shared protocol plumbing ------------------------------------------------
+
+    def count_message(
+        self, src: Address, dst: Address, mtype: MsgType, **payload: object
+    ) -> None:
+        """Count one protocol message on the bus (raises if dst is dead)."""
+        self.bus.send_typed(src, dst, mtype, **payload)
+
+    def broadcast_update(
+        self,
+        peer: BatonPeer,
+        exclude: Optional[set[Address]] = None,
+        mtype: MsgType = MsgType.TABLE_UPDATE,
+    ) -> int:
+        """Push ``peer``'s fresh snapshot to everything it links to.
+
+        All BATON link relations are symmetric, so a peer's own link set is
+        exactly the set of peers holding (now stale) information about it.
+        Deferred-aware; returns the number of messages sent.
+        """
+        excluded = exclude or set()
+        snapshot = peer.snapshot()
+        sent = 0
+        for target in peer.link_addresses():
+            if target in excluded or target == peer.address:
+                continue
+            receiver = self.peers.get(target)
+            if receiver is None:
+                continue
+
+            def apply(receiver: BatonPeer = receiver) -> None:
+                receiver.update_link_info(snapshot)
+
+            if self.updates.notify(peer.address, target, mtype, apply):
+                sent += 1
+        return sent
+
+    def open_trace(self, label: str):
+        """Context manager alias for :meth:`MessageBus.trace`."""
+        return self.bus.trace(label)
+
+    def new_trace(self, label: str) -> Trace:
+        """An empty trace (for operations that turn out to be no-ops)."""
+        return Trace(label=label)
+
+    # -- snapshots for experiments ------------------------------------------------
+
+    def load_snapshot(self) -> Dict[Address, int]:
+        """Store sizes per peer (load-balance experiments)."""
+        return {address: len(peer.store) for address, peer in self.peers.items()}
+
+    def leftmost_peer(self) -> BatonPeer:
+        """The peer owning the lowest range (no left adjacent)."""
+        if not self.peers:
+            raise NetworkEmptyError("network has no peers")
+        return min(self.peers.values(), key=lambda p: p.range.low)
+
+    def rightmost_peer(self) -> BatonPeer:
+        """The peer owning the highest range (no right adjacent)."""
+        if not self.peers:
+            raise NetworkEmptyError("network has no peers")
+        return max(self.peers.values(), key=lambda p: p.range.high)

@@ -1,0 +1,138 @@
+"""Adjacent-replica data durability (extension beyond the paper).
+
+§III-C restores a failed peer's *range* but its locally stored keys are
+lost — the paper does not replicate data.  This module adds the smallest
+extension that closes the gap, in the spirit of the overlay's own links:
+every peer's store is mirrored at its **right adjacent** node (the leftmost
+peer mirrors at its right adjacent too; the rightmost falls back to its
+left adjacent).  Repair then pulls the replica back when reassigning the
+dead peer's range.
+
+Consistency model: write-through for inserts and deletes (one extra
+:attr:`~repro.net.message.MsgType.REPLICATE` message per update), plus an
+explicit anti-entropy pass (:func:`refresh_replicas`) to re-anchor replicas
+after membership changes move ranges between peers.  That mirrors how such
+schemes deploy in practice: cheap incremental upkeep with a periodic full
+sweep.  A replica restored after heavy un-refreshed churn is best-effort:
+restoration filters to the dead peer's final range so structural invariants
+never regress.
+
+Enable with ``BatonConfig(replication=True)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from repro.core.peer import BatonPeer
+from repro.net.address import Address
+from repro.net.message import MsgType
+from repro.util.errors import PeerNotFoundError
+
+if TYPE_CHECKING:
+    from repro.core.network import BatonNetwork
+
+
+def replica_holder(net: "BatonNetwork", peer: BatonPeer) -> Optional[BatonPeer]:
+    """The live peer mirroring ``peer``'s store (right adjacent, else left)."""
+    for info in (peer.right_adjacent, peer.left_adjacent):
+        if info is not None and info.address in net.peers:
+            return net.peers[info.address]
+    return None
+
+
+def replicate_insert(net: "BatonNetwork", owner: BatonPeer, key: int) -> None:
+    """Write-through one inserted key to the owner's replica holder."""
+    holder = replica_holder(net, owner)
+    if holder is None:
+        return
+    try:
+        net.count_message(owner.address, holder.address, MsgType.REPLICATE, key=key)
+    except PeerNotFoundError:
+        return
+    holder.replicas.setdefault(owner.address, []).append(key)
+
+
+def replicate_delete(net: "BatonNetwork", owner: BatonPeer, key: int) -> None:
+    """Write-through one deleted key to the owner's replica holder."""
+    holder = replica_holder(net, owner)
+    if holder is None:
+        return
+    try:
+        net.count_message(owner.address, holder.address, MsgType.REPLICATE, key=key)
+    except PeerNotFoundError:
+        return
+    mirror = holder.replicas.get(owner.address)
+    if mirror is not None and key in mirror:
+        mirror.remove(key)
+
+
+def refresh_replicas(net: "BatonNetwork") -> int:
+    """Anti-entropy sweep: re-anchor every peer's replica at its current
+    adjacent.  Returns the number of messages spent (one per peer)."""
+    for peer in net.peers.values():
+        peer.replicas.clear()
+    messages = 0
+    for peer in net.peers.values():
+        holder = replica_holder(net, peer)
+        if holder is None:
+            continue
+        try:
+            net.count_message(
+                peer.address, holder.address, MsgType.REPLICATE, keys=len(peer.store)
+            )
+        except PeerNotFoundError:
+            continue
+        holder.replicas[peer.address] = list(peer.store)
+        messages += 1
+    return messages
+
+
+def restore_from_replica(
+    net: "BatonNetwork", ghost: BatonPeer, absorber: BatonPeer
+) -> int:
+    """During repair, pull the dead peer's mirrored keys into ``absorber``.
+
+    Only keys inside the absorber's (already merged) range are restored so
+    the store-containment invariant cannot regress on stale replicas.
+    Returns the number of keys recovered.
+    """
+    holder = _find_replica_holder(net, ghost)
+    if holder is None:
+        return 0
+    mirror = holder.replicas.pop(ghost.address, None)
+    if not mirror:
+        return 0
+    try:
+        net.count_message(
+            absorber.address, holder.address, MsgType.REPLICATE, keys=len(mirror)
+        )
+    except PeerNotFoundError:
+        return 0
+    recovered = [key for key in mirror if absorber.range.contains(key)]
+    absorber.store.extend(recovered)
+    # The recovered keys now live at the absorber: mirror them onward.
+    for key in recovered:
+        replicate_insert(net, absorber, key)
+    return len(recovered)
+
+
+def _find_replica_holder(
+    net: "BatonNetwork", ghost: BatonPeer
+) -> Optional[BatonPeer]:
+    """Locate whoever holds the dead peer's mirror.
+
+    The ghost's adjacent links name the holder directly; after concurrent
+    churn the links may be stale, so fall back to scanning (test-scale
+    networks only pay this on the rare stale path).
+    """
+    for info in (ghost.right_adjacent, ghost.left_adjacent):
+        if info is None:
+            continue
+        holder = net.peers.get(info.address)
+        if holder is not None and ghost.address in holder.replicas:
+            return holder
+    for peer in net.peers.values():
+        if ghost.address in peer.replicas:
+            return peer
+    return None

@@ -1,0 +1,480 @@
+"""Network restructuring (§III-E): in-order shifts that restore balance.
+
+When a join or departure is *forced* (load balancing, §IV-D) and would break
+Theorem 1's condition, the tree is rebalanced AVL-style by shifting peers
+along the in-order adjacency chain:
+
+* **Forced insert** — the newcomer takes the anchor's slot and each displaced
+  peer moves to its in-order successor's slot, until a displaced peer can
+  "park" as the left child of its successor (empty left-child slot at a node
+  with full tables, which by Theorem 1 accepts a child safely).
+* **Forced removal** — the vacated slot is filled from the in-order
+  predecessor side; each predecessor shifts one slot rightward until the
+  shift vacates a leaf slot whose removal is balance-safe.
+
+No data moves: ranges ride along with their peers, and because shifts follow
+the in-order chain the sorted order of ranges is preserved.  Every shifted
+peer then pays O(log N) messages to rebuild its links.
+
+Implementation note (see DESIGN.md): the chain walk itself uses only local
+adjacent links and is message-counted hop by hop.  The link *rebuild* after
+the moves recomputes affected peers' links from the global position map and
+charges each moved peer one message per rebuilt link — a documented
+cost-model substitution for the paper's pointer-surgery, chosen so the
+structural invariants are restorable and the message counts match the
+paper's O(log N)-per-moved-node claim.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, TYPE_CHECKING
+
+from repro.core.ids import Position
+from repro.core.links import LEFT, RIGHT, NodeInfo, RoutingTable
+from repro.core.peer import BatonPeer
+from repro.net.address import Address
+from repro.net.message import MsgType
+from repro.util.errors import PeerNotFoundError, ProtocolError
+
+if TYPE_CHECKING:
+    from repro.core.network import BatonNetwork
+
+
+# ---------------------------------------------------------------------------
+# Map-based geometry helpers (sanctioned global-map uses)
+# ---------------------------------------------------------------------------
+
+
+def inorder_neighbor_position(
+    net: "BatonNetwork", position: Position, side: str
+) -> Optional[Position]:
+    """In-order predecessor/successor slot among occupied positions."""
+    if side == RIGHT:
+        down, other = Position.right_child, Position.left_child
+        take_parent_when = "is_left_child"
+    else:
+        down, other = Position.left_child, Position.right_child
+        take_parent_when = "is_right_child"
+    subtree_root = down(position)
+    if net.occupant(subtree_root) is not None:
+        current = subtree_root
+        while net.occupant(other(current)) is not None:
+            current = other(current)
+        return current
+    current = position
+    while True:
+        parent = current.parent()
+        if parent is None:
+            return None
+        if getattr(current, take_parent_when):
+            return parent
+        current = parent
+
+
+def map_snapshot(
+    net: "BatonNetwork",
+    position: Optional[Position],
+    cache: Optional[dict] = None,
+    include_ghosts: bool = False,
+) -> Optional[NodeInfo]:
+    """Ground-truth :class:`NodeInfo` for a slot, straight from the map.
+
+    ``cache`` (scoped to one rebuild batch, during which occupancy and
+    ranges are stable) avoids recomputing hot slots; cached entries are
+    copied out because links must never be aliased between peers.
+
+    ``include_ghosts`` makes slots held by failed peers visible (with their
+    crash-time range): the repair coordinator needs them — a dead node's
+    dead child still owns its slot and its slice of the key space.
+    """
+    if position is None:
+        return None
+    if cache is not None and position in cache:
+        hit = cache[position]
+        return hit.copy() if hit is not None else None
+    address = net.occupant(position)
+    peer = net.peers.get(address) if address is not None else None
+    if peer is None and include_ghosts and address is not None:
+        peer = net.ghosts.get(address)
+    if peer is None:
+        snapshot = None  # empty slot (or invisible ghost)
+    else:
+        snapshot = NodeInfo(
+            address=address,
+            position=position,
+            range=peer.range,
+            left_child=net.occupant(position.left_child()),
+            right_child=net.occupant(position.right_child()),
+        )
+    if cache is not None:
+        cache[position] = snapshot
+        return snapshot.copy() if snapshot is not None else None
+    return snapshot
+
+
+def refresh_links_from_map(
+    net: "BatonNetwork",
+    peer: BatonPeer,
+    cache: Optional[dict] = None,
+    include_ghosts: bool = False,
+) -> None:
+    """Recompute every link of ``peer`` from the position map."""
+    position = peer.position
+    peer.parent = map_snapshot(net, position.parent(), cache, include_ghosts)
+    peer.left_child = map_snapshot(net, position.left_child(), cache, include_ghosts)
+    peer.right_child = map_snapshot(
+        net, position.right_child(), cache, include_ghosts
+    )
+    peer.left_adjacent = map_snapshot(
+        net, inorder_neighbor_position(net, position, LEFT), cache, include_ghosts
+    )
+    peer.right_adjacent = map_snapshot(
+        net, inorder_neighbor_position(net, position, RIGHT), cache, include_ghosts
+    )
+    peer.left_table = RoutingTable(owner=position, side=LEFT)
+    peer.right_table = RoutingTable(owner=position, side=RIGHT)
+    for side in (LEFT, RIGHT):
+        table = peer.table_on(side)
+        for index in table.valid_indices():
+            table.set(
+                index,
+                map_snapshot(net, table.position_at(index), cache, include_ghosts),
+            )
+
+
+def rebuild_after_moves(
+    net: "BatonNetwork",
+    movers: Sequence[BatonPeer],
+    pre_link_addresses: set[Address],
+    changed_slots: Optional[set[Position]] = None,
+) -> None:
+    """Restore link consistency around a set of moved peers.
+
+    Refreshes, in order: the movers themselves; every peer that linked to a
+    mover before or after the shift; and the linkers of every peer whose
+    *child attributes* changed (their entries about that peer are stale).
+    ``changed_slots`` — the set of tree slots whose occupancy changed — lets
+    callers scope that last ring precisely; without it the helper falls back
+    to the (safe, wider) linkers-of-the-whole-first-ring sweep.  Charges
+    each mover one RESTRUCTURE message per rebuilt link.
+    """
+    # Ghost-held slots stay linked: until repaired, a dead peer still owns
+    # its slot, and erasing links to it would let another repair move its
+    # parent away and orphan the slot.
+    include_ghosts = bool(net.ghosts)
+    cache: dict = {}
+    mover_addresses = {peer.address for peer in movers}
+    for peer in movers:
+        refresh_links_from_map(net, peer, cache, include_ghosts)
+
+    first_ring: set[Address] = set(pre_link_addresses)
+    for peer in movers:
+        first_ring.update(peer.link_addresses())
+    first_ring -= mover_addresses
+    for address in sorted(first_ring):
+        neighbor = net.peers.get(address)
+        if neighbor is not None:
+            refresh_links_from_map(net, neighbor, cache, include_ghosts)
+
+    # Entries *about* a peer go stale only when that peer's own attributes
+    # change; for non-movers that means "one of its child slots changed
+    # occupant".  Those parents sit in the first ring (already refreshed);
+    # here we refresh whoever links to them.
+    second_ring: set[Address] = set()
+    if changed_slots is not None:
+        changed_parents: set[Address] = set()
+        for slot in changed_slots:
+            parent_slot = slot.parent()
+            if parent_slot is None:
+                continue
+            address = net.occupant(parent_slot)
+            if address is not None and address not in mover_addresses:
+                changed_parents.add(address)
+        for address in sorted(changed_parents):
+            neighbor = net.peers.get(address)
+            if neighbor is not None:
+                second_ring.update(neighbor.link_addresses())
+    else:
+        for address in sorted(first_ring):
+            neighbor = net.peers.get(address)
+            if neighbor is not None:
+                second_ring.update(neighbor.link_addresses())
+    second_ring -= mover_addresses | first_ring
+    for address in sorted(second_ring):
+        neighbor = net.peers.get(address)
+        if neighbor is not None:
+            refresh_links_from_map(net, neighbor, cache, include_ghosts)
+
+    for peer in movers:
+        for target in peer.link_addresses():
+            try:
+                net.count_message(peer.address, target, MsgType.RESTRUCTURE)
+            except PeerNotFoundError:
+                continue
+
+
+# ---------------------------------------------------------------------------
+# Forced insert (rightward shift)
+# ---------------------------------------------------------------------------
+
+
+def _can_park_at(
+    net: "BatonNetwork", info: Optional[NodeInfo], direction: str
+) -> Optional[BatonPeer]:
+    """Directional parking test: an adjacent with the facing child slot
+    empty that can accept a child without violating Theorem 1."""
+    if info is None:
+        return None
+    peer = net.peers.get(info.address)
+    if peer is None:
+        return None
+    facing_child = peer.left_child if direction == RIGHT else peer.right_child
+    if facing_child is None and peer.tables_full():
+        return peer
+    return None
+
+
+def plan_insert_chain(
+    net: "BatonNetwork", anchor: BatonPeer, side: str, direction: str = RIGHT
+) -> tuple[List[BatonPeer], Position, bool]:
+    """Decide which peers shift along ``direction`` and where the last parks.
+
+    Returns ``(displaced, parking_position, safely_parked)``; the newcomer
+    will occupy the first displaced peer's slot (or, for an empty chain, the
+    parking slot directly).  ``safely_parked`` is False when the chain ran
+    off the extreme of the tree and parked without the Theorem 1 check.
+    Walks only adjacent links, one counted message per hop.
+
+    ``side`` says where the newcomer lands relative to the anchor in key
+    order (LEFT = immediately before it); ``direction`` which way existing
+    peers shift to make room.  Both directions preserve in-order order; the
+    caller may plan both and apply the shorter — the paper's observation
+    that "much smaller shifts ... at each end" usually suffice.
+    """
+    along = direction  # the adjacency pointer the walk follows
+    # Which peer is displaced first?  Shifting the same way the newcomer
+    # leans means the anchor itself moves; otherwise its neighbour does.
+    anchor_moves = (side == LEFT) == (direction == RIGHT)
+    if anchor_moves:
+        first: Optional[BatonPeer] = anchor
+    else:
+        neighbor_info = anchor.adjacent_on(along)
+        if neighbor_info is None:
+            # No neighbour that way: the newcomer slots in directly as the
+            # anchor's child on that side, no shifting required.
+            child_slot = (
+                anchor.position.right_child()
+                if direction == RIGHT
+                else anchor.position.left_child()
+            )
+            return [], child_slot, anchor.tables_full()
+        net.count_message(anchor.address, neighbor_info.address, MsgType.RESTRUCTURE)
+        first = net.peer(neighbor_info.address)
+    displaced: List[BatonPeer] = []
+    current = first
+    for _ in range(net.size + 2):
+        displaced.append(current)
+        next_info = current.adjacent_on(along)
+        parking_host = _can_park_at(net, next_info, direction)
+        if next_info is None:
+            # Displaced the extreme peer: it parks as the child of whoever
+            # takes its old slot, on the outward side.
+            slot = (
+                current.position.right_child()
+                if direction == RIGHT
+                else current.position.left_child()
+            )
+            return displaced, slot, False  # extreme fallback, unchecked
+        net.count_message(current.address, next_info.address, MsgType.RESTRUCTURE)
+        if parking_host is not None:
+            slot = (
+                parking_host.position.left_child()
+                if direction == RIGHT
+                else parking_host.position.right_child()
+            )
+            return displaced, slot, True
+        current = net.peer(next_info.address)
+    raise ProtocolError("insert-restructuring chain did not terminate")
+
+
+def apply_insert_chain(
+    net: "BatonNetwork",
+    newcomer: BatonPeer,
+    displaced: List[BatonPeer],
+    parking: Position,
+) -> None:
+    """Execute the planned shift and rebuild links. ``newcomer`` must not be
+    registered yet; displaced peers slide one slot toward ``parking``."""
+    pre_links: set[Address] = set()
+    for peer in displaced:
+        pre_links.update(peer.link_addresses())
+
+    old_positions = [peer.position for peer in displaced]
+    if displaced:
+        newcomer.move_to(old_positions[0])
+        new_positions = old_positions[1:] + [parking]
+        for peer, new_position in zip(displaced, new_positions):
+            old = peer.position
+            peer.move_to(new_position)
+            net.record_move(peer, old)
+    else:
+        newcomer.move_to(parking)
+    net.register_peer(newcomer)
+    changed_slots = set(old_positions) | {parking}
+    rebuild_after_moves(net, [newcomer] + displaced, pre_links, changed_slots)
+    net.stats.restructure_shift_sizes.append(len(displaced))
+
+
+# ---------------------------------------------------------------------------
+# Forced removal (fill the vacated slot by shifting predecessors right)
+# ---------------------------------------------------------------------------
+
+
+def _safe_to_vacate(peer: BatonPeer) -> bool:
+    """Whether removing this peer's slot keeps Theorem 1 satisfied."""
+    if not peer.is_leaf:
+        return False
+    return not peer.left_table.nodes_with_children() and not (
+        peer.right_table.nodes_with_children()
+    )
+
+
+def plan_removal_chain(
+    net: "BatonNetwork", start_info: Optional[NodeInfo], direction: str
+) -> Optional[List[BatonPeer]]:
+    """Peers that shift to fill a vacated slot, ending at a safe leaf.
+
+    ``direction`` is the side the chain walks toward (LEFT fills from
+    predecessors, the paper's default; RIGHT is the mirror fallback).
+    Returns None when no safe leaf exists in that direction.
+    """
+    chain: List[BatonPeer] = []
+    info = start_info
+    for _ in range(net.size + 2):
+        if info is None:
+            return None
+        peer = net.peers.get(info.address)
+        if peer is None:
+            return None
+        chain.append(peer)
+        if _safe_to_vacate(peer):
+            return chain
+        next_info = peer.adjacent_on(direction)
+        if next_info is not None:
+            net.count_message(peer.address, next_info.address, MsgType.RESTRUCTURE)
+        info = next_info
+    raise ProtocolError("removal-restructuring chain did not terminate")
+
+
+def apply_removal_chain(
+    net: "BatonNetwork",
+    vacated: Position,
+    chain: List[BatonPeer],
+    extra_pre_links: set[Address],
+) -> None:
+    """Shift ``chain`` so the first member fills ``vacated``; the last
+    member's old (safe leaf) slot disappears."""
+    pre_links: set[Address] = set(extra_pre_links)
+    for peer in chain:
+        pre_links.update(peer.link_addresses())
+    old_positions = [peer.position for peer in chain]
+    new_positions = [vacated] + old_positions[:-1]
+    for peer, new_position in zip(chain, new_positions):
+        old = peer.position
+        peer.move_to(new_position)
+        net.record_move(peer, old)
+    changed_slots = set(old_positions) | {vacated}
+    rebuild_after_moves(net, chain, pre_links, changed_slots)
+    net.stats.restructure_shift_sizes.append(len(chain))
+
+
+# ---------------------------------------------------------------------------
+# High-level forced operations used by load balancing
+# ---------------------------------------------------------------------------
+
+
+def forced_add_child(
+    net: "BatonNetwork",
+    parent: BatonPeer,
+    side: str,
+    peer: BatonPeer,
+) -> int:
+    """Attach ``peer`` as ``parent``'s child even if that forces a shift.
+
+    Used by §IV-D when a lightly loaded leaf rejoins under an overloaded
+    node.  Returns the number of peers shifted (0 for a clean join).
+    """
+    from repro.core import join as join_protocol
+
+    if parent.child_on(side) is None and parent.can_accept_child():
+        join_protocol.add_child(net, parent, side, peer=peer)
+        return 0
+    # Either Theorem 1 would be violated or the slot is taken (the anchor
+    # may have gained children while the recruit was departing): split the
+    # content, then shift the in-order chain.  The chain is well-defined
+    # for internal anchors too — occupants shuffle between slots while the
+    # slots keep their subtrees.
+
+    # Theorem 1 would be violated: split content, then shift.
+    pivot = join_protocol.choose_split_pivot(net, parent)
+    if side == LEFT:
+        child_range, parent_range = parent.range.split_at(pivot)
+        moved_keys = parent.store.split_below(pivot)
+    else:
+        parent_range, child_range = parent.range.split_at(pivot)
+        moved_keys = parent.store.split_at_or_above(pivot)
+    parent.range = parent_range
+    peer.range = child_range
+    peer.store.extend(moved_keys)
+
+    # Plan both shift directions; prefer a safely-parked chain, then the
+    # shorter one — the paper's shifts stay short because "suitable spots"
+    # are found near each end.
+    plans = [
+        plan_insert_chain(net, parent, side, RIGHT),
+        plan_insert_chain(net, parent, side, LEFT),
+    ]
+    plans.sort(key=lambda plan: (not plan[2], len(plan[0])))
+    displaced, parking, _safe = plans[0]
+    apply_insert_chain(net, peer, displaced, parking)
+    net.count_message(
+        parent.address, peer.address, MsgType.JOIN_TRANSFER, keys=len(moved_keys)
+    )
+    # The anchor's range shrank in the split; when it was not itself moved
+    # by the chain its linkers still hold the old range.
+    net.broadcast_update(parent)
+    return len(displaced)
+
+
+def depart_with_restructure(
+    net: "BatonNetwork", leaf: BatonPeer, content_target: str
+) -> int:
+    """Remove ``leaf`` even though its departure is not balance-safe.
+
+    Its range/content go to ``content_target`` (see
+    :func:`repro.core.leave.depart_leaf`); the vacated slot is filled by an
+    in-order shift.  Returns the number of peers shifted.
+    """
+    from repro.core import leave as leave_protocol
+
+    if not leaf.is_leaf:
+        raise ProtocolError("only leaves depart via restructuring")
+    leave_protocol._hand_over_content(net, leaf, content_target)
+    vacated = leaf.position
+    predecessor = leaf.left_adjacent
+    successor = leaf.right_adjacent
+    pre_links = set(leaf.link_addresses())
+    net.unregister_peer(leaf.address)
+
+    chain = plan_removal_chain(net, predecessor, LEFT)
+    alternative = plan_removal_chain(net, successor, RIGHT)
+    if chain is None or (alternative is not None and len(alternative) < len(chain)):
+        chain = alternative
+    if chain is None:
+        # Both directions exhausted: the tree is tiny; simply dropping the
+        # leaf slot cannot unbalance anything observable.
+        rebuild_after_moves(net, [], pre_links)
+        net.stats.restructure_shift_sizes.append(0)
+        return 0
+    apply_removal_chain(net, vacated, chain, pre_links)
+    return len(chain)

@@ -1,0 +1,114 @@
+"""Result objects returned by the public network operations.
+
+Every operation returns its :class:`~repro.net.bus.Trace` so experiments can
+read off "number of passing messages" per operation — the paper's metric —
+without poking at bus internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.net.address import Address
+from repro.net.bus import Trace
+
+
+@dataclass
+class JoinResult:
+    """Outcome of a node join."""
+
+    address: Address
+    parent: Address
+    find_trace: Trace
+    update_trace: Trace
+    restructure_moves: int = 0
+
+    @property
+    def total_messages(self) -> int:
+        return self.find_trace.total + self.update_trace.total
+
+
+@dataclass
+class LeaveResult:
+    """Outcome of a node departure."""
+
+    departed: Address
+    replacement: Optional[Address]
+    find_trace: Trace
+    update_trace: Trace
+    restructure_moves: int = 0
+
+    @property
+    def total_messages(self) -> int:
+        return self.find_trace.total + self.update_trace.total
+
+
+@dataclass
+class SearchResult:
+    """Outcome of an exact-match query."""
+
+    found: bool
+    owner: Address
+    trace: Trace
+
+
+@dataclass
+class RangeSearchResult:
+    """Outcome of a range query."""
+
+    owners: List[Address]
+    keys: List[int]
+    trace: Trace
+
+    @property
+    def nodes_visited(self) -> int:
+        return len(self.owners)
+
+
+@dataclass
+class DataOpResult:
+    """Outcome of an insert or delete."""
+
+    applied: bool
+    owner: Address
+    trace: Trace
+    balance_trace: Optional[Trace] = None
+    balance_moves: int = 0
+
+    @property
+    def total_messages(self) -> int:
+        total = self.trace.total
+        if self.balance_trace is not None:
+            total += self.balance_trace.total
+        return total
+
+
+@dataclass
+class RepairResult:
+    """Outcome of repairing a failed peer."""
+
+    failed: Address
+    replacement: Optional[Address]
+    trace: Trace
+
+
+@dataclass
+class BalanceEvent:
+    """One load-balancing episode (for Figures 8(g) and 8(h))."""
+
+    kind: str  # "adjacent" or "rejoin"
+    messages: int
+    shift_size: int = 0  # nodes moved by forced restructuring
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate counters a network keeps across its lifetime."""
+
+    joins: int = 0
+    leaves: int = 0
+    failures: int = 0
+    repairs: int = 0
+    restructure_shift_sizes: List[int] = field(default_factory=list)
+    balance_events: List[BalanceEvent] = field(default_factory=list)

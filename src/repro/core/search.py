@@ -1,0 +1,178 @@
+"""Query routing: exact-match and range search (§IV-A, §IV-B).
+
+The exact-match step at a node holding range ``[low, high)`` for value
+``v >= high`` is: jump to the *farthest* right-table neighbour whose lower
+bound does not exceed ``v``; failing that descend to the right child, else
+cross to the right adjacent node (mirror for the left).  Every hop at least
+halves the remaining search space, giving O(log N) hops without routing
+through the root.
+
+A range query routes like a point query for the first intersecting node,
+then expands along adjacent links — O(log N + X) for X covered nodes.
+
+Fault tolerance (§III-D): each step computes an ordered candidate list
+(greedy choice first, then nearer sideways entries, child, adjacent, parent);
+a hop to a dead peer costs its message and falls through to the next
+candidate, which is how queries route around failures while repair runs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, TYPE_CHECKING
+
+from repro.core.links import LEFT, RIGHT
+from repro.core.peer import BatonPeer
+from repro.core.results import RangeSearchResult, SearchResult
+from repro.net.address import Address
+from repro.net.message import MsgType
+from repro.util.errors import PeerNotFoundError, ProtocolError
+
+if TYPE_CHECKING:
+    from repro.core.network import BatonNetwork
+
+
+def search_exact(net: "BatonNetwork", start: Address, key: int) -> SearchResult:
+    """Route an exact-match query for ``key`` starting at ``start``."""
+    with net.open_trace("search.exact") as trace:
+        owner = route_to_owner(net, start, key, MsgType.SEARCH)
+        peer = net.peer(owner)
+        found = peer.range.contains(key) and key in peer.store
+    return SearchResult(found=found, owner=owner, trace=trace)
+
+
+def route_to_owner(
+    net: "BatonNetwork", start: Address, key: int, mtype: MsgType
+) -> Address:
+    """Walk the overlay to the peer whose range covers ``key``.
+
+    Returns the extreme (leftmost/rightmost) peer when ``key`` falls outside
+    the covered domain; callers that insert may then expand its range.
+    """
+    limit = _hop_limit(net)
+    current = start
+    for _ in range(limit):
+        peer = net.peer(current)
+        if peer.range.contains(key):
+            return current
+        primary, fallback = _hop_candidates(peer, key)
+        if not primary:
+            return current  # extreme node; key beyond the covered domain
+        next_hop = _first_live_hop(net, current, primary + fallback, mtype)
+        if next_hop is None:
+            if _network_degraded(net):
+                return current  # marooned next to the failure; best effort
+            raise ProtocolError(
+                f"all routes from {peer.position} toward {key} are dead"
+            )
+        current = next_hop
+    if _network_degraded(net):
+        # The owner itself is dead or routing state is still propagating:
+        # the query gives up (TTL) and reports the last peer reached.
+        return current
+    raise ProtocolError(f"search for {key} did not terminate")
+
+
+def _network_degraded(net: "BatonNetwork") -> bool:
+    """Whether unrepaired failures or in-flight updates can strand a query."""
+    return bool(net.ghosts) or net.updates.deferred or net.updates.pending_count > 0
+
+
+def _hop_limit(net: "BatonNetwork") -> int:
+    return 16 * max(net.size.bit_length(), 2) + 64
+
+
+def _hop_candidates(peer: BatonPeer, key: int) -> tuple[List[Address], List[Address]]:
+    """Next hops from ``peer`` toward ``key``: (primary, failure fallbacks).
+
+    Primary follows §IV-A — greedy farthest qualifying sideways entry, then
+    nearer ones (which only matter when the greedy pick is dead), then the
+    child, then the adjacent node.  The parent is never a primary: an
+    extreme node with no primary hop *is* the stopping point for an
+    out-of-domain key.  It serves only as a §III-D fallback around failures.
+    """
+    primary: List[Address] = []
+    if key >= peer.range.high:
+        table, child, adjacent = (
+            peer.right_table,
+            peer.right_child,
+            peer.right_adjacent,
+        )
+        entries = [
+            info
+            for _, info in sorted(table.entries.items(), reverse=True)
+            if info is not None and info.range.low <= key
+        ]
+    else:
+        table, child, adjacent = (
+            peer.left_table,
+            peer.left_child,
+            peer.left_adjacent,
+        )
+        entries = [
+            info
+            for _, info in sorted(table.entries.items(), reverse=True)
+            if info is not None and info.range.high > key
+        ]
+    primary.extend(info.address for info in entries)
+    if child is not None:
+        primary.append(child.address)
+    if adjacent is not None:
+        primary.append(adjacent.address)
+    fallback: List[Address] = []
+    if peer.parent is not None:
+        fallback.append(peer.parent.address)
+    seen: set[Address] = {peer.address}
+    deduped_primary: List[Address] = []
+    for address in primary:
+        if address not in seen:
+            seen.add(address)
+            deduped_primary.append(address)
+    deduped_fallback = [a for a in fallback if a not in seen]
+    return deduped_primary, deduped_fallback
+
+
+def _first_live_hop(
+    net: "BatonNetwork",
+    current: Address,
+    candidates: List[Address],
+    mtype: MsgType,
+) -> Optional[Address]:
+    """Try candidates in order; a hop to a dead peer is paid for and skipped."""
+    for candidate in candidates:
+        try:
+            net.count_message(current, candidate, mtype)
+        except PeerNotFoundError:
+            continue
+        return candidate
+    return None
+
+
+def search_range(
+    net: "BatonNetwork", start: Address, low: int, high: int
+) -> RangeSearchResult:
+    """Route a range query for [low, high) and expand over its owners."""
+    if low >= high:
+        raise ValueError(f"empty query range [{low}, {high})")
+    with net.open_trace("search.range") as trace:
+        first = route_to_owner(net, start, low, MsgType.RANGE_SEARCH)
+        owners: List[Address] = []
+        keys: List[int] = []
+        current: Optional[Address] = first
+        limit = _hop_limit(net) + net.size
+        for _ in range(limit):
+            if current is None:
+                break
+            peer = net.peer(current)
+            if peer.range.low >= high:
+                break
+            owners.append(current)
+            keys.extend(peer.store.keys_in(low, high))
+            if peer.range.high >= high or peer.right_adjacent is None:
+                break
+            next_hop = peer.right_adjacent.address
+            try:
+                net.count_message(current, next_hop, MsgType.RANGE_SEARCH)
+            except PeerNotFoundError:
+                break  # partial answer; repair will restore the chain
+            current = next_hop
+    return RangeSearchResult(owners=owners, keys=keys, trace=trace)

@@ -1,0 +1,113 @@
+"""Human-readable views of an overlay: ASCII tree, range map, table dump.
+
+Debugging aids (used by the CLI and handy in tests): none of this is part
+of the protocols, and like the invariant checker it may read the global
+position map.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, TYPE_CHECKING
+
+from repro.core.ids import Position
+
+if TYPE_CHECKING:
+    from repro.core.network import BatonNetwork
+
+
+def render_tree(net: "BatonNetwork", max_level: Optional[int] = None) -> str:
+    """An indented ASCII rendering of the occupied tree.
+
+    Each line shows ``(level,number) addr=A range=[lo,hi) keys=K`` with
+    children indented under their parent.
+    """
+    if not net.peers:
+        return "(empty network)"
+    lines: List[str] = []
+
+    def visit(position: Position, depth: int) -> None:
+        address = net.occupant(position)
+        if address is None:
+            return
+        if max_level is not None and position.level > max_level:
+            return
+        peer = net.peers.get(address)
+        if peer is None:
+            lines.append("  " * depth + f"{position} addr={address} (FAILED)")
+            return
+        lines.append(
+            "  " * depth
+            + f"{position} addr={address} range={peer.range} keys={len(peer.store)}"
+        )
+        visit(position.left_child(), depth + 1)
+        visit(position.right_child(), depth + 1)
+
+    visit(Position(0, 1), 0)
+    return "\n".join(lines)
+
+
+def render_range_map(net: "BatonNetwork", width: int = 72) -> str:
+    """The in-order partition as a proportional bar plus a legend.
+
+    Each peer owns a slice of the bar sized by its range width; the legend
+    lists the slices in key order.  Makes range skew visible at a glance.
+    """
+    if not net.peers:
+        return "(empty network)"
+    peers = sorted(net.peers.values(), key=lambda p: p.range.low)
+    total = peers[-1].range.high - peers[0].range.low
+    if total <= 0:
+        return "(degenerate domain)"
+    glyphs = "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+    bar: List[str] = []
+    for index, peer in enumerate(peers):
+        cells = max(1, round(width * peer.range.width / total))
+        bar.append(glyphs[index % len(glyphs)] * cells)
+    legend = [
+        f"  {glyphs[index % len(glyphs)]}: addr={peer.address} {peer.range} "
+        f"keys={len(peer.store)}"
+        for index, peer in enumerate(peers)
+    ]
+    return "|" + "".join(bar) + "|\n" + "\n".join(legend)
+
+
+def render_peer(net: "BatonNetwork", address) -> str:
+    """Everything one peer knows: links, tables, store summary."""
+    peer = net.peers.get(address)
+    if peer is None:
+        return f"peer {address} is not alive"
+    lines = [
+        f"peer addr={peer.address} at {peer.position}",
+        f"  range: {peer.range}   keys: {len(peer.store)}",
+        f"  parent: {peer.parent}",
+        f"  children: L={peer.left_child} R={peer.right_child}",
+        f"  adjacent: L={peer.left_adjacent} R={peer.right_adjacent}",
+    ]
+    for side in ("left", "right"):
+        table = peer.table_on(side)
+        lines.append(f"  {side} table:")
+        if not table.valid_indices():
+            lines.append("    (no slots at this position)")
+        for index in table.valid_indices():
+            entry = table.get(index)
+            slot = table.position_at(index)
+            lines.append(
+                f"    [{index}] slot {slot}: "
+                + (str(entry) if entry is not None else "null")
+            )
+    return "\n".join(lines)
+
+
+def level_histogram(net: "BatonNetwork") -> str:
+    """Peer count per level as an ASCII histogram."""
+    from collections import Counter
+
+    counts = Counter(peer.position.level for peer in net.peers.values())
+    if not counts:
+        return "(empty network)"
+    widest = max(counts.values())
+    lines = []
+    for level in sorted(counts):
+        bar = "#" * max(1, round(40 * counts[level] / widest))
+        lines.append(f"level {level:>2}: {counts[level]:>5} {bar}")
+    return "\n".join(lines)

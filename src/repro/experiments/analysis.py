@@ -1,0 +1,123 @@
+"""Post-hoc analysis of traffic: breakdowns, distributions, sparklines.
+
+Used by EXPERIMENTS.md's narrative and by anyone poking at a network in a
+REPL: where do an operation's messages go, how is load spread over peers,
+what does a distribution look like without leaving the terminal.
+"""
+
+from __future__ import annotations
+
+import statistics
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+from repro.net.bus import Trace
+from repro.net.message import MsgType
+
+
+@dataclass
+class TypeBreakdown:
+    """Message counts by category for a set of traces."""
+
+    total: int
+    by_type: Dict[str, int]
+
+    def to_text(self) -> str:
+        parts = [f"total={self.total}"]
+        for name, count in sorted(self.by_type.items(), key=lambda kv: -kv[1]):
+            parts.append(f"{name}={count}")
+        return "  ".join(parts)
+
+
+def breakdown(traces: Iterable[Trace]) -> TypeBreakdown:
+    """Aggregate message-type counts over many operation traces."""
+    counter: Counter = Counter()
+    total = 0
+    for trace in traces:
+        total += trace.total
+        for mtype, count in trace.by_type.items():
+            counter[mtype.value] += count
+    return TypeBreakdown(total=total, by_type=dict(counter))
+
+
+@dataclass
+class DistributionSummary:
+    """Five-number-ish summary of a sample."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    maximum: float
+
+    def to_text(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.2f} p50={self.p50:.2f} "
+            f"p95={self.p95:.2f} max={self.maximum:.2f}"
+        )
+
+
+def summarize(values: Sequence[float]) -> DistributionSummary:
+    """Summary statistics (zeros for an empty sample)."""
+    if not values:
+        return DistributionSummary(0, 0.0, 0.0, 0.0, 0.0)
+    ordered = sorted(values)
+    return DistributionSummary(
+        count=len(ordered),
+        mean=statistics.fmean(ordered),
+        p50=ordered[len(ordered) // 2],
+        p95=ordered[min(len(ordered) - 1, int(0.95 * (len(ordered) - 1)))],
+        maximum=ordered[-1],
+    )
+
+
+_SPARK_GLYPHS = " .:-=+*#%@"
+
+
+def sparkline(values: Sequence[float], width: int = 40) -> str:
+    """A coarse character sparkline of a series (resampled to ``width``)."""
+    if not values:
+        return ""
+    resampled: List[float] = []
+    for i in range(min(width, len(values))):
+        lo = i * len(values) // min(width, len(values))
+        hi = max(lo + 1, (i + 1) * len(values) // min(width, len(values)))
+        resampled.append(sum(values[lo:hi]) / (hi - lo))
+    peak = max(resampled)
+    if peak <= 0:
+        return _SPARK_GLYPHS[0] * len(resampled)
+    return "".join(
+        _SPARK_GLYPHS[min(len(_SPARK_GLYPHS) - 1, int(v / peak * (len(_SPARK_GLYPHS) - 1)))]
+        for v in resampled
+    )
+
+
+def histogram_text(values: Sequence[int], bucket_edges: Sequence[int]) -> str:
+    """ASCII histogram with explicit bucket edges (upper bounds)."""
+    if not values:
+        return "(no samples)"
+    buckets = [0] * (len(bucket_edges) + 1)
+    for value in values:
+        for index, edge in enumerate(bucket_edges):
+            if value <= edge:
+                buckets[index] += 1
+                break
+        else:
+            buckets[-1] += 1
+    widest = max(buckets) or 1
+    lines = []
+    lower = None
+    for index, count in enumerate(buckets):
+        if index < len(bucket_edges):
+            label = (
+                f"<= {bucket_edges[index]}"
+                if lower is None
+                else f"{lower + 1}-{bucket_edges[index]}"
+            )
+            lower = bucket_edges[index]
+        else:
+            label = f"> {bucket_edges[-1]}"
+        bar = "#" * max(0, round(30 * count / widest))
+        lines.append(f"{label:>10}: {count:>6} {bar}")
+    return "\n".join(lines)

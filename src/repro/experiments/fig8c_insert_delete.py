@@ -1,0 +1,69 @@
+"""Figure 8(c): messages per insert and per delete.
+
+Paper's reading: both systems route updates like exact-match queries, so
+BATON sits slightly above Chord (its tree height carries the 1.44 factor)
+and far below the multiway tree's hop-by-hop walks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.harness import (
+    ExperimentResult,
+    ExperimentScale,
+    build_baton,
+    build_chord,
+    build_multiway,
+    default_scale,
+    mean,
+)
+from repro.workloads.generators import uniform_keys
+
+EXPECTATION = (
+    "BATON slightly above Chord (1.44·log N vs log N), both ≪ multiway; "
+    "all grow logarithmically with N"
+)
+
+
+def run(scale: Optional[ExperimentScale] = None) -> ExperimentResult:
+    scale = scale or default_scale()
+    result = ExperimentResult(
+        figure="Fig 8c",
+        title="Insert and delete operations (avg messages)",
+        columns=["system", "N", "insert", "delete"],
+        expectation=EXPECTATION,
+    )
+    builders = {
+        "baton": build_baton,
+        "chord": build_chord,
+        "multiway": build_multiway,
+    }
+    for system, build in builders.items():
+        for n_peers in scale.sizes:
+            insert_costs = []
+            delete_costs = []
+            for seed in scale.seeds:
+                net = build(n_peers, seed, scale.data_per_node)
+                fresh = uniform_keys(scale.n_queries, seed=seed + 101)
+                for key in fresh:
+                    insert_costs.append(net.insert(key).trace.total)
+                for key in fresh:
+                    delete_costs.append(net.delete(key).trace.total)
+            result.add_row(
+                system=system,
+                N=n_peers,
+                insert=mean(insert_costs),
+                delete=mean(delete_costs),
+            )
+    return result
+
+
+def main() -> ExperimentResult:
+    result = run()
+    print(result.to_text())
+    return result
+
+
+if __name__ == "__main__":
+    main()

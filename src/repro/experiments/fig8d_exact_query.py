@@ -1,0 +1,72 @@
+"""Figure 8(d): messages per exact-match query.
+
+Paper's reading: BATON answers in O(log N) hops, marginally above Chord
+(tree height carries the 1.44 balance factor) and far below the multiway
+tree — which pays long horizontal walks for its minimal routing state.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.harness import (
+    ExperimentResult,
+    ExperimentScale,
+    build_baton,
+    build_chord,
+    build_multiway,
+    default_scale,
+    loaded_keys,
+    mean,
+)
+from repro.workloads.generators import exact_queries, uniform_keys
+
+EXPECTATION = (
+    "BATON ≈ Chord (slightly above, 1.44 factor), both ≪ multiway; all "
+    "logarithmic in N; every query answered correctly"
+)
+
+
+def run(scale: Optional[ExperimentScale] = None) -> ExperimentResult:
+    scale = scale or default_scale()
+    result = ExperimentResult(
+        figure="Fig 8d",
+        title="Exact match query (avg messages)",
+        columns=["system", "N", "messages", "hit_rate"],
+        expectation=EXPECTATION,
+    )
+    builders = {
+        "baton": build_baton,
+        "chord": build_chord,
+        "multiway": build_multiway,
+    }
+    for system, build in builders.items():
+        for n_peers in scale.sizes:
+            costs = []
+            hits = 0
+            total = 0
+            for seed in scale.seeds:
+                loaded = loaded_keys(n_peers, scale.data_per_node, seed)
+                net = build(n_peers, seed, scale.data_per_node)
+                for key in exact_queries(loaded, scale.n_queries, seed=seed + 31):
+                    search = net.search_exact(key)
+                    costs.append(search.trace.total)
+                    hits += int(search.found)
+                    total += 1
+            result.add_row(
+                system=system,
+                N=n_peers,
+                messages=mean(costs),
+                hit_rate=hits / total if total else 0.0,
+            )
+    return result
+
+
+def main() -> ExperimentResult:
+    result = run()
+    print(result.to_text())
+    return result
+
+
+if __name__ == "__main__":
+    main()

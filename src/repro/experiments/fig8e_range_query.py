@@ -1,0 +1,80 @@
+"""Figure 8(e): messages per range query.
+
+Paper's reading: BATON finds the first intersecting node in O(log N) hops
+and then pays O(1) per additional covered node — O(log N + X) total.  The
+multiway tree also supports ranges but spends more on both phases.  Chord
+is absent from the paper's panel because hashing destroys order; we include
+its only honest option — a full ring walk — as the O(N) cliff that
+motivates the whole line of work.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.harness import (
+    ExperimentResult,
+    ExperimentScale,
+    build_baton,
+    build_chord,
+    build_multiway,
+    default_scale,
+    loaded_keys,
+    mean,
+)
+from repro.workloads.generators import range_queries, uniform_keys
+
+EXPECTATION = (
+    "BATON ≈ O(log N + X) lowest; multiway above BATON; Chord (ring walk) "
+    "= O(N), off the chart — the paper omits it for this reason"
+)
+
+
+def run(scale: Optional[ExperimentScale] = None) -> ExperimentResult:
+    scale = scale or default_scale()
+    result = ExperimentResult(
+        figure="Fig 8e",
+        title="Range query (avg messages)",
+        columns=["system", "N", "messages", "answer_nodes"],
+        expectation=EXPECTATION,
+    )
+    builders = {
+        "baton": build_baton,
+        "multiway": build_multiway,
+        "chord_ring_walk": build_chord,
+    }
+    for system, build in builders.items():
+        for n_peers in scale.sizes:
+            costs = []
+            answer_nodes = []
+            for seed in scale.seeds:
+                loaded = loaded_keys(n_peers, scale.data_per_node, seed)
+                net = build(n_peers, seed, scale.data_per_node)
+                queries = range_queries(
+                    scale.n_queries, selectivity=0.002, seed=seed + 53
+                )
+                for low, high in queries:
+                    answer = net.search_range(low, high)
+                    costs.append(answer.trace.total)
+                    answer_nodes.append(
+                        answer.nodes_visited
+                        if hasattr(answer, "nodes_visited")
+                        else len(answer.owners)
+                    )
+            result.add_row(
+                system=system,
+                N=n_peers,
+                messages=mean(costs),
+                answer_nodes=mean(answer_nodes),
+            )
+    return result
+
+
+def main() -> ExperimentResult:
+    result = run()
+    print(result.to_text())
+    return result
+
+
+if __name__ == "__main__":
+    main()

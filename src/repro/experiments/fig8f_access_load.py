@@ -1,0 +1,86 @@
+"""Figure 8(f): access load of nodes at different tree levels.
+
+Paper's reading: the hallmark result — BATON does *not* overload the root.
+Insert load is roughly constant across levels, and search load is slightly
+*higher* at the leaves than at the root, because the exact-match algorithm
+routes sideways and downward and involves upper levels only when the answer
+lives there.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Optional
+
+from repro.experiments.harness import (
+    ExperimentResult,
+    ExperimentScale,
+    build_baton_equalized,
+    default_scale,
+    loaded_keys,
+)
+from repro.net.message import MsgType
+from repro.workloads.generators import exact_queries, uniform_keys
+
+EXPECTATION = (
+    "per-node insert load ≈ constant across levels; per-node search load "
+    "slightly higher at the leaves than at the root (no root hot-spot)"
+)
+
+
+def run(scale: Optional[ExperimentScale] = None) -> ExperimentResult:
+    scale = scale or default_scale()
+    # A mid-size network: the per-level profile is what matters here, and
+    # the routed-and-balanced loading this experiment requires (see
+    # build_baton_equalized) is the costliest builder in the suite.
+    n_peers = scale.sizes[len(scale.sizes) // 2]
+    result = ExperimentResult(
+        figure="Fig 8f",
+        title=f"Access load by tree level (N={n_peers})",
+        columns=["level", "nodes", "insert_per_node", "search_per_node"],
+        expectation=EXPECTATION,
+    )
+    insert_load: Counter = Counter()
+    search_load: Counter = Counter()
+    level_nodes: Counter = Counter()
+    for seed in scale.seeds:
+        loaded = loaded_keys(n_peers, scale.data_per_node, seed)
+        net = build_baton_equalized(n_peers, seed, scale.data_per_node)
+        # Reset traffic counters: only the measured streams below count.
+        from repro.net.bus import TrafficStats
+
+        net.bus.stats = TrafficStats()
+        for peer in net.peers.values():
+            level_nodes[peer.position.level] += 1
+        inserts = uniform_keys(scale.n_queries * 5, seed=seed + 11)
+        for key in inserts:
+            net.insert(key)
+        for key in exact_queries(loaded, scale.n_queries * 5, seed=seed + 13):
+            net.search_exact(key)
+        for level, count in net.bus.stats.level_load(MsgType.INSERT).items():
+            insert_load[level] += count
+        for level, count in net.bus.stats.level_load(MsgType.SEARCH).items():
+            search_load[level] += count
+    for level in sorted(level_nodes):
+        nodes = level_nodes[level]
+        result.add_row(
+            level=level,
+            nodes=nodes // len(scale.seeds),
+            insert_per_node=insert_load[level] / nodes,
+            search_per_node=search_load[level] / nodes,
+        )
+    result.notes.append(
+        "loads are messages handled per node at that level, averaged over "
+        f"{len(scale.seeds)} membership sequences"
+    )
+    return result
+
+
+def main() -> ExperimentResult:
+    result = run()
+    print(result.to_text())
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Figure 8(g): average messages spent on load balancing.
+
+Paper's reading: balancing traffic grows linearly with the number of
+inserts for skewed (Zipf 1.0) data and stays near zero for uniform data;
+the skewed overhead is still tiny per insertion (the paper reports roughly
+one balancing message per ~1500 insertions at its scale).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.experiments.balancing import BalancingRun, run_balancing
+from repro.experiments.harness import (
+    ExperimentResult,
+    ExperimentScale,
+    default_scale,
+    mean,
+)
+
+EXPECTATION = (
+    "zipf balancing messages grow ~linearly with #inserts and dominate "
+    "uniform; per-insert overhead stays small (amortized O(log N))"
+)
+
+
+def run(
+    scale: Optional[ExperimentScale] = None,
+    runs: Optional[List[BalancingRun]] = None,
+) -> ExperimentResult:
+    scale = scale or default_scale()
+    runs = runs if runs is not None else run_balancing(scale)
+    result = ExperimentResult(
+        figure="Fig 8g",
+        title="Load balancing messages, uniform vs Zipf(1.0)",
+        columns=[
+            "distribution",
+            "N",
+            "inserts",
+            "balance_events",
+            "balance_msgs",
+            "msgs_per_insert",
+        ],
+        expectation=EXPECTATION,
+    )
+    for distribution in ("uniform", "zipf"):
+        group = [r for r in runs if r.distribution == distribution]
+        if not group:
+            continue
+        inserts = group[0].inserts
+        result.add_row(
+            distribution=distribution,
+            N=group[0].n_peers,
+            inserts=inserts,
+            balance_events=mean([r.balance_events for r in group]),
+            balance_msgs=mean([r.balance_messages for r in group]),
+            msgs_per_insert=mean([r.balance_messages / r.inserts for r in group]),
+        )
+    # Timeline rows demonstrate the linear growth the paper plots.
+    for run_ in runs:
+        if run_.distribution != "zipf" or run_.seed != scale.seeds[0]:
+            continue
+        for inserted, cumulative in run_.timeline:
+            result.add_row(
+                distribution="zipf_timeline",
+                N=run_.n_peers,
+                inserts=inserted,
+                balance_events="",
+                balance_msgs=cumulative,
+                msgs_per_insert=cumulative / inserted,
+            )
+    return result
+
+
+def main() -> ExperimentResult:
+    result = run()
+    print(result.to_text())
+    return result
+
+
+if __name__ == "__main__":
+    main()

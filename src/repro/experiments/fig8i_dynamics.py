@@ -1,0 +1,121 @@
+"""Figure 8(i): effect of network dynamics (concurrent joins and leaves).
+
+Paper's reading: while the network digests a burst of simultaneous
+membership changes, routing knowledge is transiently stale, queries get
+forwarded to wrong (or gone) destinations, and each query pays extra
+messages; the more concurrent events, the more extra messages.
+
+Mechanics here: ``k`` peers depart abruptly while ``k`` join, queries run
+inside the window (stale links to the departed peers cost a wasted message
+plus recovery hops — §III-D's fault-tolerant routing), then repairs run and
+the structural invariants are re-verified.  The discrete-event engine
+(:mod:`repro.sim`) schedules the interleaving so event order is a seeded,
+reproducible shuffle of joins, departures and queries.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.invariants import collect_violations
+from repro.experiments.harness import (
+    ExperimentResult,
+    ExperimentScale,
+    build_baton,
+    default_scale,
+    loaded_keys,
+    mean,
+)
+from repro.sim.engine import Simulator
+from repro.sim.latency import ExponentialLatency
+from repro.util.rng import SeededRng
+from repro.workloads.generators import exact_queries, uniform_keys
+
+EXPECTATION = (
+    "extra messages per query grow with the number of concurrent "
+    "joins/leaves; zero violations after repairs"
+)
+
+CONCURRENCY_LEVELS = (2, 4, 8, 16, 32)
+
+
+def run(
+    scale: Optional[ExperimentScale] = None,
+    levels: tuple[int, ...] = CONCURRENCY_LEVELS,
+) -> ExperimentResult:
+    scale = scale or default_scale()
+    n_peers = scale.sizes[0]
+    result = ExperimentResult(
+        figure="Fig 8i",
+        title=f"Network dynamics: concurrent joins/leaves (N={n_peers})",
+        columns=["concurrent", "baseline", "during", "extra", "violations"],
+        expectation=EXPECTATION,
+    )
+    for k in levels:
+        baselines = []
+        durings = []
+        violations = 0
+        for seed in scale.seeds:
+            loaded = loaded_keys(n_peers, scale.data_per_node, seed)
+            net = build_baton(n_peers, seed, scale.data_per_node)
+            queries = exact_queries(loaded, scale.n_queries, seed=seed + 97)
+            baselines.append(
+                mean([net.search_exact(q).trace.total for q in queries])
+            )
+            during = _churn_window(net, k, queries, seed)
+            durings.append(during)
+            net.repair_all()
+            violations += len(collect_violations(net))
+        result.add_row(
+            concurrent=k,
+            baseline=mean(baselines),
+            during=mean(durings),
+            extra=mean(durings) - mean(baselines),
+            violations=violations,
+        )
+    return result
+
+
+def _churn_window(net, k: int, queries, seed: int) -> float:
+    """Interleave k failures, k joins and the query stream on a DES timeline."""
+    rng = SeededRng(seed + 131)
+    latency = ExponentialLatency(mean=1.0, rng=rng.child("latency"))
+    sim = Simulator()
+    costs: list[int] = []
+
+    def do_fail() -> None:
+        live = [a for a in net.addresses()]
+        if len(live) > 2:
+            net.fail(rng.choice(live))
+
+    def do_join() -> None:
+        net.join()
+
+    def make_query(key: int):
+        def do_query() -> None:
+            costs.append(net.search_exact(key).trace.total)
+
+        return do_query
+
+    for _ in range(k):
+        sim.schedule(latency.sample(), do_fail, label="fail")
+        sim.schedule(latency.sample(), do_join, label="join")
+    window_span = 2.0  # churn events land within ~2 mean latencies
+    for i, key in enumerate(queries):
+        sim.schedule(
+            rng.uniform(0, window_span) + latency.sample(),
+            make_query(key),
+            label="query",
+        )
+    sim.run()
+    return mean(costs)
+
+
+def main() -> ExperimentResult:
+    result = run()
+    print(result.to_text())
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+"""Shared measurement of join/leave costs across the three systems.
+
+Figures 8(a) and 8(b) read different halves of the same trials: (a) the
+messages spent *finding* the join position or the replacement node, (b) the
+messages spent *updating routing state* afterwards.  Run the trials once,
+report both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+from repro.experiments.harness import (
+    ExperimentScale,
+    build_baton,
+    build_chord,
+    build_multiway,
+    mean,
+)
+
+
+@dataclass
+class MembershipCosts:
+    """Average message counts for one (system, size, seed) cell."""
+
+    system: str
+    n_peers: int
+    seed: int
+    join_find: float
+    join_update: float
+    leave_find: float
+    leave_update: float
+
+
+def measure_membership(
+    scale: ExperimentScale, systems: tuple[str, ...] = ("baton", "chord", "multiway")
+) -> List[MembershipCosts]:
+    """Run join/leave trials for every (system, size, seed) cell."""
+    builders: dict[str, Callable] = {
+        "baton": build_baton,
+        "chord": build_chord,
+        "multiway": build_multiway,
+    }
+    cells: List[MembershipCosts] = []
+    for system in systems:
+        build = builders[system]
+        for n_peers in scale.sizes:
+            for seed in scale.seeds:
+                net = build(n_peers, seed, data_per_node=0)
+                join_find: List[int] = []
+                join_update: List[int] = []
+                leave_find: List[int] = []
+                leave_update: List[int] = []
+                joined: List = []
+                for _ in range(scale.n_trials):
+                    result = net.join()
+                    join_find.append(result.find_trace.total)
+                    join_update.append(result.update_trace.total)
+                    joined.append(result.address)
+                for _ in range(scale.n_trials):
+                    if system == "baton":
+                        victim = net.random_peer_address()
+                    else:
+                        victim = net.random_node_address()
+                    result = net.leave(victim)
+                    leave_find.append(result.find_trace.total)
+                    leave_update.append(result.update_trace.total)
+                cells.append(
+                    MembershipCosts(
+                        system=system,
+                        n_peers=n_peers,
+                        seed=seed,
+                        join_find=mean(join_find),
+                        join_update=mean(join_update),
+                        leave_find=mean(leave_find),
+                        leave_update=mean(leave_update),
+                    )
+                )
+    return cells
+
+
+def aggregate(
+    cells: List[MembershipCosts], system: str, n_peers: int
+) -> MembershipCosts:
+    """Average the per-seed cells of one (system, size) point."""
+    group = [c for c in cells if c.system == system and c.n_peers == n_peers]
+    return MembershipCosts(
+        system=system,
+        n_peers=n_peers,
+        seed=-1,
+        join_find=mean([c.join_find for c in group]),
+        join_update=mean([c.join_update for c in group]),
+        leave_find=mean([c.leave_find for c in group]),
+        leave_update=mean([c.leave_update for c in group]),
+    )

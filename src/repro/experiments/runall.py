@@ -1,0 +1,79 @@
+"""Run every Figure-8 experiment and print (or save) the results.
+
+Usage::
+
+    python -m repro.experiments.runall            # laptop scale
+    REPRO_FULL_SCALE=1 python -m repro.experiments.runall
+    python -m repro.experiments.runall --quick    # smoke scale
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List
+
+from repro.experiments import harness
+from repro.experiments import (
+    fig8a_join_leave_find,
+    fig8b_table_updates,
+    fig8c_insert_delete,
+    fig8d_exact_query,
+    fig8e_range_query,
+    fig8f_access_load,
+    fig8g_load_balancing,
+    fig8h_shift_sizes,
+    fig8i_dynamics,
+)
+from repro.experiments.balancing import run_balancing
+from repro.experiments.harness import ExperimentResult
+from repro.experiments.membership import measure_membership
+
+
+def run_all(scale=None, quick: bool = False) -> List[ExperimentResult]:
+    """Execute every driver, sharing trial data where figures overlap."""
+    if scale is None:
+        scale = harness.quick_scale() if quick else harness.default_scale()
+    results: List[ExperimentResult] = []
+
+    membership_cells = measure_membership(scale)
+    results.append(fig8a_join_leave_find.run(scale, cells=membership_cells))
+    results.append(fig8b_table_updates.run(scale, cells=membership_cells))
+    results.append(fig8c_insert_delete.run(scale))
+    results.append(fig8d_exact_query.run(scale))
+    results.append(fig8e_range_query.run(scale))
+    results.append(fig8f_access_load.run(scale))
+
+    balancing_runs = run_balancing(scale)
+    results.append(fig8g_load_balancing.run(scale, runs=balancing_runs))
+    results.append(
+        fig8h_shift_sizes.run(
+            scale, runs=[r for r in balancing_runs if r.distribution == "zipf"]
+        )
+    )
+    levels = (2, 4) if quick else fig8i_dynamics.CONCURRENCY_LEVELS
+    results.append(fig8i_dynamics.run(scale, levels=levels))
+    return results
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="smoke-test scale")
+    parser.add_argument("--out", default=None, help="also write results to a file")
+    args = parser.parse_args(argv)
+
+    started = time.time()
+    results = run_all(quick=args.quick)
+    body = "\n\n".join(result.to_text() for result in results)
+    elapsed = time.time() - started
+    footer = f"\n\nall experiments completed in {elapsed:.1f}s"
+    print(body + footer)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(body + footer + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

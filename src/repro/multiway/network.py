@@ -1,0 +1,504 @@
+"""The multiway tree overlay: joins, expensive leaves, hop-by-hop search.
+
+Message accounting matches the other two systems so the experiments can
+read all three with the same harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.ranges import Range
+from repro.core.results import DataOpResult, JoinResult, LeaveResult, SearchResult
+from repro.multiway.node import ChildLink, MultiwayNode
+from repro.net.address import Address, AddressAllocator
+from repro.net.bus import MessageBus, Trace
+from repro.net.message import MsgType
+from repro.util.errors import NetworkEmptyError, ProtocolError
+from repro.util.rng import SeededRng
+
+
+@dataclass
+class MultiwayConfig:
+    """Tree-wide settings.
+
+    ``fanout`` caps how many children a node accepts before forwarding a
+    join downward.  Reference [10] places no constraint on fan-out; the
+    BATON paper's discussion (§V-A) covers both regimes — generous fan-out
+    makes joins cheap and leaves expensive, small fan-out the reverse —
+    so the cap is a parameter here (an ablation knob for Figure 8(a)).
+    """
+
+    fanout: int = 6
+    domain: Range = None  # type: ignore[assignment]
+    split_policy: str = "median"
+
+    def __post_init__(self) -> None:
+        if self.domain is None:
+            self.domain = Range.full_domain()
+        if self.fanout < 2:
+            raise ValueError("fanout must be at least 2")
+
+
+@dataclass
+class MultiwayRangeResult:
+    """Outcome of a multiway range query."""
+
+    keys: List[int]
+    nodes_visited: int
+    trace: Trace
+
+
+class MultiwayNetwork:
+    """A simulated multiway-tree overlay."""
+
+    def __init__(self, config: Optional[MultiwayConfig] = None, seed: int = 0):
+        self.config = config or MultiwayConfig()
+        self.rng = SeededRng(seed)
+        self.bus = MessageBus()
+        self.alloc = AddressAllocator()
+        self.nodes: Dict[Address, MultiwayNode] = {}
+        self.root: Optional[Address] = None
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return len(self.nodes)
+
+    def node(self, address: Address) -> MultiwayNode:
+        return self.nodes[address]
+
+    def random_node_address(self) -> Address:
+        if not self.nodes:
+            raise NetworkEmptyError("tree has no nodes")
+        return self.rng.choice(sorted(self.nodes))
+
+    @classmethod
+    def build(
+        cls, n_nodes: int, seed: int = 0, config: Optional[MultiwayConfig] = None
+    ) -> "MultiwayNetwork":
+        if n_nodes < 1:
+            raise ValueError("need at least one node")
+        net = cls(config=config, seed=seed)
+        net.bootstrap()
+        for _ in range(n_nodes - 1):
+            net.join()
+        return net
+
+    # -- construction ----------------------------------------------------------
+
+    def bootstrap(self) -> Address:
+        if self.nodes:
+            raise ValueError("tree is already bootstrapped")
+        node = MultiwayNode(self.alloc.allocate(), 0, self.config.domain)
+        self.nodes[node.address] = node
+        self.bus.register(node.address)
+        self.root = node.address
+        return node.address
+
+    def join(self, via: Optional[Address] = None) -> JoinResult:
+        """Descend from the contact node to a parent with spare fan-out."""
+        entry = via if via is not None else self.random_node_address()
+        with self.bus.trace("multiway.join.find") as find_trace:
+            current = entry
+            limit = self.size + 8
+            for _ in range(limit):
+                node = self.nodes[current]
+                if len(node.children) < self.config.fanout and node.range.width >= 2:
+                    break
+                if node.children:
+                    link = self.rng.choice(node.children)
+                    next_hop = link.address
+                elif node.parent is not None:
+                    next_hop = node.parent  # range too narrow to split: back up
+                else:
+                    raise ProtocolError("multiway join found no splittable node")
+                self.bus.send_typed(current, next_hop, MsgType.JOIN_FIND)
+                current = next_hop
+            else:
+                raise ProtocolError("multiway join did not find a parent")
+        with self.bus.trace("multiway.join.update") as update_trace:
+            child = self._accept_child(self.nodes[current])
+        return JoinResult(
+            address=child.address,
+            parent=current,
+            find_trace=find_trace,
+            update_trace=update_trace,
+        )
+
+    def _split_pivot(self, node: MultiwayNode) -> int:
+        if node.range.width < 2:
+            raise ProtocolError(f"range {node.range} too narrow to split")
+        if self.config.split_policy == "median":
+            median = node.store.median()
+            if median is not None and node.range.low < median < node.range.high:
+                return median
+        return node.range.midpoint()
+
+    def _accept_child(self, parent: MultiwayNode) -> MultiwayNode:
+        """Hand the upper half of the parent's own range to a new child."""
+        pivot = self._split_pivot(parent)
+        parent_range, child_range = parent.range.split_at(pivot)
+        moved = parent.store.split_at_or_above(pivot)
+        parent.range = parent_range
+
+        child = MultiwayNode(self.alloc.allocate(), parent.level + 1, child_range)
+        child.store.extend(moved)
+        child.parent = parent.address
+        self.nodes[child.address] = child
+        self.bus.register(child.address)
+        self.bus.send_typed(
+            parent.address, child.address, MsgType.JOIN_TRANSFER, keys=len(moved)
+        )
+
+        # Children stay ordered by coverage; the newcomer's coverage is the
+        # range it was just handed.
+        link = ChildLink(address=child.address, coverage=child_range)
+        parent.children.append(link)
+        parent.children.sort(key=lambda item: item.coverage.low)
+        self._wire_neighbors(parent, child)
+        return child
+
+    def _wire_neighbors(self, parent: MultiwayNode, child: MultiwayNode) -> None:
+        """Splice the new child into its level's neighbour chain.
+
+        The left neighbour is the previous child of this parent in coverage
+        order, or the rightmost child of the parent's left neighbour — one
+        extra message either way, matching [10]'s local link maintenance.
+        """
+        index = next(
+            i for i, link in enumerate(parent.children) if link.address == child.address
+        )
+        left: Optional[Address] = None
+        if index > 0:
+            left = parent.children[index - 1].address
+        elif parent.left_neighbor is not None:
+            uncle = self.nodes.get(parent.left_neighbor)
+            if uncle is not None and uncle.children:
+                self.bus.send_typed(parent.address, uncle.address, MsgType.TABLE_UPDATE)
+                left = uncle.children[-1].address
+        if left is not None and left in self.nodes:
+            # Splice into the doubly-linked level chain right after `left`.
+            left_node = self.nodes[left]
+            right = left_node.right_neighbor
+            child.left_neighbor = left
+            child.right_neighbor = right
+            self.bus.send_typed(child.address, left, MsgType.TABLE_UPDATE)
+            left_node.right_neighbor = child.address
+            if right is not None and right in self.nodes:
+                self.bus.send_typed(child.address, right, MsgType.TABLE_UPDATE)
+                self.nodes[right].left_neighbor = child.address
+            return
+        right: Optional[Address] = None
+        if index < len(parent.children) - 1:
+            right = parent.children[index + 1].address
+        elif parent.right_neighbor is not None:
+            uncle = self.nodes.get(parent.right_neighbor)
+            if uncle is not None and uncle.children:
+                self.bus.send_typed(parent.address, uncle.address, MsgType.TABLE_UPDATE)
+                right = uncle.children[0].address
+        if right is not None and right in self.nodes:
+            # Splice right before `right`.
+            right_node = self.nodes[right]
+            far_left = right_node.left_neighbor
+            child.right_neighbor = right
+            child.left_neighbor = far_left
+            self.bus.send_typed(child.address, right, MsgType.TABLE_UPDATE)
+            right_node.left_neighbor = child.address
+            if far_left is not None and far_left in self.nodes:
+                self.bus.send_typed(child.address, far_left, MsgType.TABLE_UPDATE)
+                self.nodes[far_left].right_neighbor = child.address
+
+    # -- departure ---------------------------------------------------------------
+
+    def leave(self, address: Address) -> LeaveResult:
+        """Graceful departure; §V-A's expensive multi-child consultation."""
+        node = self.nodes[address]
+        if self.size == 1:
+            with self.bus.trace("multiway.leave.update") as update_trace:
+                del self.nodes[address]
+                self.bus.unregister(address)
+                self.root = None
+            return LeaveResult(
+                departed=address,
+                replacement=None,
+                find_trace=Trace(label="multiway.leave.find"),
+                update_trace=update_trace,
+            )
+        with self.bus.trace("multiway.leave.find") as find_trace:
+            replacement_address = self._find_replacement_leaf(node)
+        with self.bus.trace("multiway.leave.update") as update_trace:
+            if replacement_address is None:
+                self._detach_leaf(node)
+                replacement = None
+            else:
+                replacement = self.nodes[replacement_address]
+                self._detach_leaf(replacement)
+                self._transplant(node, replacement)
+        return LeaveResult(
+            departed=address,
+            replacement=replacement_address,
+            find_trace=find_trace,
+            update_trace=update_trace,
+        )
+
+    def _find_replacement_leaf(self, node: MultiwayNode) -> Optional[Address]:
+        """Descend to a leaf, querying *all* children at every level.
+
+        This is the cost centre the paper calls out: each step costs one
+        message per child (gathering their states) before one is chosen.
+        """
+        if node.is_leaf:
+            return None
+        current = node
+        limit = self.size + 8
+        for _ in range(limit):
+            best: Optional[MultiwayNode] = None
+            for link in current.children:
+                self.bus.send_typed(current.address, link.address, MsgType.LEAVE_FIND)
+                candidate = self.nodes[link.address]
+                if best is None or len(candidate.children) < len(best.children):
+                    best = candidate
+            if best is None:
+                return current.address
+            if best.is_leaf:
+                return best.address
+            current = best
+        raise ProtocolError("multiway replacement walk did not terminate")
+
+    def _detach_leaf(self, leaf: MultiwayNode) -> None:
+        """Unhook a leaf; its interval flows to its in-order predecessor.
+
+        The parent's own range is always the *lowest* segment of its
+        coverage, so the segment just below the leaf's interval exists
+        inside the parent's subtree: either the parent itself (the leaf was
+        the most recent hand-out) or a node deeper in a sibling subtree,
+        reached by routing — whose coverage chain up to the parent must then
+        be widened.  All of it costs counted messages, which is exactly the
+        "leave is expensive" behaviour §V-A reports for this structure.
+        """
+        if leaf.parent is None:
+            raise ProtocolError("cannot detach the root as a leaf")
+        parent = self.nodes[leaf.parent]
+        link = parent.child_link_to(leaf.address)
+        parent.children.remove(link)
+
+        if parent.range.high == leaf.coverage.low:
+            absorber = parent
+        else:
+            absorber = self.nodes[
+                self._route(
+                    parent.address, leaf.coverage.low - 1, MsgType.LEAVE_TRANSFER
+                )
+            ]
+        self.bus.send_typed(
+            leaf.address, absorber.address, MsgType.LEAVE_TRANSFER, keys=len(leaf.store)
+        )
+        absorber.store.extend(leaf.store.clear())
+        absorber.range = absorber.range.merge(leaf.coverage)
+
+        # Widen coverages (and the parents' child links) from the absorber
+        # up to — but not including — the departing leaf's parent.
+        current = absorber
+        while current.address != parent.address:
+            current.coverage = Range(
+                current.coverage.low, max(current.coverage.high, leaf.coverage.high)
+            )
+            if current.parent is None:
+                break
+            holder = self.nodes[current.parent]
+            holder_link = holder.child_link_to(current.address)
+            if holder_link is not None:
+                self.bus.send_typed(
+                    current.address, holder.address, MsgType.TABLE_UPDATE
+                )
+                holder_link.coverage = current.coverage
+            current = holder
+
+        for side_address, point_right in (
+            (leaf.left_neighbor, True),
+            (leaf.right_neighbor, False),
+        ):
+            if side_address is None or side_address not in self.nodes:
+                continue
+            self.bus.send_typed(leaf.address, side_address, MsgType.LEAVE_TRANSFER)
+            neighbor = self.nodes[side_address]
+            if point_right:
+                neighbor.right_neighbor = leaf.right_neighbor
+            else:
+                neighbor.left_neighbor = leaf.left_neighbor
+        del self.nodes[leaf.address]
+        self.bus.unregister(leaf.address)
+
+    def _transplant(self, departing: MultiwayNode, replacement: MultiwayNode) -> None:
+        """The replacement assumes the departing node's place and content."""
+        self.nodes[replacement.address] = replacement
+        self.bus.register(replacement.address)
+        self.bus.send_typed(
+            departing.address,
+            replacement.address,
+            MsgType.LEAVE_TRANSFER,
+            keys=len(departing.store),
+        )
+        replacement.level = departing.level
+        replacement.range = departing.range
+        replacement.coverage = departing.coverage
+        replacement.store = departing.store
+        replacement.parent = departing.parent
+        replacement.children = departing.children
+        replacement.left_neighbor = departing.left_neighbor
+        replacement.right_neighbor = departing.right_neighbor
+
+        snapshot_children = list(replacement.children)
+        if replacement.parent is not None and replacement.parent in self.nodes:
+            parent = self.nodes[replacement.parent]
+            link = parent.child_link_to(departing.address)
+            if link is not None:
+                self.bus.send_typed(
+                    replacement.address, parent.address, MsgType.TABLE_UPDATE
+                )
+                link.address = replacement.address
+        for link in snapshot_children:
+            if link.address in self.nodes:
+                self.bus.send_typed(
+                    replacement.address, link.address, MsgType.TABLE_UPDATE
+                )
+                self.nodes[link.address].parent = replacement.address
+        for side_address, point_right in (
+            (replacement.left_neighbor, True),
+            (replacement.right_neighbor, False),
+        ):
+            if side_address is None or side_address not in self.nodes:
+                continue
+            self.bus.send_typed(replacement.address, side_address, MsgType.TABLE_UPDATE)
+            neighbor = self.nodes[side_address]
+            if point_right:
+                neighbor.right_neighbor = replacement.address
+            else:
+                neighbor.left_neighbor = replacement.address
+        if self.root == departing.address:
+            self.root = replacement.address
+        del self.nodes[departing.address]
+        self.bus.unregister(departing.address)
+
+    # -- search -------------------------------------------------------------------
+
+    def _route(self, start: Address, key: int, mtype: MsgType) -> Address:
+        """Hop link by link toward the owner of ``key`` (§V-B's cost).
+
+        Same-level coverages are not contiguous — the interval between two
+        neighbours may be managed by a shallower ancestor — so a sideways
+        step that would bounce straight back instead climbs to the parent.
+        """
+        current = start
+        previous: Optional[Address] = None
+        limit = 4 * self.size + 32
+        for _ in range(limit):
+            node = self.nodes[current]
+            if node.range.contains(key):
+                return current
+            next_hop: Optional[Address] = None
+            if node.coverage.contains(key):
+                child = node.child_covering(key)
+                if child is not None:
+                    next_hop = child.address
+            elif key < node.coverage.low:
+                next_hop = node.left_neighbor or node.parent
+            else:
+                next_hop = node.right_neighbor or node.parent
+            if next_hop == previous or next_hop is None:
+                next_hop = node.parent
+            if next_hop is None:
+                raise ProtocolError(f"multiway routing stuck at {node!r} for {key}")
+            self.bus.send_typed(current, next_hop, mtype)
+            previous, current = current, next_hop
+        raise ProtocolError(f"multiway search for {key} did not terminate")
+
+    def search_exact(self, key: int, via: Optional[Address] = None) -> SearchResult:
+        entry = via if via is not None else self.random_node_address()
+        with self.bus.trace("multiway.search") as trace:
+            owner = self._route(entry, key, MsgType.SEARCH)
+            found = key in self.nodes[owner].store
+        return SearchResult(found=found, owner=owner, trace=trace)
+
+    def search_range(
+        self, low: int, high: int, via: Optional[Address] = None
+    ) -> MultiwayRangeResult:
+        """Collect [low, high) by climbing to a covering node, then fanning
+        out over every intersecting child subtree (one message per visit)."""
+        if low >= high:
+            raise ValueError(f"empty query range [{low}, {high})")
+        entry = via if via is not None else self.random_node_address()
+        with self.bus.trace("multiway.range") as trace:
+            current = self.nodes[self._route(entry, low, MsgType.RANGE_SEARCH)]
+            # Climb until the subtree coverage spans the query (or root).
+            while current.parent is not None and current.coverage.high < high:
+                self.bus.send_typed(
+                    current.address, current.parent, MsgType.RANGE_SEARCH
+                )
+                current = self.nodes[current.parent]
+            keys: List[int] = []
+            visited = 0
+            stack = [current.address]
+            query = Range(low, high)
+            while stack:
+                address = stack.pop()
+                node = self.nodes[address]
+                visited += 1
+                keys.extend(node.store.keys_in(low, high))
+                for link in node.children:
+                    if link.coverage.overlaps(query):
+                        self.bus.send_typed(address, link.address, MsgType.RANGE_SEARCH)
+                        stack.append(link.address)
+        return MultiwayRangeResult(keys=sorted(keys), nodes_visited=visited, trace=trace)
+
+    # -- data ------------------------------------------------------------------------
+
+    def insert(self, key: int, via: Optional[Address] = None) -> DataOpResult:
+        entry = via if via is not None else self.random_node_address()
+        with self.bus.trace("multiway.insert") as trace:
+            owner = self._route_for_update(entry, key, MsgType.INSERT)
+            self.nodes[owner].store.insert(key)
+        return DataOpResult(applied=True, owner=owner, trace=trace)
+
+    def delete(self, key: int, via: Optional[Address] = None) -> DataOpResult:
+        entry = via if via is not None else self.random_node_address()
+        with self.bus.trace("multiway.delete") as trace:
+            owner = self._route_for_update(entry, key, MsgType.DELETE)
+            applied = self.nodes[owner].store.delete(key)
+        return DataOpResult(applied=applied, owner=owner, trace=trace)
+
+    def _route_for_update(self, start: Address, key: int, mtype: MsgType) -> Address:
+        """Route an update; out-of-domain keys expand the root's coverage."""
+        if not self.config.domain.contains(key):
+            root = self.nodes[self.root]
+            if key < root.coverage.low or key >= root.coverage.high:
+                root.coverage = root.coverage.extend_to_include(key)
+                root.range = root.range.extend_to_include(key)
+                return self.root
+        return self._route(start, key, mtype)
+
+    def bulk_load(self, keys: List[int]) -> int:
+        """Place keys at their owners without routed messages (untimed load)."""
+        owners = sorted(self.nodes.values(), key=lambda n: n.range.low)
+        bounds = [n.range.low for n in owners]
+        import bisect
+
+        placed = 0
+        for key in keys:
+            index = bisect.bisect_right(bounds, key) - 1
+            if index < 0:
+                continue
+            owner = owners[index]
+            if owner.range.contains(key):
+                owner.store.insert(key)
+                placed += 1
+        return placed
+
+    # -- diagnostics ---------------------------------------------------------------
+
+    def depth(self) -> int:
+        """Maximum node level plus one (tree height)."""
+        return max(node.level for node in self.nodes.values()) + 1

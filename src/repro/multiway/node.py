@@ -1,0 +1,69 @@
+"""State held by one multiway-tree peer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.ranges import Range
+from repro.core.storage import LocalStore
+from repro.net.address import Address
+
+
+@dataclass
+class ChildLink:
+    """A parent's view of one child: address plus the coverage it was given.
+
+    ``coverage`` is the contiguous key interval handed over when the child
+    was accepted; everything the child's subtree will ever manage stays
+    inside it, which is what routing descends on.
+    """
+
+    address: Address
+    coverage: Range
+
+
+class MultiwayNode:
+    """A peer in the multiway tree.
+
+    Links are exactly the set reference [10] gives each peer: parent,
+    children, and the same-level left/right neighbours (adjacent by key
+    order, doubling as sibling links inside a parent).  There are no
+    long-range tables — that is the point of the comparison.
+    """
+
+    def __init__(self, address: Address, level: int, own_range: Range):
+        self.address = address
+        self.level = level
+        self.range = own_range
+        #: The full interval this node's subtree is responsible for; fixed
+        #: at placement time (own range splits shrink ``range``, not this).
+        self.coverage = own_range
+        self.store = LocalStore()
+        self.parent: Optional[Address] = None
+        self.children: List[ChildLink] = []
+        self.left_neighbor: Optional[Address] = None
+        self.right_neighbor: Optional[Address] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def child_covering(self, key: int) -> Optional[ChildLink]:
+        """The child whose coverage contains ``key``, if any."""
+        for link in self.children:
+            if link.coverage.contains(key):
+                return link
+        return None
+
+    def child_link_to(self, address: Address) -> Optional[ChildLink]:
+        for link in self.children:
+            if link.address == address:
+                return link
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"MultiwayNode(addr={self.address}, level={self.level}, "
+            f"range={self.range}, children={len(self.children)})"
+        )

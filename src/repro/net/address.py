@@ -1,0 +1,35 @@
+"""Physical peer addresses.
+
+A peer's *physical id* in the paper is its IP address; the logical id is its
+(level, number) position in the tree.  We model the physical id as a plain
+integer handed out by :class:`AddressAllocator`, which never reuses values so
+a stale link to a departed peer can be detected (the address resolves to
+nothing) rather than silently hitting a recycled peer.
+"""
+
+from __future__ import annotations
+
+from typing import NewType
+
+Address = NewType("Address", int)
+"""Opaque physical identifier of a peer (stands in for an IP address)."""
+
+
+class AddressAllocator:
+    """Hands out unique, never-reused peer addresses."""
+
+    def __init__(self, start: int = 1):
+        if start < 0:
+            raise ValueError("address space must start at a non-negative value")
+        self._next = start
+
+    def allocate(self) -> Address:
+        """Return a fresh address, distinct from every earlier one."""
+        address = Address(self._next)
+        self._next += 1
+        return address
+
+    @property
+    def allocated_count(self) -> int:
+        """How many addresses have been handed out so far."""
+        return self._next - 1

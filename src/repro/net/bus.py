@@ -1,0 +1,153 @@
+"""The message bus: delivery bookkeeping and traffic accounting.
+
+The bus is the single funnel through which every inter-peer hop passes.  It
+does three jobs:
+
+* **Liveness** — peers register on join and unregister on departure; failure
+  experiments mark peers dead.  Sending to a dead or unknown address raises
+  :class:`~repro.util.errors.PeerNotFoundError` *after* the attempt is
+  counted, because the paper counts the wasted message too (the sender paid
+  for it and must now route around the failure).
+* **Global accounting** — totals by :class:`MsgType`, per receiving peer, and
+  per tree level (for Figure 8(f)'s access-load-by-level plot; the overlay
+  installs a resolver mapping an address to its current level).
+* **Per-operation traces** — experiments wrap each operation in
+  :meth:`MessageBus.trace`; all messages sent while a trace is open are
+  attributed to it, so "average messages per exact-match query" is just the
+  mean of trace totals.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional
+
+from repro.net.address import Address
+from repro.net.message import Message, MsgType
+from repro.util.errors import PeerNotFoundError
+
+
+@dataclass
+class Trace:
+    """Message accounting for a single logical operation."""
+
+    label: str
+    total: int = 0
+    by_type: Counter = field(default_factory=Counter)
+    path: list[Address] = field(default_factory=list)
+
+    def record(self, message: Message) -> None:
+        """Attribute one message to this operation."""
+        self.total += 1
+        self.by_type[message.mtype] += 1
+        self.path.append(message.dst)
+
+    def count(self, *mtypes: MsgType) -> int:
+        """Total messages of the given categories (all if none given)."""
+        if not mtypes:
+            return self.total
+        return sum(self.by_type[mtype] for mtype in mtypes)
+
+
+@dataclass
+class TrafficStats:
+    """Cumulative global traffic counters."""
+
+    total: int = 0
+    by_type: Counter = field(default_factory=Counter)
+    per_peer: Counter = field(default_factory=Counter)
+    per_level_by_type: Counter = field(default_factory=Counter)
+
+    def record(self, message: Message, level: Optional[int]) -> None:
+        self.total += 1
+        self.by_type[message.mtype] += 1
+        self.per_peer[message.dst] += 1
+        if level is not None:
+            self.per_level_by_type[(level, message.mtype)] += 1
+
+    def level_load(self, mtype: MsgType) -> dict[int, int]:
+        """Messages of one category received, grouped by tree level."""
+        loads: dict[int, int] = {}
+        for (level, kind), count in self.per_level_by_type.items():
+            if kind is mtype:
+                loads[level] = loads.get(level, 0) + count
+        return loads
+
+
+class MessageBus:
+    """Registers peers, validates liveness and counts every message."""
+
+    def __init__(self) -> None:
+        self._alive: set[Address] = set()
+        self.stats = TrafficStats()
+        self._trace_stack: list[Trace] = []
+        self._level_resolver: Optional[Callable[[Address], Optional[int]]] = None
+
+    # -- liveness ---------------------------------------------------------
+
+    def register(self, address: Address) -> None:
+        """Declare a peer live (called when it joins the network)."""
+        self._alive.add(address)
+
+    def unregister(self, address: Address) -> None:
+        """Remove a peer (graceful departure or permanent failure)."""
+        self._alive.discard(address)
+
+    def is_alive(self, address: Address) -> bool:
+        """Whether a send to ``address`` would currently succeed."""
+        return address in self._alive
+
+    @property
+    def live_count(self) -> int:
+        """Number of currently registered peers."""
+        return len(self._alive)
+
+    # -- accounting hooks -------------------------------------------------
+
+    def set_level_resolver(
+        self, resolver: Optional[Callable[[Address], Optional[int]]]
+    ) -> None:
+        """Install a callback mapping an address to its current tree level.
+
+        The overlay network owns the mapping; the bus only uses it to bucket
+        per-level load for Figure 8(f).
+        """
+        self._level_resolver = resolver
+
+    # -- sending ----------------------------------------------------------
+
+    def send(self, message: Message) -> None:
+        """Account for one message and validate that the target is live.
+
+        Raises :class:`PeerNotFoundError` if the destination is dead or
+        unknown.  The message is counted either way: an attempt to contact a
+        failed peer still crossed the network.
+        """
+        level = self._level_resolver(message.dst) if self._level_resolver else None
+        self.stats.record(message, level)
+        for trace in self._trace_stack:
+            trace.record(message)
+        if message.dst not in self._alive:
+            raise PeerNotFoundError(message.dst)
+
+    def send_typed(
+        self, src: Address, dst: Address, mtype: MsgType, **payload: object
+    ) -> Message:
+        """Convenience wrapper building and sending a :class:`Message`."""
+        message = Message(src=src, dst=dst, mtype=mtype, payload=dict(payload))
+        self.send(message)
+        return message
+
+    # -- traces -----------------------------------------------------------
+
+    @contextmanager
+    def trace(self, label: str) -> Iterator[Trace]:
+        """Open a per-operation trace; nested traces each see the traffic."""
+        trace = Trace(label=label)
+        self._trace_stack.append(trace)
+        try:
+            yield trace
+        finally:
+            self._trace_stack.pop()

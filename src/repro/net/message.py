@@ -1,0 +1,77 @@
+"""Typed messages exchanged between peers.
+
+The paper's evaluation metric is the *number of passing messages*, broken
+down by operation (join, leave, search, …).  Every hop in every protocol is
+therefore represented as a :class:`Message` with a :class:`MsgType` category,
+and is registered with the bus before the receiving peer acts on it.
+
+The categories are deliberately semantic rather than system-specific so the
+same accounting works for BATON, Chord and the multiway tree: a Chord lookup
+hop and a BATON exact-match hop both count as :attr:`MsgType.SEARCH`.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.net.address import Address
+
+
+class MsgType(enum.Enum):
+    """Semantic category of a message, used for traffic accounting."""
+
+    #: Forwarding a JOIN request while locating the accepting node
+    #: (Algorithm 1), or a Chord ``find_successor`` during join.
+    JOIN_FIND = "join_find"
+    #: Range/content handover and link setup when a join is accepted.
+    JOIN_TRANSFER = "join_transfer"
+    #: Any routing-state maintenance: BATON sideways-table updates, Chord
+    #: finger fixes, multiway child/neighbour updates, range-change notices.
+    TABLE_UPDATE = "table_update"
+    #: Forwarding a FINDREPLACEMENT request (Algorithm 2).
+    LEAVE_FIND = "leave_find"
+    #: Content/range handover and LEAVE notifications on departure.
+    LEAVE_TRANSFER = "leave_transfer"
+    #: Exact-match query forwarding.
+    SEARCH = "search"
+    #: Range-query forwarding and partial-answer expansion.
+    RANGE_SEARCH = "range_search"
+    #: Insert routing and execution.
+    INSERT = "insert"
+    #: Delete routing and execution.
+    DELETE = "delete"
+    #: Load-balancing coordination, probes and data migration.
+    BALANCE = "balance"
+    #: Node position shifts during network restructuring.
+    RESTRUCTURE = "restructure"
+    #: Failure detection reports and table regeneration during repair.
+    REPAIR = "repair"
+    #: Replies carrying requested information back to an asker.
+    RESPONSE = "response"
+    #: Replica maintenance (the data-durability extension; not in the
+    #: paper, see DESIGN.md "extensions").
+    REPLICATE = "replicate"
+
+
+_message_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Message:
+    """One inter-peer message.
+
+    ``payload`` carries protocol-specific fields; it is free-form because the
+    bus never interprets it — only the receiving peer's handler does.
+    """
+
+    src: Address
+    dst: Address
+    mtype: MsgType
+    payload: dict[str, Any] = field(default_factory=dict)
+    msg_id: int = field(default_factory=lambda: next(_message_ids))
+
+    def __str__(self) -> str:
+        return f"{self.mtype.value}#{self.msg_id} {self.src}->{self.dst}"

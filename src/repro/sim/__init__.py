@@ -1,0 +1,28 @@
+"""A small discrete-event simulation engine.
+
+Most of the paper's measurements are pure message counts, which the
+synchronous protocols in :mod:`repro.core` produce directly.  The exception
+is §V-E (Figure 8(i), *Effect of Network Dynamics*): there, joins and leaves
+happen **concurrently** and routing-table updates take time to propagate, so
+queries issued inside the update window can be misrouted and pay extra
+messages.  The :class:`Simulator` here provides the timeline for that
+experiment — events with latencies drawn from a :class:`LatencyModel`,
+executed in timestamp order.
+"""
+
+from repro.sim.engine import Event, Simulator
+from repro.sim.latency import (
+    ConstantLatency,
+    ExponentialLatency,
+    LatencyModel,
+    UniformLatency,
+)
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "LatencyModel",
+    "ConstantLatency",
+    "UniformLatency",
+    "ExponentialLatency",
+]

@@ -1,0 +1,107 @@
+"""Event queue and clock for discrete-event simulation."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+
+@dataclass(frozen=True, order=True)
+class Event:
+    """A scheduled callback.
+
+    Ordering is (time, sequence) so simultaneous events run in scheduling
+    order, which keeps runs deterministic.
+    """
+
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    label: str = field(compare=False, default="")
+
+
+class Simulator:
+    """A minimal but complete discrete-event simulator.
+
+    Usage::
+
+        sim = Simulator()
+        sim.schedule(1.5, lambda: ..., label="join")
+        sim.run()          # or sim.run_until(10.0)
+        sim.now            # current simulated time
+    """
+
+    def __init__(self) -> None:
+        self._queue: list[Event] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self.executed_count = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def pending_count(self) -> int:
+        """Number of events not yet executed."""
+        return len(self._queue)
+
+    def schedule(
+        self, delay: float, action: Callable[[], None], label: str = ""
+    ) -> Event:
+        """Schedule ``action`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        event = Event(
+            time=self._now + delay, seq=next(self._seq), action=action, label=label
+        )
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(
+        self, time: float, action: Callable[[], None], label: str = ""
+    ) -> Event:
+        """Schedule ``action`` at an absolute simulated time."""
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule into the past (time={time}, now={self._now})"
+            )
+        event = Event(time=time, seq=next(self._seq), action=action, label=label)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def step(self) -> Optional[Event]:
+        """Execute the next event; return it, or None if the queue is empty."""
+        if not self._queue:
+            return None
+        event = heapq.heappop(self._queue)
+        self._now = event.time
+        self.executed_count += 1
+        event.action()
+        return event
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Run until the queue drains (or ``max_events``); return #executed."""
+        executed = 0
+        while self._queue:
+            if max_events is not None and executed >= max_events:
+                break
+            self.step()
+            executed += 1
+        return executed
+
+    def run_until(self, time: float) -> int:
+        """Run every event with timestamp <= ``time``; return #executed.
+
+        The clock is left at ``time`` (or later if the last executed event
+        was later, which cannot happen given the guard).
+        """
+        executed = 0
+        while self._queue and self._queue[0].time <= time:
+            self.step()
+            executed += 1
+        self._now = max(self._now, time)
+        return executed

@@ -1,0 +1,60 @@
+"""Latency models for the discrete-event experiments.
+
+Figure 8(i) needs a notion of "how long does a routing-table update take to
+reach everyone" versus "how often do queries arrive meanwhile".  Absolute
+units are arbitrary (the paper reports message counts, not seconds); what
+matters is the ratio between update-propagation delay and churn intensity.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.util.rng import SeededRng
+
+
+class LatencyModel(abc.ABC):
+    """Draws per-message network delays."""
+
+    @abc.abstractmethod
+    def sample(self) -> float:
+        """Return one delay, in arbitrary simulated time units (>= 0)."""
+
+
+class ConstantLatency(LatencyModel):
+    """Every message takes exactly ``delay`` time units."""
+
+    def __init__(self, delay: float = 1.0):
+        if delay < 0:
+            raise ValueError("latency cannot be negative")
+        self.delay = delay
+
+    def sample(self) -> float:
+        return self.delay
+
+
+class UniformLatency(LatencyModel):
+    """Delays drawn uniformly from [low, high)."""
+
+    def __init__(self, low: float, high: float, rng: SeededRng):
+        if low < 0 or high < low:
+            raise ValueError(f"invalid latency bounds [{low}, {high})")
+        self.low = low
+        self.high = high
+        self._rng = rng
+
+    def sample(self) -> float:
+        return self._rng.uniform(self.low, self.high)
+
+
+class ExponentialLatency(LatencyModel):
+    """Memoryless delays with the given mean."""
+
+    def __init__(self, mean: float, rng: SeededRng):
+        if mean <= 0:
+            raise ValueError("mean latency must be positive")
+        self.mean = mean
+        self._rng = rng
+
+    def sample(self) -> float:
+        return self._rng.expovariate(1.0 / self.mean)

@@ -1,0 +1,20 @@
+"""Shared utilities: seeded RNG helpers and library-wide exceptions."""
+
+from repro.util.errors import (
+    ReproError,
+    NetworkEmptyError,
+    PeerNotFoundError,
+    ProtocolError,
+    InvariantViolation,
+)
+from repro.util.rng import SeededRng, derive_seed
+
+__all__ = [
+    "ReproError",
+    "NetworkEmptyError",
+    "PeerNotFoundError",
+    "ProtocolError",
+    "InvariantViolation",
+    "SeededRng",
+    "derive_seed",
+]

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the BATON reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of the simulator with one ``except`` clause while
+still distinguishing the interesting cases.
+"""
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class NetworkEmptyError(ReproError):
+    """An operation needed at least one live peer but the network has none."""
+
+
+class PeerNotFoundError(ReproError):
+    """A peer address was used that does not (or no longer does) exist.
+
+    This is raised by the message bus when a sender targets an address with
+    no live peer behind it.  Protocol code catches it to exercise the
+    fault-tolerance paths (routing around failures).
+    """
+
+    def __init__(self, address: int):
+        super().__init__(f"no live peer at address {address}")
+        self.address = address
+
+
+class ProtocolError(ReproError):
+    """A protocol reached a state the paper's algorithms do not allow.
+
+    Seeing this in a test means the implementation diverged from the paper
+    (for example a join request that cannot make progress, or a replacement
+    search that falls off the tree).
+    """
+
+
+class InvariantViolation(ReproError):
+    """The global structural checker found a broken invariant.
+
+    Only raised from :mod:`repro.core.invariants`; protocols never raise it.
+    The message names the invariant and the offending peer(s).
+    """

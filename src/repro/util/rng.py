@@ -1,0 +1,79 @@
+"""Deterministic randomness for experiments.
+
+Every stochastic component takes a seed (or a :class:`SeededRng`) so that a
+whole experiment — network construction, workload, churn — replays exactly
+from a single integer.  Sub-streams are derived with :func:`derive_seed` so
+adding a new consumer does not perturb the draws of existing ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def derive_seed(base: int, *labels: object) -> int:
+    """Derive a child seed from ``base`` and a label path.
+
+    The derivation hashes the label path so that independently labelled
+    streams are statistically independent and stable across runs::
+
+        derive_seed(42, "workload", "zipf")  # always the same value
+    """
+    digest = hashlib.sha256()
+    digest.update(str(base).encode())
+    for label in labels:
+        digest.update(b"/")
+        digest.update(str(label).encode())
+    return int.from_bytes(digest.digest()[:8], "big")
+
+
+class SeededRng:
+    """A thin, explicitly-seeded wrapper around :class:`random.Random`.
+
+    It exposes only the draws the library needs, which keeps call sites
+    greppable and makes it easy to audit where randomness enters a run.
+    """
+
+    def __init__(self, seed: int):
+        self.seed = seed
+        self._random = random.Random(seed)
+
+    def child(self, *labels: object) -> "SeededRng":
+        """Return an independent generator for a labelled sub-stream."""
+        return SeededRng(derive_seed(self.seed, *labels))
+
+    def randint(self, low: int, high: int) -> int:
+        """Uniform integer in the inclusive range [low, high]."""
+        return self._random.randint(low, high)
+
+    def random(self) -> float:
+        """Uniform float in [0, 1)."""
+        return self._random.random()
+
+    def choice(self, items: Sequence[T]) -> T:
+        """Uniformly choose one element of a non-empty sequence."""
+        return self._random.choice(items)
+
+    def sample(self, items: Sequence[T], k: int) -> list[T]:
+        """Sample ``k`` distinct elements without replacement."""
+        return self._random.sample(items, k)
+
+    def shuffle(self, items: list[T]) -> None:
+        """Shuffle ``items`` in place."""
+        self._random.shuffle(items)
+
+    def expovariate(self, rate: float) -> float:
+        """Exponentially distributed float with the given rate."""
+        return self._random.expovariate(rate)
+
+    def uniform(self, low: float, high: float) -> float:
+        """Uniform float in [low, high)."""
+        return self._random.uniform(low, high)
+
+    def weighted_choice(self, items: Sequence[T], weights: Iterable[float]) -> T:
+        """Choose one element with the given (unnormalised) weights."""
+        return self._random.choices(list(items), weights=list(weights), k=1)[0]

@@ -1,0 +1,42 @@
+"""Churn schedules: interleaved join/leave event sequences (§V-E)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.util.rng import SeededRng
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One scheduled membership change."""
+
+    kind: str  # "join" or "leave"
+    at: float  # simulated time
+
+
+def churn_schedule(
+    n_events: int,
+    join_fraction: float = 0.5,
+    rate: float = 1.0,
+    seed: int = 0,
+) -> List[ChurnEvent]:
+    """A Poisson stream of join/leave events.
+
+    ``rate`` is events per simulated time unit; interarrival times are
+    exponential, so batching naturally emerges at high rates — the knob the
+    network-dynamics experiment sweeps.
+    """
+    if not 0 <= join_fraction <= 1:
+        raise ValueError("join_fraction must be in [0, 1]")
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    rng = SeededRng(seed)
+    events: List[ChurnEvent] = []
+    clock = 0.0
+    for _ in range(n_events):
+        clock += rng.expovariate(rate)
+        kind = "join" if rng.random() < join_fraction else "leave"
+        events.append(ChurnEvent(kind=kind, at=clock))
+    return events

@@ -1,0 +1,39 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import BatonConfig, BatonNetwork, LoadBalanceConfig, check_invariants
+
+
+def make_network(n_peers: int, seed: int = 0, **config_kwargs) -> BatonNetwork:
+    """A BATON network of ``n_peers``, invariants verified."""
+    config = BatonConfig(**config_kwargs) if config_kwargs else None
+    net = BatonNetwork.build(n_peers, seed=seed, config=config)
+    check_invariants(net)
+    return net
+
+
+def balanced_config(capacity: int = 30) -> BatonConfig:
+    """A config with load balancing switched on."""
+    return BatonConfig(balance=LoadBalanceConfig(capacity=capacity, enabled=True))
+
+
+@pytest.fixture
+def net20() -> BatonNetwork:
+    """A 20-peer network (fresh per test)."""
+    return make_network(20, seed=11)
+
+
+@pytest.fixture
+def net100() -> BatonNetwork:
+    """A 100-peer network (fresh per test)."""
+    return make_network(100, seed=7)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(12345)

@@ -1,0 +1,113 @@
+"""Unit tests for the message bus (repro.net)."""
+
+import pytest
+
+from repro.net.address import Address, AddressAllocator
+from repro.net.bus import MessageBus
+from repro.net.message import Message, MsgType
+from repro.util.errors import PeerNotFoundError
+
+
+class TestAllocator:
+    def test_addresses_unique_and_increasing(self):
+        alloc = AddressAllocator()
+        a, b, c = alloc.allocate(), alloc.allocate(), alloc.allocate()
+        assert len({a, b, c}) == 3
+        assert alloc.allocated_count == 3
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError):
+            AddressAllocator(start=-5)
+
+
+class TestLiveness:
+    def test_register_unregister(self):
+        bus = MessageBus()
+        bus.register(Address(1))
+        assert bus.is_alive(Address(1))
+        assert bus.live_count == 1
+        bus.unregister(Address(1))
+        assert not bus.is_alive(Address(1))
+
+    def test_send_to_dead_raises_after_counting(self):
+        bus = MessageBus()
+        bus.register(Address(1))
+        with pytest.raises(PeerNotFoundError):
+            bus.send_typed(Address(1), Address(2), MsgType.SEARCH)
+        # the wasted message was still paid for
+        assert bus.stats.total == 1
+
+
+class TestAccounting:
+    def test_totals_by_type(self):
+        bus = MessageBus()
+        for addr in (1, 2):
+            bus.register(Address(addr))
+        bus.send_typed(Address(1), Address(2), MsgType.SEARCH)
+        bus.send_typed(Address(2), Address(1), MsgType.SEARCH)
+        bus.send_typed(Address(1), Address(2), MsgType.INSERT)
+        assert bus.stats.total == 3
+        assert bus.stats.by_type[MsgType.SEARCH] == 2
+        assert bus.stats.per_peer[Address(2)] == 2
+
+    def test_level_resolver_buckets_load(self):
+        bus = MessageBus()
+        for addr in (1, 2):
+            bus.register(Address(addr))
+        bus.set_level_resolver(lambda addr: {1: 0, 2: 3}.get(addr))
+        bus.send_typed(Address(1), Address(2), MsgType.INSERT)
+        bus.send_typed(Address(2), Address(1), MsgType.INSERT)
+        loads = bus.stats.level_load(MsgType.INSERT)
+        assert loads == {3: 1, 0: 1}
+
+    def test_level_load_filters_by_type(self):
+        bus = MessageBus()
+        bus.register(Address(1))
+        bus.set_level_resolver(lambda addr: 1)
+        bus.send_typed(Address(1), Address(1), MsgType.SEARCH)
+        assert bus.stats.level_load(MsgType.INSERT) == {}
+
+
+class TestTraces:
+    def test_trace_scopes_messages(self):
+        bus = MessageBus()
+        for addr in (1, 2):
+            bus.register(Address(addr))
+        bus.send_typed(Address(1), Address(2), MsgType.SEARCH)
+        with bus.trace("op") as trace:
+            bus.send_typed(Address(1), Address(2), MsgType.SEARCH)
+            bus.send_typed(Address(2), Address(1), MsgType.RESPONSE)
+        assert trace.total == 2
+        assert trace.count(MsgType.SEARCH) == 1
+        assert trace.count() == 2
+        assert bus.stats.total == 3
+
+    def test_nested_traces_both_counted(self):
+        bus = MessageBus()
+        bus.register(Address(1))
+        with bus.trace("outer") as outer:
+            with bus.trace("inner") as inner:
+                bus.send_typed(Address(1), Address(1), MsgType.SEARCH)
+        assert outer.total == 1
+        assert inner.total == 1
+
+    def test_trace_path_records_destinations(self):
+        bus = MessageBus()
+        for addr in (1, 2, 3):
+            bus.register(Address(addr))
+        with bus.trace("walk") as trace:
+            bus.send_typed(Address(1), Address(2), MsgType.SEARCH)
+            bus.send_typed(Address(2), Address(3), MsgType.SEARCH)
+        assert trace.path == [Address(2), Address(3)]
+
+
+class TestMessage:
+    def test_message_ids_unique(self):
+        a = Message(Address(1), Address(2), MsgType.SEARCH)
+        b = Message(Address(1), Address(2), MsgType.SEARCH)
+        assert a.msg_id != b.msg_id
+
+    def test_str_is_informative(self):
+        m = Message(Address(1), Address(2), MsgType.SEARCH)
+        assert "search" in str(m)
+        assert "1->2" in str(m)

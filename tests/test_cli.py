@@ -1,0 +1,44 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_demo_defaults(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.peers == 50
+        assert args.seed == 0
+
+
+class TestCommands:
+    def test_demo_runs(self, capsys):
+        assert main(["demo", "--peers", "20", "--keys", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "invariants: OK" in out
+
+    def test_tree_runs(self, capsys):
+        assert main(["tree", "--peers", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "(0,1)" in out
+        assert "level" in out
+
+    def test_ranges_runs(self, capsys):
+        assert main(["ranges", "--peers", "6", "--keys", "30"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("|")
+
+    def test_peer_dump_runs(self, capsys):
+        assert main(["peer", "--peers", "10", "--address", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "peer addr=1" in out
+
+    def test_experiments_quick(self, capsys, tmp_path):
+        out_file = tmp_path / "results.txt"
+        assert main(["experiments", "--quick", "--out", str(out_file)]) == 0
+        assert "Fig 8a" in out_file.read_text()

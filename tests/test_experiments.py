@@ -1,0 +1,155 @@
+"""Smoke + shape tests for the Figure-8 experiment drivers.
+
+Each driver runs at the quick scale; assertions check the *shape* the paper
+reports, with generous slack so seeds cannot flake the suite.
+"""
+
+import pytest
+
+from repro.experiments import harness
+from repro.experiments import (
+    fig8a_join_leave_find,
+    fig8b_table_updates,
+    fig8c_insert_delete,
+    fig8d_exact_query,
+    fig8e_range_query,
+    fig8f_access_load,
+    fig8g_load_balancing,
+    fig8h_shift_sizes,
+    fig8i_dynamics,
+)
+from repro.experiments.balancing import run_balancing, shift_histogram
+from repro.experiments.membership import aggregate, measure_membership
+
+
+@pytest.fixture(scope="module")
+def scale():
+    return harness.quick_scale()
+
+
+@pytest.fixture(scope="module")
+def membership_cells(scale):
+    return measure_membership(scale)
+
+
+@pytest.fixture(scope="module")
+def balancing_runs(scale):
+    return run_balancing(scale)
+
+
+class TestFig8a:
+    def test_rows_and_shape(self, scale, membership_cells):
+        result = fig8a_join_leave_find.run(scale, cells=membership_cells)
+        assert len(result.rows) == 3 * len(scale.sizes)
+        baton = result.column("join_find", where={"system": "baton"})
+        chord = result.column("join_find", where={"system": "chord"})
+        # BATON's join-find is low; Chord pays a lookup per join.
+        assert max(baton) < max(chord)
+
+    def test_multiway_leave_exceeds_join(self, scale, membership_cells):
+        result = fig8a_join_leave_find.run(scale, cells=membership_cells)
+        join = result.column("join_find", where={"system": "multiway"})
+        leave = result.column("leave_find", where={"system": "multiway"})
+        assert sum(leave) > sum(join)
+
+
+class TestFig8b:
+    def test_baton_updates_below_chord(self, scale, membership_cells):
+        result = fig8b_table_updates.run(scale, cells=membership_cells)
+        baton = result.column("join_update", where={"system": "baton"})
+        chord = result.column("join_update", where={"system": "chord"})
+        assert all(b < c for b, c in zip(baton, chord))
+
+
+class TestFig8c:
+    def test_insert_delete_costs(self, scale):
+        result = fig8c_insert_delete.run(scale)
+        baton = result.column("insert", where={"system": "baton"})
+        multiway = result.column("insert", where={"system": "multiway"})
+        assert all(b < m for b, m in zip(baton, multiway))
+
+
+class TestFig8d:
+    def test_exact_query_shape(self, scale):
+        result = fig8d_exact_query.run(scale)
+        assert all(rate == 1.0 for rate in result.column("hit_rate"))
+        baton = result.column("messages", where={"system": "baton"})
+        multiway = result.column("messages", where={"system": "multiway"})
+        assert all(b < m for b, m in zip(baton, multiway))
+
+
+class TestFig8e:
+    def test_range_query_shape(self, scale):
+        result = fig8e_range_query.run(scale)
+        baton = result.column("messages", where={"system": "baton"})
+        chord = result.column("messages", where={"system": "chord_ring_walk"})
+        # the O(N) cliff: the ring walk visits every node
+        assert all(c >= n - 1 for c, n in zip(chord, scale.sizes))
+        assert all(b < c for b, c in zip(baton, chord))
+
+
+class TestFig8f:
+    def test_no_root_hotspot(self, scale):
+        result = fig8f_access_load.run(scale)
+        loads = {row["level"]: row["insert_per_node"] for row in result.rows}
+        root_load = loads[0]
+        deep_levels = [v for level, v in loads.items() if level >= 2]
+        assert deep_levels
+        # the root must not dominate: within 4x of the deep-level average
+        assert root_load <= 4 * (sum(deep_levels) / len(deep_levels)) + 4
+
+
+class TestFig8g:
+    def test_skew_dominates_uniform(self, scale, balancing_runs):
+        result = fig8g_load_balancing.run(scale, runs=balancing_runs)
+        rows = {row["distribution"]: row for row in result.rows}
+        assert rows["zipf"]["balance_msgs"] >= rows["uniform"]["balance_msgs"]
+
+    def test_timeline_monotonic(self, scale, balancing_runs):
+        result = fig8g_load_balancing.run(scale, runs=balancing_runs)
+        timeline = [
+            row["balance_msgs"]
+            for row in result.rows
+            if row["distribution"] == "zipf_timeline"
+        ]
+        assert timeline == sorted(timeline)
+
+
+class TestFig8h:
+    def test_histogram_sums_and_leans_small(self, scale, balancing_runs):
+        zipf_runs = [r for r in balancing_runs if r.distribution == "zipf"]
+        result = fig8h_shift_sizes.run(scale, runs=zipf_runs)
+        total = sum(row["count"] for row in result.rows)
+        assert total == sum(shift_histogram(zipf_runs).values())
+
+    def test_runs_standalone(self, scale):
+        result = fig8h_shift_sizes.run(scale)
+        assert result.rows
+
+
+class TestFig8i:
+    def test_extra_messages_grow_with_churn(self, scale):
+        result = fig8i_dynamics.run(scale, levels=(2, 6))
+        extras = result.column("extra")
+        assert extras[0] >= 0
+        assert extras[-1] > 0
+        assert all(v == 0 for v in result.column("violations"))
+
+
+class TestHarness:
+    def test_result_table_renders(self, scale, membership_cells):
+        result = fig8a_join_leave_find.run(scale, cells=membership_cells)
+        text = result.to_text()
+        assert "Fig 8a" in text
+        assert "baton" in text
+
+    def test_aggregate_averages_seeds(self, membership_cells, scale):
+        cell = aggregate(membership_cells, "baton", scale.sizes[0])
+        assert cell.seed == -1
+        assert cell.join_find >= 0
+
+    def test_scales(self):
+        quick = harness.quick_scale()
+        default = harness.default_scale()
+        assert max(quick.sizes) < max(default.sizes)
+        assert "sizes" in default.label

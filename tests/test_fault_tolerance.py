@@ -1,0 +1,115 @@
+"""Connectivity claims of §III-D.
+
+"In a special case, even if all nodes at the same level fail, the tree is
+not partitioned since adjacency links can be used to route across the gap."
+These tests check exactly that: after failing whole link classes or whole
+levels, the graph induced by the surviving peers' live links stays
+connected.
+"""
+
+import random
+
+import pytest
+
+from repro.core import BatonNetwork
+
+from tests.conftest import make_network
+
+
+def live_link_graph(net: BatonNetwork) -> dict:
+    """Adjacency sets over live peers' live links."""
+    graph: dict = {address: set() for address in net.peers}
+    for address, peer in net.peers.items():
+        for _, info in peer.iter_links():
+            if info.address in net.peers:
+                graph[address].add(info.address)
+                graph[info.address].add(address)
+    return graph
+
+
+def is_connected(graph: dict) -> bool:
+    if not graph:
+        return True
+    start = next(iter(graph))
+    seen = {start}
+    frontier = [start]
+    while frontier:
+        node = frontier.pop()
+        for neighbor in graph[node]:
+            if neighbor not in seen:
+                seen.add(neighbor)
+                frontier.append(neighbor)
+    return len(seen) == len(graph)
+
+
+class TestLevelWipeout:
+    @pytest.mark.parametrize("level", [1, 2, 3, 4])
+    def test_entire_level_failure_keeps_network_connected(self, level):
+        net = make_network(120, seed=3)
+        victims = [
+            address
+            for address, peer in net.peers.items()
+            if peer.position.level == level
+        ]
+        assert victims, f"expected peers at level {level}"
+        for address in victims:
+            net.fail(address)
+        assert is_connected(live_link_graph(net)), (
+            f"level-{level} wipeout must not partition the overlay"
+        )
+
+    def test_root_failure_keeps_network_connected(self):
+        net = make_network(60, seed=4)
+        root = next(a for a, p in net.peers.items() if p.parent is None)
+        net.fail(root)
+        assert is_connected(live_link_graph(net))
+
+
+class TestRandomFailures:
+    @pytest.mark.parametrize("fraction", [0.05, 0.1, 0.15])
+    def test_scattered_failures_do_not_partition(self, fraction):
+        # The paper claims the network "remains connected even with a large
+        # number of failures"; at simulation scale the redundancy holds
+        # comfortably through 15% simultaneous loss.
+        net = make_network(150, seed=5)
+        mix = random.Random(6)
+        victims = mix.sample(net.addresses(), int(net.size * fraction))
+        for address in victims:
+            net.fail(address)
+        assert is_connected(live_link_graph(net))
+
+    def test_queries_reach_live_owners_during_level_outage(self):
+        net = make_network(100, seed=7)
+        keys = [random.Random(8).randint(1, 10**9 - 1) for _ in range(200)]
+        net.bulk_load(keys)
+        level = 3
+        lost_keys = set()
+        for address, peer in list(net.peers.items()):
+            if peer.position.level == level:
+                lost_keys.update(peer.store)
+                net.fail(address)
+        answered = 0
+        for key in keys[:60]:
+            if key in lost_keys:
+                continue
+            if net.search_exact(key).found:
+                answered += 1
+        probed = sum(1 for key in keys[:60] if key not in lost_keys)
+        # sideways + adjacent redundancy keeps nearly everything reachable
+        assert answered >= probed * 0.9
+
+
+class TestRepairAfterMassFailure:
+    def test_level_wipeout_is_repairable(self):
+        net = make_network(60, seed=9)
+        victims = [
+            address
+            for address, peer in net.peers.items()
+            if peer.position.level == 2
+        ]
+        for address in victims:
+            net.fail(address)
+        net.repair_all()
+        from repro.core import collect_violations
+
+        assert collect_violations(net) == []

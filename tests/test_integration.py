@@ -1,0 +1,115 @@
+"""End-to-end integration scenarios across all subsystems."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.core import (
+    BatonConfig,
+    BatonNetwork,
+    LoadBalanceConfig,
+    check_invariants,
+    collect_violations,
+    tree_height,
+)
+from repro.workloads.generators import ZipfianKeys, uniform_keys
+
+
+class TestFullLifecycle:
+    def test_grow_load_churn_balance_fail_repair(self):
+        """One network lives through everything the paper describes."""
+        config = BatonConfig(
+            balance=LoadBalanceConfig(capacity=80, enabled=True)
+        )
+        net = BatonNetwork(config=config, seed=42)
+        net.bootstrap()
+        oracle: Counter = Counter()
+        mix = random.Random(42)
+
+        # Phase 1: grow to 60 peers while inserting uniform data.
+        gen = iter(uniform_keys(10_000, seed=1))
+        for _ in range(59):
+            net.join()
+            for _ in range(10):
+                key = next(gen)
+                net.insert(key)
+                oracle[key] += 1
+        check_invariants(net)
+
+        # Phase 2: skewed inserts trigger load balancing.
+        zipf = ZipfianKeys(theta=1.0, seed=2)
+        for _ in range(2000):
+            key = zipf.draw()
+            net.insert(key)
+            oracle[key] += 1
+        assert net.stats.balance_events, "skew must trigger balancing"
+        check_invariants(net)
+
+        # Phase 3: churn — half the network turns over.
+        for _ in range(30):
+            net.leave(mix.choice(net.addresses()))
+            net.join()
+        check_invariants(net)
+        stored = Counter()
+        for peer in net.peers.values():
+            stored.update(peer.store)
+        assert stored == +oracle, "graceful churn must not lose data"
+
+        # Phase 4: failures — ranges survive, failed peers' data is lost.
+        for _ in range(5):
+            victim = mix.choice(net.addresses())
+            for key in net.peer(victim).store:
+                oracle[key] -= 1
+            net.fail(victim)
+            net.repair(victim)
+        assert collect_violations(net) == []
+        stored = Counter()
+        for peer in net.peers.values():
+            stored.update(peer.store)
+        assert stored == +oracle
+
+        # Phase 5: everything still answers queries.
+        live_keys = [k for k, c in oracle.items() if c > 0]
+        for key in mix.sample(live_keys, 50):
+            assert net.search_exact(key).found
+        low, high = 10**8, 2 * 10**8
+        result = net.search_range(low, high)
+        expected = sorted(
+            k for k, c in (+oracle).items() for _ in range(c) if low <= k < high
+        )
+        assert sorted(result.keys) == expected
+
+    def test_scale_then_shrink_keeps_height_balanced(self):
+        import math
+
+        net = BatonNetwork.build(256, seed=7)
+        assert tree_height(net) <= math.ceil(1.44 * math.log2(256)) + 1
+        mix = random.Random(3)
+        while net.size > 32:
+            net.leave(mix.choice(net.addresses()))
+        check_invariants(net)
+        assert tree_height(net) <= math.ceil(1.44 * math.log2(32)) + 2
+
+    def test_three_systems_answer_identically(self):
+        """BATON, Chord and the multiway tree agree on query answers."""
+        from repro.chord import ChordNetwork
+        from repro.multiway import MultiwayNetwork
+
+        keys = uniform_keys(300, seed=9)
+        baton = BatonNetwork.build(40, seed=1)
+        chord = ChordNetwork.build(40, seed=1)
+        multiway = MultiwayNetwork.build(40, seed=1)
+        for net in (baton, chord, multiway):
+            net.bulk_load(keys)
+        probes = uniform_keys(50, seed=10) + keys[:50]
+        for probe in probes:
+            expected = probe in set(keys)
+            assert baton.search_exact(probe).found == expected
+            assert chord.search_exact(probe).found == expected
+            assert multiway.search_exact(probe).found == expected
+        low, high = 3 * 10**8, 4 * 10**8
+        expected_range = sorted(k for k in keys if low <= k < high)
+        assert sorted(baton.search_range(low, high).keys) == expected_range
+        assert sorted(multiway.search_range(low, high).keys) == expected_range
+        assert sorted(chord.search_range(low, high).keys) == expected_range

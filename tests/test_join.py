@@ -1,0 +1,127 @@
+"""Protocol tests: node join (Algorithm 1 + table updates)."""
+
+import math
+
+import pytest
+
+from repro.core import BatonNetwork, check_invariants, tree_height
+from repro.core.ids import Position
+from repro.net.message import MsgType
+
+from tests.conftest import make_network
+
+
+class TestGrowth:
+    def test_bootstrap_owns_whole_domain(self):
+        net = BatonNetwork(seed=1)
+        root = net.bootstrap()
+        peer = net.peer(root)
+        assert peer.position == Position(0, 1)
+        assert peer.range == net.config.domain
+
+    def test_second_bootstrap_rejected(self):
+        net = BatonNetwork(seed=1)
+        net.bootstrap()
+        with pytest.raises(ValueError):
+            net.bootstrap()
+
+    def test_root_accepts_first_two_joins(self):
+        net = BatonNetwork(seed=1)
+        root = net.bootstrap()
+        first = net.join(via=root)
+        second = net.join(via=root)
+        assert first.parent == root
+        assert second.parent == root
+        assert net.peer(first.address).position == Position(1, 1)
+        assert net.peer(second.address).position == Position(1, 2)
+
+    @pytest.mark.parametrize("n_peers", [2, 3, 5, 8, 13, 21, 34, 55])
+    def test_invariants_hold_at_every_size(self, n_peers):
+        make_network(n_peers, seed=3)
+
+    def test_incremental_invariants(self):
+        net = BatonNetwork(seed=5)
+        net.bootstrap()
+        for _ in range(60):
+            net.join()
+            check_invariants(net)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_different_seeds_all_valid(self, seed):
+        make_network(64, seed=seed)
+
+    def test_height_within_balanced_bound(self):
+        for n_peers in (50, 150, 400):
+            net = make_network(n_peers, seed=1)
+            assert tree_height(net) <= math.ceil(1.44 * math.log2(n_peers)) + 1
+
+    def test_range_split_shares_data(self):
+        net = BatonNetwork(seed=2)
+        root = net.bootstrap()
+        for key in range(100, 200):
+            net.peer(root).store.insert(key)
+        result = net.join(via=root)
+        child = net.peer(result.address)
+        parent = net.peer(root)
+        assert len(child.store) + len(parent.store) == 100
+        assert len(child.store) == 50  # median split halves the content
+        assert child.range.high == parent.range.low  # left child precedes
+
+
+class TestMessageCosts:
+    def test_join_update_within_paper_bound(self):
+        net = make_network(200, seed=9)
+        for _ in range(20):
+            result = net.join()
+            bound = 6 * math.log2(net.size) + 10
+            assert result.update_trace.total <= bound, (
+                result.update_trace.total,
+                bound,
+            )
+
+    def test_join_find_messages_are_join_find_type(self):
+        net = make_network(50, seed=9)
+        result = net.join()
+        assert result.find_trace.total == result.find_trace.count(MsgType.JOIN_FIND)
+
+    def test_join_find_cheap_and_flat(self):
+        # The paper's observation: finding the join spot costs a few
+        # messages regardless of network size.
+        small = make_network(50, seed=4)
+        large = make_network(500, seed=4)
+        small_costs = [small.join().find_trace.total for _ in range(30)]
+        large_costs = [large.join().find_trace.total for _ in range(30)]
+        assert sum(large_costs) / 30 <= sum(small_costs) / 30 + 4
+
+    def test_total_messages_property(self):
+        net = make_network(30, seed=1)
+        result = net.join()
+        assert result.total_messages == (
+            result.find_trace.total + result.update_trace.total
+        )
+
+
+class TestJoinPlacement:
+    def test_new_node_is_leaf(self):
+        net = make_network(40, seed=8)
+        result = net.join()
+        assert net.peer(result.address).is_leaf
+
+    def test_parent_has_full_tables(self):
+        # Theorem 1's acceptance condition, checked post-hoc.
+        net = make_network(40, seed=8)
+        result = net.join()
+        parent = net.peer(result.parent)
+        assert parent.tables_full()
+
+    def test_join_via_every_entry_point(self):
+        net = make_network(25, seed=6)
+        for entry in list(net.addresses())[:10]:
+            net.join(via=entry)
+            check_invariants(net)
+
+    def test_stats_track_joins(self):
+        net = make_network(10, seed=0)
+        before = net.stats.joins
+        net.join()
+        assert net.stats.joins == before + 1

@@ -1,0 +1,139 @@
+"""Unit tests for BATON peer state (repro.core.peer)."""
+
+from repro.core.ids import Position
+from repro.core.links import LEFT, RIGHT, NodeInfo
+from repro.core.peer import BatonPeer
+from repro.core.ranges import Range
+from repro.net.address import Address
+
+
+def make_peer(level=3, number=4, address=1) -> BatonPeer:
+    return BatonPeer(Address(address), Position(level, number), Range(0, 100))
+
+
+def info(level, number, address, range_=None) -> NodeInfo:
+    return NodeInfo(
+        address=Address(address),
+        position=Position(level, number),
+        range=range_ or Range(0, 10),
+    )
+
+
+class TestSnapshots:
+    def test_snapshot_reflects_state(self):
+        peer = make_peer()
+        peer.left_child = info(4, 7, 70)
+        snap = peer.snapshot()
+        assert snap.address == peer.address
+        assert snap.position == peer.position
+        assert snap.range == peer.range
+        assert snap.left_child == Address(70)
+        assert snap.right_child is None
+
+    def test_is_leaf(self):
+        peer = make_peer()
+        assert peer.is_leaf
+        peer.right_child = info(4, 8, 80)
+        assert not peer.is_leaf
+
+
+class TestAcceptance:
+    def test_tables_full_vacuous_for_root(self):
+        root = BatonPeer(Address(1), Position(0, 1), Range(0, 10))
+        assert root.tables_full()
+        assert root.can_accept_child()
+
+    def test_cannot_accept_with_incomplete_tables(self):
+        peer = make_peer(level=2, number=2)
+        assert not peer.tables_full()
+        assert not peer.can_accept_child()
+
+    def test_cannot_accept_with_two_children(self):
+        root = BatonPeer(Address(1), Position(0, 1), Range(0, 10))
+        root.left_child = info(1, 1, 11)
+        root.right_child = info(1, 2, 12)
+        assert not root.can_accept_child()
+
+
+class TestTableSlots:
+    def test_slot_for_power_of_two_neighbour(self):
+        peer = make_peer(level=3, number=4)
+        assert peer.table_slot_for(Position(3, 5)) == (RIGHT, 0)
+        assert peer.table_slot_for(Position(3, 6)) == (RIGHT, 1)
+        assert peer.table_slot_for(Position(3, 8)) == (RIGHT, 2)
+        assert peer.table_slot_for(Position(3, 3)) == (LEFT, 0)
+        assert peer.table_slot_for(Position(3, 2)) == (LEFT, 1)
+
+    def test_slot_rejects_non_power_distance(self):
+        peer = make_peer(level=3, number=1)
+        assert peer.table_slot_for(Position(3, 4)) is None  # distance 3
+
+    def test_slot_rejects_other_level(self):
+        peer = make_peer(level=3, number=4)
+        assert peer.table_slot_for(Position(2, 2)) is None
+
+    def test_slot_rejects_self(self):
+        peer = make_peer(level=3, number=4)
+        assert peer.table_slot_for(Position(3, 4)) is None
+
+    def test_set_and_clear_table_entry(self):
+        peer = make_peer(level=3, number=4)
+        assert peer.set_table_entry(info(3, 6, 60))
+        assert peer.right_table.get(1).address == Address(60)
+        assert peer.clear_table_entry(Position(3, 6))
+        assert peer.right_table.get(1) is None
+
+    def test_set_table_entry_ignores_non_neighbours(self):
+        peer = make_peer(level=3, number=1)
+        assert not peer.set_table_entry(info(3, 4, 40))
+
+
+class TestLinkMaintenance:
+    def test_iter_links_covers_everything(self):
+        peer = make_peer(level=2, number=2, address=1)
+        peer.parent = info(1, 1, 10)
+        peer.left_child = info(3, 3, 30)
+        peer.left_adjacent = info(3, 3, 30)
+        peer.set_table_entry(info(2, 1, 21))
+        kinds = {kind for kind, _ in peer.iter_links()}
+        assert kinds == {"parent", "left_child", "left_adjacent", "left_table"}
+
+    def test_link_addresses_deduplicated(self):
+        peer = make_peer(level=2, number=2)
+        peer.left_child = info(3, 3, 30)
+        peer.left_adjacent = info(3, 3, 30)
+        assert peer.link_addresses() == [Address(30)]
+
+    def test_update_link_info_refreshes_all_slots(self):
+        peer = make_peer(level=2, number=2)
+        peer.left_child = info(3, 3, 30)
+        peer.left_adjacent = info(3, 3, 30)
+        fresh = info(3, 3, 30, range_=Range(5, 9))
+        assert peer.update_link_info(fresh) == 2
+        assert peer.left_child.range == Range(5, 9)
+        assert peer.left_adjacent.range == Range(5, 9)
+
+    def test_update_link_info_drops_moved_table_entry(self):
+        peer = make_peer(level=3, number=4)
+        peer.set_table_entry(info(3, 5, 50))
+        moved = info(4, 9, 50)  # same address, new position
+        peer.update_link_info(moved)
+        assert peer.right_table.get(0) is None
+
+    def test_replace_link_address(self):
+        peer = make_peer(level=2, number=2)
+        peer.parent = info(1, 1, 10)
+        replacement = info(1, 1, 99)
+        assert peer.replace_link_address(Address(10), replacement) == 1
+        assert peer.parent.address == Address(99)
+
+    def test_move_to_clears_links(self):
+        peer = make_peer(level=2, number=2)
+        peer.parent = info(1, 1, 10)
+        peer.set_table_entry(info(2, 1, 21))
+        peer.store.insert(42)
+        peer.move_to(Position(3, 5))
+        assert peer.position == Position(3, 5)
+        assert peer.parent is None
+        assert peer.left_table.owner == Position(3, 5)
+        assert 42 in peer.store  # data travels with the peer

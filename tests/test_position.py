@@ -1,0 +1,146 @@
+"""Unit tests for tree-position arithmetic (repro.core.ids)."""
+
+import pytest
+
+from repro.core.ids import Position, ROOT
+
+
+class TestConstruction:
+    def test_root(self):
+        assert ROOT.level == 0
+        assert ROOT.number == 1
+        assert ROOT.is_root
+
+    def test_rejects_negative_level(self):
+        with pytest.raises(ValueError):
+            Position(-1, 1)
+
+    def test_rejects_number_below_one(self):
+        with pytest.raises(ValueError):
+            Position(2, 0)
+
+    def test_rejects_number_above_level_width(self):
+        with pytest.raises(ValueError):
+            Position(2, 5)
+
+    def test_boundary_numbers_accepted(self):
+        assert Position(3, 1).number == 1
+        assert Position(3, 8).number == 8
+
+
+class TestFamily:
+    def test_children_of_root(self):
+        assert ROOT.left_child() == Position(1, 1)
+        assert ROOT.right_child() == Position(1, 2)
+
+    def test_parent_of_children(self):
+        for node in (Position(3, 1), Position(3, 8), Position(5, 19)):
+            assert node.left_child().parent() == node
+            assert node.right_child().parent() == node
+
+    def test_root_has_no_parent(self):
+        assert ROOT.parent() is None
+
+    def test_left_children_are_odd(self):
+        assert Position(2, 1).is_left_child
+        assert Position(2, 3).is_left_child
+        assert not Position(2, 2).is_left_child
+
+    def test_right_children_are_even(self):
+        assert Position(2, 2).is_right_child
+        assert Position(2, 4).is_right_child
+        assert not Position(2, 3).is_right_child
+
+    def test_root_is_neither_side(self):
+        assert not ROOT.is_left_child
+        assert not ROOT.is_right_child
+
+    def test_sibling(self):
+        assert Position(2, 1).sibling() == Position(2, 2)
+        assert Position(2, 2).sibling() == Position(2, 1)
+        assert ROOT.sibling() is None
+
+    def test_ancestor_at(self):
+        node = Position(4, 11)
+        assert node.ancestor_at(4) == node
+        assert node.ancestor_at(3) == node.parent()
+        assert node.ancestor_at(0) == ROOT
+
+    def test_ancestor_at_rejects_deeper_level(self):
+        with pytest.raises(ValueError):
+            Position(2, 3).ancestor_at(3)
+
+    def test_is_ancestor_of(self):
+        assert ROOT.is_ancestor_of(Position(3, 5))
+        assert Position(1, 2).is_ancestor_of(Position(2, 4))
+        assert not Position(1, 1).is_ancestor_of(Position(2, 4))
+        assert not Position(2, 3).is_ancestor_of(Position(2, 3))
+
+
+class TestTableGeometry:
+    def test_left_positions_of_edge_node(self):
+        assert list(Position(3, 1).left_table_positions()) == []
+
+    def test_right_positions_of_edge_node(self):
+        assert list(Position(3, 8).right_table_positions()) == []
+
+    def test_left_positions_powers_of_two(self):
+        positions = list(Position(3, 8).left_table_positions())
+        assert [p.number for p in positions] == [7, 6, 4]
+
+    def test_right_positions_powers_of_two(self):
+        positions = list(Position(3, 1).right_table_positions())
+        assert [p.number for p in positions] == [2, 3, 5]
+
+    def test_table_position_by_index(self):
+        node = Position(4, 8)
+        assert node.table_position("left", 0) == Position(4, 7)
+        assert node.table_position("left", 2) == Position(4, 4)
+        assert node.table_position("right", 3) == Position(4, 16)
+
+    def test_table_position_out_of_range_is_none(self):
+        assert Position(3, 1).table_position("left", 0) is None
+        assert Position(3, 8).table_position("right", 0) is None
+
+    def test_table_position_rejects_bad_side(self):
+        with pytest.raises(ValueError):
+            Position(3, 4).table_position("up", 0)
+
+
+class TestInorderOrder:
+    def test_left_child_precedes_parent(self):
+        node = Position(2, 3)
+        assert node.left_child().inorder_lt(node)
+        assert not node.inorder_lt(node.left_child())
+
+    def test_parent_precedes_right_child(self):
+        node = Position(2, 3)
+        assert node.inorder_lt(node.right_child())
+
+    def test_inorder_matches_recursive_traversal(self):
+        def traverse(node: Position, depth: int):
+            if depth == 0:
+                return [node]
+            return (
+                traverse(node.left_child(), depth - 1)
+                + [node]
+                + traverse(node.right_child(), depth - 1)
+            )
+
+        full_tree = traverse(ROOT, 4)
+        for before, after in zip(full_tree, full_tree[1:]):
+            assert before.inorder_lt(after)
+
+    def test_inorder_key_in_unit_interval(self):
+        for position in (ROOT, Position(3, 1), Position(3, 8), Position(10, 512)):
+            assert 0.0 < position.inorder_key() < 1.0
+
+    def test_inorder_is_total_order(self):
+        nodes = [Position(level, n) for level in range(5) for n in range(1, 2**level + 1)]
+        for a in nodes:
+            for b in nodes:
+                if a == b:
+                    assert not a.inorder_lt(b)
+                    assert not b.inorder_lt(a)
+                else:
+                    assert a.inorder_lt(b) != b.inorder_lt(a)

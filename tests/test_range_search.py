@@ -1,0 +1,73 @@
+"""Protocol tests: range search (§IV-B)."""
+
+import math
+
+import pytest
+
+from repro.core import BatonNetwork
+
+from tests.conftest import make_network
+
+
+class TestCompleteness:
+    def test_returns_exactly_the_keys_in_range(self, net100, rng):
+        keys = [rng.randint(1, 10**9 - 1) for _ in range(400)]
+        net100.bulk_load(keys)
+        for _ in range(30):
+            low = rng.randint(1, 9 * 10**8)
+            high = low + rng.randint(1, 10**8)
+            result = net100.search_range(low, high)
+            assert sorted(result.keys) == sorted(
+                k for k in keys if low <= k < high
+            )
+
+    def test_full_domain_scan_returns_everything(self, net20, rng):
+        keys = [rng.randint(1, 10**9 - 1) for _ in range(100)]
+        net20.bulk_load(keys)
+        result = net20.search_range(1, 10**9)
+        assert sorted(result.keys) == sorted(keys)
+        assert result.nodes_visited == net20.size
+
+    def test_empty_answer(self, net20):
+        result = net20.search_range(500, 600)
+        assert result.keys == []
+        assert result.nodes_visited >= 1
+
+    def test_owners_are_contiguous_in_key_order(self, net100):
+        result = net100.search_range(2 * 10**8, 4 * 10**8)
+        ranges = [net100.peer(a).range for a in result.owners]
+        for before, after in zip(ranges, ranges[1:]):
+            assert before.high == after.low
+
+    def test_rejects_empty_interval(self, net20):
+        with pytest.raises(ValueError):
+            net20.search_range(10, 10)
+        with pytest.raises(ValueError):
+            net20.search_range(20, 10)
+
+    def test_singleton_network(self):
+        net = BatonNetwork(seed=0)
+        root = net.bootstrap()
+        net.peer(root).store.insert(42)
+        result = net.search_range(40, 50)
+        assert result.keys == [42]
+
+
+class TestCost:
+    def test_cost_is_log_plus_answer_nodes(self, rng):
+        # O(log N) to reach the first intersection, then 1 per covered node.
+        for n_peers in (64, 256):
+            net = make_network(n_peers, seed=5)
+            for _ in range(20):
+                low = rng.randint(1, 8 * 10**8)
+                high = low + rng.randint(10**6, 10**8)
+                result = net.search_range(low, high)
+                bound = 1.44 * math.log2(n_peers) + 4 + result.nodes_visited
+                assert result.trace.total <= bound
+
+    def test_wide_range_dominated_by_answer_size(self):
+        net = make_network(128, seed=6)
+        result = net.search_range(1, 10**9)
+        # one expansion hop per additional covered node
+        assert result.trace.total <= math.ceil(1.44 * math.log2(128)) + net.size
+        assert result.nodes_visited == net.size

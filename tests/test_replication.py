@@ -1,0 +1,127 @@
+"""Tests for the adjacent-replica durability extension."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core import BatonConfig, BatonNetwork, check_invariants
+from repro.core import replication
+from repro.workloads.generators import uniform_keys
+
+
+def replicated_net(n_peers=30, seed=3) -> BatonNetwork:
+    config = BatonConfig(replication=True)
+    return BatonNetwork.build(n_peers, seed=seed, config=config)
+
+
+def stored_multiset(net: BatonNetwork) -> Counter:
+    counter: Counter = Counter()
+    for peer in net.peers.values():
+        counter.update(peer.store)
+    return counter
+
+
+class TestWriteThrough:
+    def test_insert_mirrors_at_adjacent(self):
+        net = replicated_net()
+        result = net.insert(123_456)
+        owner = net.peer(result.owner)
+        holder = replication.replica_holder(net, owner)
+        assert holder is not None
+        assert 123_456 in holder.replicas[owner.address]
+
+    def test_delete_unmirrors(self):
+        net = replicated_net()
+        result = net.insert(9_999)
+        owner = net.peer(result.owner)
+        holder = replication.replica_holder(net, owner)
+        net.delete(9_999)
+        assert 9_999 not in holder.replicas.get(owner.address, [])
+
+    def test_replication_costs_one_message_per_update(self):
+        net = replicated_net()
+        result = net.insert(55_555)
+        from repro.net.message import MsgType
+
+        assert result.trace.count(MsgType.REPLICATE) == 1
+
+    def test_disabled_by_default(self):
+        net = BatonNetwork.build(10, seed=1)
+        net.insert(42)
+        assert all(not p.replicas for p in net.peers.values())
+
+
+class TestAntiEntropy:
+    def test_refresh_mirrors_every_store(self):
+        net = replicated_net()
+        keys = uniform_keys(200, seed=2)
+        net.bulk_load(keys)
+        messages = net.refresh_replicas()
+        assert messages == net.size
+        mirrored = Counter()
+        for peer in net.peers.values():
+            for replica in peer.replicas.values():
+                mirrored.update(replica)
+        assert mirrored == stored_multiset(net)
+
+    def test_refresh_noop_when_disabled(self):
+        net = BatonNetwork.build(10, seed=1)
+        assert net.refresh_replicas() == 0
+
+
+class TestRecovery:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_failed_leaf_data_recovered(self, seed):
+        net = replicated_net(n_peers=40, seed=seed)
+        keys = uniform_keys(400, seed=seed + 1)
+        for key in keys:
+            net.insert(key)
+        before = stored_multiset(net)
+        victim = next(a for a, p in net.peers.items() if p.is_leaf)
+        net.fail(victim)
+        net.repair(victim)
+        check_invariants(net)
+        assert stored_multiset(net) == before
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_failed_internal_data_recovered(self, seed):
+        net = replicated_net(n_peers=40, seed=seed)
+        keys = uniform_keys(400, seed=seed + 1)
+        for key in keys:
+            net.insert(key)
+        before = stored_multiset(net)
+        victim = next(a for a, p in net.peers.items() if not p.is_leaf)
+        net.fail(victim)
+        net.repair(victim)
+        check_invariants(net)
+        assert stored_multiset(net) == before
+
+    def test_recovery_after_churn_with_refresh(self):
+        net = replicated_net(n_peers=40, seed=9)
+        for key in uniform_keys(300, seed=5):
+            net.insert(key)
+        import random
+
+        mix = random.Random(7)
+        for _ in range(15):
+            net.leave(mix.choice(net.addresses()))
+            net.join()
+        net.refresh_replicas()  # anti-entropy re-anchors mirrors
+        before = stored_multiset(net)
+        victim = mix.choice(net.addresses())
+        net.fail(victim)
+        net.repair(victim)
+        check_invariants(net)
+        assert stored_multiset(net) == before
+
+    def test_searches_find_recovered_keys(self):
+        net = replicated_net(n_peers=30, seed=11)
+        keys = uniform_keys(200, seed=6)
+        for key in keys:
+            net.insert(key)
+        victim = net.random_peer_address()
+        lost = list(net.peer(victim).store)
+        net.fail(victim)
+        net.repair(victim)
+        for key in lost:
+            assert net.search_exact(key).found, key

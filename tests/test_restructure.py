@@ -1,0 +1,149 @@
+"""Protocol tests: network restructuring (§III-E forced shifts)."""
+
+import pytest
+
+from repro.core import BatonNetwork, check_invariants
+from repro.core.ids import Position
+from repro.core.links import LEFT, RIGHT
+from repro.core.peer import BatonPeer
+from repro.core.ranges import Range
+from repro.core import restructure
+from repro.core.leave import can_depart_simply
+
+from tests.conftest import make_network
+
+
+class TestMapHelpers:
+    def test_inorder_neighbors_match_sorted_order(self):
+        net = make_network(45, seed=2)
+        import functools
+
+        positions = sorted(
+            net._positions,
+            key=functools.cmp_to_key(
+                lambda a, b: -1 if a.inorder_lt(b) else (1 if b.inorder_lt(a) else 0)
+            ),
+        )
+        for before, after in zip(positions, positions[1:]):
+            assert restructure.inorder_neighbor_position(net, before, RIGHT) == after
+            assert restructure.inorder_neighbor_position(net, after, LEFT) == before
+        assert restructure.inorder_neighbor_position(net, positions[0], LEFT) is None
+        assert restructure.inorder_neighbor_position(net, positions[-1], RIGHT) is None
+
+    def test_map_snapshot_matches_peer(self):
+        net = make_network(20, seed=3)
+        for position, address in net._positions.items():
+            snap = restructure.map_snapshot(net, position)
+            peer = net.peer(address)
+            assert snap.address == address
+            assert snap.range == peer.range
+            assert snap.left_child == net.occupant(position.left_child())
+
+    def test_map_snapshot_of_empty_slot_is_none(self):
+        net = make_network(5, seed=3)
+        assert restructure.map_snapshot(net, Position(9, 1)) is None
+
+    def test_refresh_links_reproduces_state(self):
+        net = make_network(30, seed=4)
+        victim = net.peer(net.random_peer_address())
+        before = {
+            "parent": victim.parent.address if victim.parent else None,
+            "left": victim.left_adjacent.address if victim.left_adjacent else None,
+            "right": victim.right_adjacent.address if victim.right_adjacent else None,
+        }
+        restructure.refresh_links_from_map(net, victim)
+        after = {
+            "parent": victim.parent.address if victim.parent else None,
+            "left": victim.left_adjacent.address if victim.left_adjacent else None,
+            "right": victim.right_adjacent.address if victim.right_adjacent else None,
+        }
+        assert before == after
+        check_invariants(net)
+
+
+def find_forced_parent(net: BatonNetwork) -> BatonPeer:
+    """A leaf whose tables are not full: forced join there must restructure."""
+    for peer in net.peers.values():
+        if peer.is_leaf and not peer.tables_full() and peer.range.width > 4:
+            return peer
+    raise AssertionError("expected at least one frontier leaf with sparse tables")
+
+
+class TestForcedJoin:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 5])
+    def test_forced_add_child_restores_invariants(self, seed):
+        net = make_network(37, seed=seed)
+        target = find_forced_parent(net)
+        newcomer = BatonPeer(net.alloc.allocate(), Position(0, 1), Range(0, 1))
+        side = LEFT if target.left_child is None else RIGHT
+        moves = restructure.forced_add_child(net, target, side, newcomer)
+        assert moves >= 1  # sparse tables mean a shift was required
+        assert newcomer.address in net.peers
+        check_invariants(net)
+
+    def test_forced_add_child_on_acceptable_parent_is_plain_join(self):
+        net = make_network(37, seed=3)
+        target = next(p for p in net.peers.values() if p.can_accept_child())
+        newcomer = BatonPeer(net.alloc.allocate(), Position(0, 1), Range(0, 1))
+        side = LEFT if target.left_child is None else RIGHT
+        moves = restructure.forced_add_child(net, target, side, newcomer)
+        assert moves == 0
+        check_invariants(net)
+
+    def test_forced_join_splits_content(self):
+        net = make_network(37, seed=1)
+        target = find_forced_parent(net)
+        for key in range(target.range.low, target.range.low + 50):
+            target.store.insert(key)
+        newcomer = BatonPeer(net.alloc.allocate(), Position(0, 1), Range(0, 1))
+        side = LEFT if target.left_child is None else RIGHT
+        restructure.forced_add_child(net, target, side, newcomer)
+        assert len(newcomer.store) == 25
+        assert len(target.store) == 25
+
+    def test_shift_sizes_recorded(self):
+        net = make_network(37, seed=0)
+        before = len(net.stats.restructure_shift_sizes)
+        target = find_forced_parent(net)
+        newcomer = BatonPeer(net.alloc.allocate(), Position(0, 1), Range(0, 1))
+        side = LEFT if target.left_child is None else RIGHT
+        restructure.forced_add_child(net, target, side, newcomer)
+        assert len(net.stats.restructure_shift_sizes) == before + 1
+
+
+class TestForcedRemoval:
+    def find_unsafe_leaf(self, net: BatonNetwork) -> BatonPeer:
+        for peer in net.peers.values():
+            if peer.is_leaf and not can_depart_simply(peer) and peer.parent:
+                return peer
+        raise AssertionError("expected an unsafe leaf")
+
+    @pytest.mark.parametrize("seed", [0, 1, 4])
+    def test_depart_with_restructure_restores_invariants(self, seed):
+        net = make_network(41, seed=seed)
+        victim = self.find_unsafe_leaf(net)
+        moves = restructure.depart_with_restructure(
+            net, victim, content_target="right_adjacent"
+        )
+        assert victim.address not in net.peers
+        assert moves >= 1
+        check_invariants(net)
+
+    def test_content_flows_to_named_adjacent(self):
+        net = make_network(41, seed=2)
+        victim = self.find_unsafe_leaf(net)
+        victim.store.insert(victim.range.low)
+        absorber_info = victim.right_adjacent or victim.left_adjacent
+        key = victim.range.low
+        restructure.depart_with_restructure(net, victim, content_target="right_adjacent")
+        absorber = net.peer(absorber_info.address)
+        assert key in absorber.store
+        check_invariants(net)
+
+    def test_rejects_internal_node(self):
+        net = make_network(41, seed=2)
+        internal = next(p for p in net.peers.values() if not p.is_leaf)
+        from repro.util.errors import ProtocolError
+
+        with pytest.raises(ProtocolError):
+            restructure.depart_with_restructure(net, internal, content_target="parent")

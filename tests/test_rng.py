@@ -1,0 +1,56 @@
+"""Unit tests for seeded randomness (repro.util.rng)."""
+
+from repro.util.rng import SeededRng, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "a", "b") == derive_seed(42, "a", "b")
+
+    def test_label_sensitivity(self):
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+
+    def test_base_sensitivity(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_path_is_not_concatenation(self):
+        assert derive_seed(42, "ab") != derive_seed(42, "a", "b")
+
+
+class TestSeededRng:
+    def test_same_seed_same_stream(self):
+        a, b = SeededRng(7), SeededRng(7)
+        assert [a.randint(0, 100) for _ in range(10)] == [
+            b.randint(0, 100) for _ in range(10)
+        ]
+
+    def test_child_streams_independent_of_parent_draws(self):
+        parent = SeededRng(7)
+        child_before = parent.child("x").randint(0, 10**9)
+        parent.randint(0, 100)  # consume parent randomness
+        child_after = SeededRng(7).child("x").randint(0, 10**9)
+        assert child_before == child_after
+
+    def test_choice_and_sample(self):
+        rng = SeededRng(1)
+        items = list(range(20))
+        assert rng.choice(items) in items
+        sample = rng.sample(items, 5)
+        assert len(set(sample)) == 5
+
+    def test_shuffle_in_place_is_permutation(self):
+        rng = SeededRng(2)
+        items = list(range(30))
+        shuffled = items[:]
+        rng.shuffle(shuffled)
+        assert sorted(shuffled) == items
+
+    def test_uniform_bounds(self):
+        rng = SeededRng(3)
+        for _ in range(100):
+            assert 2.0 <= rng.uniform(2.0, 5.0) < 5.0
+
+    def test_weighted_choice_respects_weights(self):
+        rng = SeededRng(4)
+        outcomes = [rng.weighted_choice(["a", "b"], [0.999, 0.001]) for _ in range(200)]
+        assert outcomes.count("a") > 180

@@ -1,0 +1,93 @@
+"""Protocol tests: exact-match search (§IV-A)."""
+
+import math
+
+import pytest
+
+from repro.core import BatonNetwork
+from repro.core.ranges import Range
+from repro.net.message import MsgType
+
+from tests.conftest import make_network
+
+
+class TestCorrectness:
+    def test_finds_loaded_keys_from_random_starts(self, net100, rng):
+        keys = [rng.randint(1, 10**9 - 1) for _ in range(300)]
+        net100.bulk_load(keys)
+        for key in rng.sample(keys, 100):
+            result = net100.search_exact(key)
+            assert result.found
+            assert key in net100.peer(result.owner).store
+
+    def test_missing_key_reports_owner(self, net100):
+        result = net100.search_exact(123_456_789)
+        assert not result.found
+        assert net100.peer(result.owner).range.contains(123_456_789)
+
+    def test_search_from_every_start(self, net20, rng):
+        keys = [rng.randint(1, 10**9 - 1) for _ in range(50)]
+        net20.bulk_load(keys)
+        for start in net20.addresses():
+            key = rng.choice(keys)
+            assert net20.search_exact(key, via=start).found
+
+    def test_singleton_network(self):
+        net = BatonNetwork(seed=0)
+        root = net.bootstrap()
+        net.peer(root).store.insert(7)
+        assert net.search_exact(7).found
+        assert not net.search_exact(8).found
+
+    def test_search_at_range_boundaries(self, net20):
+        # Keys exactly on peers' range boundaries route to the upper owner.
+        for peer in list(net20.peers.values())[:10]:
+            result = net20.search_exact(peer.range.low)
+            assert net20.peer(result.owner).range.contains(peer.range.low)
+
+    def test_key_below_domain_lands_leftmost(self, net20):
+        result = net20.search_exact(0)
+        assert result.owner == net20.leftmost_peer().address
+        assert not result.found
+
+    def test_key_above_domain_lands_rightmost(self, net20):
+        result = net20.search_exact(10**10)
+        assert result.owner == net20.rightmost_peer().address
+        assert not result.found
+
+
+class TestCost:
+    def test_hop_count_logarithmic(self, rng):
+        for n_peers in (64, 256):
+            net = make_network(n_peers, seed=2)
+            keys = [rng.randint(1, 10**9 - 1) for _ in range(200)]
+            net.bulk_load(keys)
+            costs = [net.search_exact(k).trace.total for k in keys]
+            bound = 1.44 * math.log2(n_peers) + 4
+            assert sum(costs) / len(costs) <= bound
+            assert max(costs) <= 2 * bound
+
+    def test_messages_tagged_as_search(self, net20):
+        result = net20.search_exact(5_000_000)
+        assert result.trace.total == result.trace.count(MsgType.SEARCH)
+
+    def test_query_at_owner_costs_zero(self, net20, rng):
+        key = rng.randint(1, 10**9 - 1)
+        owner = net20.search_exact(key).owner
+        result = net20.search_exact(key, via=owner)
+        assert result.trace.total == 0
+
+
+class TestAgainstOracle:
+    def test_owner_matches_range_partition(self, net100, rng):
+        # The peer found by routing must be the one whose range covers the
+        # key according to the global partition.
+        by_low = sorted(net100.peers.values(), key=lambda p: p.range.low)
+        for _ in range(100):
+            key = rng.randint(1, 10**9 - 1)
+            owner = net100.search_exact(key).owner
+            import bisect
+
+            lows = [p.range.low for p in by_low]
+            expected = by_low[bisect.bisect_right(lows, key) - 1]
+            assert owner == expected.address

@@ -1,0 +1,115 @@
+"""Unit tests for the discrete-event engine (repro.sim)."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.latency import ConstantLatency, ExponentialLatency, UniformLatency
+from repro.util.rng import SeededRng
+
+
+class TestSimulator:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(3.0, lambda: order.append("c"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(2.0, lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_by_scheduling_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, lambda: order.append("first"))
+        sim.schedule(1.0, lambda: order.append("second"))
+        sim.run()
+        assert order == ["first", "second"]
+
+    def test_clock_advances(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(2.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [2.5]
+        assert sim.now == 2.5
+
+    def test_schedule_during_run(self):
+        sim = Simulator()
+        order = []
+
+        def chain():
+            order.append("one")
+            sim.schedule(1.0, lambda: order.append("two"))
+
+        sim.schedule(1.0, chain)
+        sim.run()
+        assert order == ["one", "two"]
+        assert sim.now == 2.0
+
+    def test_rejects_negative_delay(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(1.0, lambda: None)  # in the past now
+
+    def test_run_until_partial(self):
+        sim = Simulator()
+        order = []
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule(t, lambda t=t: order.append(t))
+        executed = sim.run_until(2.0)
+        assert executed == 2
+        assert order == [1.0, 2.0]
+        assert sim.pending_count == 1
+        assert sim.now == 2.0
+
+    def test_run_max_events(self):
+        sim = Simulator()
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule(t, lambda: None)
+        assert sim.run(max_events=2) == 2
+        assert sim.pending_count == 1
+
+    def test_step_on_empty_queue(self):
+        assert Simulator().step() is None
+
+    def test_executed_count(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.executed_count == 1
+
+
+class TestLatencyModels:
+    def test_constant(self):
+        model = ConstantLatency(2.5)
+        assert model.sample() == 2.5
+
+    def test_constant_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ConstantLatency(-1.0)
+
+    def test_uniform_within_bounds(self):
+        model = UniformLatency(1.0, 2.0, SeededRng(3))
+        for _ in range(100):
+            assert 1.0 <= model.sample() < 2.0
+
+    def test_uniform_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            UniformLatency(2.0, 1.0, SeededRng(3))
+
+    def test_exponential_positive_with_roughly_right_mean(self):
+        model = ExponentialLatency(2.0, SeededRng(5))
+        samples = [model.sample() for _ in range(2000)]
+        assert all(s >= 0 for s in samples)
+        assert 1.7 < sum(samples) / len(samples) < 2.3
+
+    def test_exponential_rejects_nonpositive_mean(self):
+        with pytest.raises(ValueError):
+            ExponentialLatency(0.0, SeededRng(1))

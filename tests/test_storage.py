@@ -1,0 +1,103 @@
+"""Unit tests for the local key store (repro.core.storage)."""
+
+from repro.core.storage import LocalStore
+
+
+class TestBasics:
+    def test_empty(self):
+        store = LocalStore()
+        assert len(store) == 0
+        assert store.min() is None
+        assert store.max() is None
+        assert store.median() is None
+
+    def test_insert_keeps_sorted_order(self):
+        store = LocalStore()
+        for key in (5, 1, 9, 3):
+            store.insert(key)
+        assert list(store) == [1, 3, 5, 9]
+
+    def test_duplicates_are_kept(self):
+        store = LocalStore([4, 4, 4])
+        store.insert(4)
+        assert len(store) == 4
+
+    def test_contains(self):
+        store = LocalStore([2, 4, 6])
+        assert 4 in store
+        assert 5 not in store
+
+    def test_delete_removes_one_occurrence(self):
+        store = LocalStore([7, 7, 8])
+        assert store.delete(7)
+        assert list(store) == [7, 8]
+
+    def test_delete_missing_returns_false(self):
+        store = LocalStore([1, 2])
+        assert not store.delete(99)
+        assert len(store) == 2
+
+    def test_clear_returns_everything(self):
+        store = LocalStore([3, 1, 2])
+        assert store.clear() == [1, 2, 3]
+        assert len(store) == 0
+
+    def test_extend_merges_sorted(self):
+        store = LocalStore([5, 1])
+        store.extend([3, 2])
+        assert list(store) == [1, 2, 3, 5]
+
+
+class TestRangeQueries:
+    def test_count_in(self):
+        store = LocalStore([1, 3, 5, 7, 9])
+        assert store.count_in(3, 8) == 3
+        assert store.count_in(0, 100) == 5
+        assert store.count_in(4, 5) == 0
+
+    def test_keys_in_half_open(self):
+        store = LocalStore([1, 3, 5, 7])
+        assert store.keys_in(3, 7) == [3, 5]
+
+    def test_keys_in_with_duplicates(self):
+        store = LocalStore([2, 2, 2, 3])
+        assert store.keys_in(2, 3) == [2, 2, 2]
+
+
+class TestAggregates:
+    def test_min_max(self):
+        store = LocalStore([42, 7, 19])
+        assert store.min() == 7
+        assert store.max() == 42
+
+    def test_median_odd(self):
+        assert LocalStore([1, 2, 3]).median() == 2
+
+    def test_median_even_takes_upper(self):
+        assert LocalStore([1, 2, 3, 4]).median() == 3
+
+
+class TestSplits:
+    def test_split_below(self):
+        store = LocalStore([1, 3, 5, 7])
+        moved = store.split_below(5)
+        assert moved == [1, 3]
+        assert list(store) == [5, 7]
+
+    def test_split_at_or_above(self):
+        store = LocalStore([1, 3, 5, 7])
+        moved = store.split_at_or_above(5)
+        assert moved == [5, 7]
+        assert list(store) == [1, 3]
+
+    def test_split_below_everything(self):
+        store = LocalStore([1, 2])
+        assert store.split_below(10) == [1, 2]
+        assert len(store) == 0
+
+    def test_split_preserves_total(self):
+        store = LocalStore(range(100))
+        moved = store.split_below(37)
+        assert len(moved) + len(store) == 100
+        assert all(k < 37 for k in moved)
+        assert all(k >= 37 for k in store)

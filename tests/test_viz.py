@@ -1,0 +1,72 @@
+"""Tests for the inspection helpers (repro.core.viz)."""
+
+from repro.core import BatonNetwork
+from repro.core import viz
+
+from tests.conftest import make_network
+
+
+class TestRenderTree:
+    def test_empty(self):
+        assert "empty" in viz.render_tree(BatonNetwork(seed=0))
+
+    def test_contains_every_peer(self):
+        net = make_network(15, seed=1)
+        text = viz.render_tree(net)
+        for address in net.addresses():
+            assert f"addr={address}" in text
+
+    def test_max_level_prunes(self):
+        net = make_network(31, seed=1)
+        shallow = viz.render_tree(net, max_level=1)
+        assert len(shallow.splitlines()) == 3  # root + two children
+
+    def test_failed_peer_marked(self):
+        net = make_network(10, seed=2)
+        victim = net.random_peer_address()
+        net.fail(victim)
+        assert "FAILED" in viz.render_tree(net)
+
+
+class TestRenderRangeMap:
+    def test_legend_lists_peers_in_key_order(self):
+        net = make_network(8, seed=3)
+        text = viz.render_range_map(net)
+        lows = []
+        for line in text.splitlines()[1:]:
+            lows.append(int(line.split("[")[1].split(",")[0]))
+        assert lows == sorted(lows)
+
+    def test_bar_is_bounded(self):
+        net = make_network(20, seed=3)
+        bar = viz.render_range_map(net, width=50).splitlines()[0]
+        assert bar.startswith("|") and bar.endswith("|")
+
+    def test_empty(self):
+        assert "empty" in viz.render_range_map(BatonNetwork(seed=0))
+
+
+class TestRenderPeer:
+    def test_dump_mentions_tables_and_links(self):
+        net = make_network(20, seed=4)
+        address = net.random_peer_address()
+        text = viz.render_peer(net, address)
+        assert "left table" in text
+        assert "right table" in text
+        assert "adjacent" in text
+
+    def test_dead_peer(self):
+        net = make_network(5, seed=4)
+        assert "not alive" in viz.render_peer(net, 999)
+
+
+class TestLevelHistogram:
+    def test_counts_match(self):
+        net = make_network(31, seed=5)
+        text = viz.level_histogram(net)
+        import re
+
+        total = sum(
+            int(match) for match in re.findall(r"level\s+\d+:\s+(\d+)", text)
+        )
+        assert total == net.size
