@@ -1,0 +1,29 @@
+"""Benchmark for the concurrent-dynamics experiment (event-driven runtime).
+
+Times the churn-racing-queries sweep and checks its qualitative shape:
+full success with no churn, graceful degradation (not collapse) as churn
+intensity grows, and a structure that repairs/reconciles clean.
+"""
+
+from benchmarks.conftest import attach_series
+from repro.experiments import concurrent_dynamics
+
+
+def test_concurrent_dynamics(benchmark, scale):
+    """Success near 1 at zero churn; bounded degradation under heavy churn."""
+    result = benchmark.pedantic(
+        lambda: concurrent_dynamics.run(scale, churn_rates=(0.0, 1.0, 4.0)),
+        iterations=1,
+        rounds=1,
+    )
+    attach_series(benchmark, result)
+    assert result.rows
+    success = result.column("success")
+    assert success[0] == 1.0  # no churn: every query answered
+    assert all(rate > 0.8 for rate in success)  # degradation, not collapse
+    violations = result.column("violations")
+    assert violations[0] == 0  # quiet network reconciles perfectly clean
+    # under heavy churn a rare residual Theorem-1 imbalance is expected
+    # (stale safe-departure decision); anything more means a real bug
+    assert sum(violations) <= 2, violations
+    assert all(p99 >= p50 for p50, p99 in zip(result.column("p50"), result.column("p99")))

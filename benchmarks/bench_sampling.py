@@ -1,0 +1,79 @@
+"""Micro-benchmark: weighted sampling with and without precomputation.
+
+The Zipfian workload generators draw hundreds of thousands of ranks per
+experiment; the naive approach (rebuilding the weight list and cumulative
+table on every draw) is O(n_ranks) per draw, the precomputed-CDF-plus-
+bisect path is O(log n_ranks).  The test asserts the speedup, not just
+times it, so a regression back to per-draw rebuilds fails loudly.
+"""
+
+import random
+import time
+from itertools import accumulate
+
+from repro.util.rng import SeededRng
+from repro.workloads.generators import ZipfianKeys
+
+N_RANKS = 5_000
+DRAWS = 2_000
+
+
+def _naive_weighted_draws(n_ranks: int, draws: int, seed: int) -> list[int]:
+    """What the hot path must not do: rebuild weights on every draw."""
+    rng = random.Random(seed)
+    out = []
+    for _ in range(draws):
+        weights = [1.0 / (rank**1.0) for rank in range(1, n_ranks + 1)]
+        cumulative = list(accumulate(weights))
+        u = rng.random() * cumulative[-1]
+        lo, hi = 0, n_ranks - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cumulative[mid] < u:
+                lo = mid + 1
+            else:
+                hi = mid
+        out.append(lo + 1)
+    return out
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def test_zipf_bisect_beats_per_draw_rebuild(benchmark):
+    sampler = ZipfianKeys(theta=1.0, n_ranks=N_RANKS, seed=3)
+
+    def fast() -> list[int]:
+        return [sampler.draw_rank() for _ in range(DRAWS)]
+
+    benchmark.pedantic(fast, iterations=1, rounds=3)
+    naive_time = _timed(lambda: _naive_weighted_draws(N_RANKS, DRAWS, seed=3))
+    fast_time = min(_timed(fast) for _ in range(3))
+    benchmark.extra_info["naive_seconds"] = naive_time
+    benchmark.extra_info["fast_seconds"] = fast_time
+    # The naive path is O(n_ranks) per draw; demand a wide, flake-proof margin.
+    assert fast_time * 5 < naive_time, (fast_time, naive_time)
+
+
+def test_weighted_chooser_beats_per_call_choice(benchmark):
+    rng = SeededRng(11)
+    items = list(range(N_RANKS))
+    weights = [1.0 / (rank + 1) for rank in range(N_RANKS)]
+    choose = rng.weighted_chooser(items, weights)
+
+    def fast() -> list[int]:
+        return [choose() for _ in range(DRAWS)]
+
+    def per_call() -> list[int]:
+        other = SeededRng(11)
+        return [other.weighted_choice(items, weights) for _ in range(DRAWS)]
+
+    benchmark.pedantic(fast, iterations=1, rounds=3)
+    per_call_time = _timed(per_call)
+    fast_time = min(_timed(fast) for _ in range(3))
+    benchmark.extra_info["per_call_seconds"] = per_call_time
+    benchmark.extra_info["chooser_seconds"] = fast_time
+    assert fast_time * 5 < per_call_time, (fast_time, per_call_time)

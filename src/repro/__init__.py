@@ -14,6 +14,15 @@ Quickstart::
     hit = net.search_exact(123_456)
     assert hit.found
     span = net.search_range(100_000, 200_000)
+
+Concurrent traffic runs on the event-driven runtime::
+
+    from repro import AsyncBatonNetwork
+
+    anet = AsyncBatonNetwork.build(1000, seed=7)
+    future = anet.submit_search_exact(123_456)
+    anet.drain()
+    assert future.succeeded
 """
 
 from repro.core import (
@@ -25,6 +34,7 @@ from repro.core import (
     check_invariants,
     tree_height,
 )
+from repro.sim import AsyncBatonNetwork, OpFuture
 
 __version__ = "1.0.0"
 
@@ -32,6 +42,8 @@ __all__ = [
     "BatonNetwork",
     "BatonConfig",
     "LoadBalanceConfig",
+    "AsyncBatonNetwork",
+    "OpFuture",
     "Position",
     "Range",
     "check_invariants",

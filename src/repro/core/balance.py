@@ -182,6 +182,10 @@ def _balance_by_rejoin(
     Returns the forced-restructuring shift size, or None if no recruit was
     found within the probe budget.
     """
+    if not overloaded.range.can_split:
+        # A width-1 range cannot hand half of itself to the recruit; raising
+        # mid-episode would strand the recruit after it departed its slot.
+        return None
     victim = _probe_for_light_leaf(net, overloaded, config)
     if victim is None:
         return None

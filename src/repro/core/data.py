@@ -28,7 +28,7 @@ def insert(net: "BatonNetwork", start: Address, key: int) -> DataOpResult:
         )
         owner = net.peer(owner_address)
         if not owner.range.contains(key):
-            _expand_extreme_range(net, owner, key)
+            expand_extreme_range(net, owner, key)
         owner.store.insert(key)
         if net.config.replication:
             from repro.core import replication
@@ -60,7 +60,7 @@ def delete(net: "BatonNetwork", start: Address, key: int) -> DataOpResult:
     return DataOpResult(applied=applied, owner=owner_address, trace=trace)
 
 
-def _expand_extreme_range(net: "BatonNetwork", owner, key: int) -> None:
+def expand_extreme_range(net: "BatonNetwork", owner, key: int) -> None:
     """Extreme-node range expansion for out-of-domain inserts.
 
     Only the leftmost peer (no left adjacent) may grow downward and only the

@@ -31,7 +31,7 @@ if TYPE_CHECKING:
     from repro.core.network import BatonNetwork
 
 
-def _try_message(
+def try_message(
     net: "BatonNetwork", src: Address, dst: Address, mtype: MsgType
 ) -> bool:
     """Send one counted message; False if the target turned out dead.
@@ -77,17 +77,27 @@ def join(net: "BatonNetwork", start: Address) -> JoinResult:
     )
 
 
+def can_accept_join(peer: BatonPeer) -> bool:
+    """Whether ``peer`` may accept a new child right now.
+
+    Algorithm 1's test (full tables, free child slot) plus the range guard:
+    a peer whose range has shrunk to a single key cannot hand half of it to
+    a child, so the walk skips it instead of crashing in the split.
+    """
+    return peer.can_accept_child() and peer.range.can_split
+
+
 def find_join_parent(net: "BatonNetwork", start: Address) -> Address:
     """Algorithm 1: walk the overlay to a node that may accept a child."""
     limit = 8 * max(net.size.bit_length(), 1) + 2 * net.size + 64
     current = start
     for _ in range(limit):
         peer = net.peer(current)
-        if peer.can_accept_child():
+        if can_accept_join(peer):
             return current
         next_hop = None
-        for candidate in _forward_targets(net, peer):
-            if _try_message(net, current, candidate, MsgType.JOIN_FIND):
+        for candidate in forward_targets(net, peer):
+            if try_message(net, current, candidate, MsgType.JOIN_FIND):
                 next_hop = candidate
                 break
         if next_hop is None:
@@ -98,7 +108,7 @@ def find_join_parent(net: "BatonNetwork", start: Address) -> Address:
     raise ProtocolError("join request did not terminate (routing state corrupt?)")
 
 
-def _forward_targets(net: "BatonNetwork", peer: BatonPeer) -> list[Address]:
+def forward_targets(net: "BatonNetwork", peer: BatonPeer) -> list[Address]:
     """Where Algorithm 1 forwards a JOIN request from ``peer``, in order.
 
     The head of the list is the paper's choice; the tail adds §III-D-style
@@ -150,7 +160,7 @@ def choose_split_pivot(net: "BatonNetwork", parent: BatonPeer) -> int:
     *content* (the paper's wording); falls back to the arithmetic midpoint
     when the store is empty or the median sits on a range boundary.
     """
-    if parent.range.width < 2:
+    if not parent.range.can_split:
         raise ProtocolError(
             f"range {parent.range} too narrow to split at {parent.position}"
         )
@@ -218,7 +228,7 @@ def add_child(
         parent.right_adjacent = peer.snapshot()
     if far_adjacent is not None:
         # The one message the new node itself sends (the paper's "+1").
-        _try_message(net, peer.address, far_adjacent.address, MsgType.TABLE_UPDATE)
+        try_message(net, peer.address, far_adjacent.address, MsgType.TABLE_UPDATE)
         far_peer = net.peers.get(far_adjacent.address)
         if far_peer is not None:
             if side == LEFT:
@@ -228,7 +238,7 @@ def add_child(
 
     # --- sibling table entries (the parent's other child) ---------------------
     sibling_info = parent.child_on(RIGHT if side == LEFT else LEFT)
-    if sibling_info is not None and _try_message(
+    if sibling_info is not None and try_message(
         net, parent.address, sibling_info.address, MsgType.TABLE_UPDATE
     ):
         sibling = net.peer(sibling_info.address)
@@ -274,7 +284,7 @@ def _fill_child_tables(net: "BatonNetwork", parent: BatonPeer, child: BatonPeer)
             if w_peer is None:
                 # Parent -> neighbour: announce the new child; the neighbour
                 # also refreshes what it knows about the parent.
-                if not _try_message(
+                if not try_message(
                     net, parent.address, w_info.address, MsgType.TABLE_UPDATE
                 ):
                     continue  # neighbour died concurrently; repair fills in
@@ -289,7 +299,7 @@ def _fill_child_tables(net: "BatonNetwork", parent: BatonPeer, child: BatonPeer)
             if occupant is None:
                 continue  # slot itself is unoccupied
             # Neighbour -> its child: "add the new node to your table".
-            if not _try_message(net, w_peer.address, occupant, MsgType.TABLE_UPDATE):
+            if not try_message(net, w_peer.address, occupant, MsgType.TABLE_UPDATE):
                 continue
             c_peer = net.peer(occupant)
             c_peer.set_table_entry(child.snapshot())

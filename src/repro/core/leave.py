@@ -79,7 +79,7 @@ def leave(net: "BatonNetwork", address: Address) -> LeaveResult:
 
 def find_replacement(net: "BatonNetwork", departing: BatonPeer) -> Address:
     """Algorithm 2: locate a deepest leaf that can safely move."""
-    start = _replacement_entry_point(net, departing)
+    start = replacement_entry_point(net, departing)
     limit = 4 * max(net.size.bit_length(), 2) + 32
     current = start
     for _ in range(limit):
@@ -111,7 +111,7 @@ def find_replacement(net: "BatonNetwork", departing: BatonPeer) -> Address:
     raise ProtocolError("replacement search did not terminate")
 
 
-def _replacement_entry_point(net: "BatonNetwork", departing: BatonPeer) -> Address:
+def replacement_entry_point(net: "BatonNetwork", departing: BatonPeer) -> Address:
     """Where the FINDREPLACEMENT request is first sent."""
     if departing.is_leaf:
         with_children = (

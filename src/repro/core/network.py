@@ -90,6 +90,13 @@ class UpdateChannel:
     in between see stale link state and pay recovery messages, which is
     exactly the effect §V-E measures.
 
+    A third mode serves the event-driven runtime (:mod:`repro.sim.runtime`):
+    when a *delivery sink* is installed, each notification's receiver-side
+    application is handed to the sink, which schedules it on the simulator
+    at a per-message sampled latency.  The channel tracks how many such
+    applications are still in flight so degraded-routing heuristics can
+    tell that link state is transiently stale.
+
     Only fire-and-forget refreshes go through this channel.  Request/response
     handshakes inside join/leave (which the initiator blocks on) are always
     immediate.
@@ -99,6 +106,18 @@ class UpdateChannel:
         self._bus = bus
         self.deferred = False
         self._queue: List[Callable[[], None]] = []
+        self._sink: Optional[Callable[[Address, Callable[[], None]], None]] = None
+        self.in_flight = 0
+
+    def set_sink(
+        self, sink: Optional[Callable[[Address, Callable[[], None]], None]]
+    ) -> None:
+        """Route receiver-side applications through ``sink`` (None restores
+        immediate application).  The sink takes the destination address and
+        a zero-argument deliver callback, and decides when to invoke it —
+        the address lets the runtime drain a peer's in-flight updates before
+        that peer hands its state to a replacement."""
+        self._sink = sink
 
     def notify(
         self,
@@ -112,7 +131,15 @@ class UpdateChannel:
             self._bus.send_typed(src, dst, mtype)
         except PeerNotFoundError:
             return False
-        if self.deferred:
+        if self._sink is not None:
+            self.in_flight += 1
+
+            def deliver() -> None:
+                self.in_flight -= 1
+                apply()
+
+            self._sink(dst, deliver)
+        elif self.deferred:
             self._queue.append(apply)
         else:
             apply()
@@ -120,7 +147,7 @@ class UpdateChannel:
 
     @property
     def pending_count(self) -> int:
-        return len(self._queue)
+        return len(self._queue) + self.in_flight
 
     def flush(self) -> int:
         """Apply every queued notification; returns how many were applied."""

@@ -57,8 +57,23 @@ class Range:
             return Range(low, low)
         return Range(low, high)
 
+    @property
+    def can_split(self) -> bool:
+        """Whether the range holds an interior pivot (width >= 2).
+
+        A width-1 range's :meth:`midpoint` equals ``low``, which
+        :meth:`split_at` rejects — callers on the join/load-balancing split
+        path must check this before splitting.
+        """
+        return self.width >= 2
+
     def midpoint(self) -> int:
-        """A split point dividing the range roughly in half."""
+        """A split point dividing the range roughly in half.
+
+        Only meaningful as a pivot when :attr:`can_split` holds; on a
+        width-1 range it degenerates to ``low``, which is not a valid
+        :meth:`split_at` pivot.
+        """
         return self.low + self.width // 2
 
     def split_at(self, pivot: int) -> tuple["Range", "Range"]:

@@ -55,11 +55,18 @@ class SearchResult:
 
 @dataclass
 class RangeSearchResult:
-    """Outcome of a range query."""
+    """Outcome of a range query.
+
+    ``complete`` is False when the adjacent-chain walk could not cover the
+    whole query interval — it hit a dead peer or ran out of hops — so the
+    returned keys are a truncated answer.  Callers that need the full
+    answer should retry after repair rather than trust a partial result.
+    """
 
     owners: List[Address]
     keys: List[int]
     trace: Trace
+    complete: bool = True
 
     @property
     def nodes_visited(self) -> int:

@@ -48,40 +48,40 @@ def route_to_owner(
     Returns the extreme (leftmost/rightmost) peer when ``key`` falls outside
     the covered domain; callers that insert may then expand its range.
     """
-    limit = _hop_limit(net)
+    limit = hop_limit(net)
     current = start
     for _ in range(limit):
         peer = net.peer(current)
         if peer.range.contains(key):
             return current
-        primary, fallback = _hop_candidates(peer, key)
+        primary, fallback = hop_candidates(peer, key)
         if not primary:
             return current  # extreme node; key beyond the covered domain
-        next_hop = _first_live_hop(net, current, primary + fallback, mtype)
+        next_hop = first_live_hop(net, current, primary + fallback, mtype)
         if next_hop is None:
-            if _network_degraded(net):
+            if network_degraded(net):
                 return current  # marooned next to the failure; best effort
             raise ProtocolError(
                 f"all routes from {peer.position} toward {key} are dead"
             )
         current = next_hop
-    if _network_degraded(net):
+    if network_degraded(net):
         # The owner itself is dead or routing state is still propagating:
         # the query gives up (TTL) and reports the last peer reached.
         return current
     raise ProtocolError(f"search for {key} did not terminate")
 
 
-def _network_degraded(net: "BatonNetwork") -> bool:
+def network_degraded(net: "BatonNetwork") -> bool:
     """Whether unrepaired failures or in-flight updates can strand a query."""
     return bool(net.ghosts) or net.updates.deferred or net.updates.pending_count > 0
 
 
-def _hop_limit(net: "BatonNetwork") -> int:
+def hop_limit(net: "BatonNetwork") -> int:
     return 16 * max(net.size.bit_length(), 2) + 64
 
 
-def _hop_candidates(peer: BatonPeer, key: int) -> tuple[List[Address], List[Address]]:
+def hop_candidates(peer: BatonPeer, key: int) -> tuple[List[Address], List[Address]]:
     """Next hops from ``peer`` toward ``key``: (primary, failure fallbacks).
 
     Primary follows §IV-A — greedy farthest qualifying sideways entry, then
@@ -131,7 +131,7 @@ def _hop_candidates(peer: BatonPeer, key: int) -> tuple[List[Address], List[Addr
     return deduped_primary, deduped_fallback
 
 
-def _first_live_hop(
+def first_live_hop(
     net: "BatonNetwork",
     current: Address,
     candidates: List[Address],
@@ -157,22 +157,42 @@ def search_range(
         first = route_to_owner(net, start, low, MsgType.RANGE_SEARCH)
         owners: List[Address] = []
         keys: List[int] = []
-        current: Optional[Address] = first
-        limit = _hop_limit(net) + net.size
+        # In a degraded network route_to_owner may give up and report a
+        # marooned peer that does not anchor the interval; everything the
+        # walk collects from there is suspect, so the answer can never be
+        # complete.  A legitimate anchor either owns ``low`` or is the
+        # extreme peer on the side of an out-of-domain ``low``.
+        complete = False
+        anchored = anchors_range(net.peer(first), low)
+        current = first
+        limit = hop_limit(net) + net.size
         for _ in range(limit):
-            if current is None:
-                break
             peer = net.peer(current)
             if peer.range.low >= high:
+                complete = anchored
                 break
             owners.append(current)
             keys.extend(peer.store.keys_in(low, high))
             if peer.range.high >= high or peer.right_adjacent is None:
+                complete = anchored
                 break
             next_hop = peer.right_adjacent.address
             try:
                 net.count_message(current, next_hop, MsgType.RANGE_SEARCH)
             except PeerNotFoundError:
-                break  # partial answer; repair will restore the chain
+                break  # partial answer (complete=False); repair restores the chain
             current = next_hop
-    return RangeSearchResult(owners=owners, keys=keys, trace=trace)
+    return RangeSearchResult(owners=owners, keys=keys, trace=trace, complete=complete)
+
+
+def anchors_range(peer: BatonPeer, low: int) -> bool:
+    """Whether ``peer`` is a valid starting point for a range walk at ``low``.
+
+    True for the actual owner of ``low`` and for the extreme peers when
+    ``low`` falls outside the covered domain (no keys can exist there).
+    """
+    if peer.range.contains(low):
+        return True
+    if low < peer.range.low and peer.left_adjacent is None:
+        return True
+    return low >= peer.range.high and peer.right_adjacent is None

@@ -16,6 +16,7 @@ from typing import List
 
 from repro.experiments import harness
 from repro.experiments import (
+    concurrent_dynamics,
     fig8a_join_leave_find,
     fig8b_table_updates,
     fig8c_insert_delete,
@@ -54,6 +55,10 @@ def run_all(scale=None, quick: bool = False) -> List[ExperimentResult]:
     )
     levels = (2, 4) if quick else fig8i_dynamics.CONCURRENCY_LEVELS
     results.append(fig8i_dynamics.run(scale, levels=levels))
+    churn_rates = (
+        (0.0, 2.0) if quick else concurrent_dynamics.CHURN_RATES
+    )
+    results.append(concurrent_dynamics.run(scale, churn_rates=churn_rates))
     return results
 
 

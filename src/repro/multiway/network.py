@@ -106,7 +106,7 @@ class MultiwayNetwork:
             limit = self.size + 8
             for _ in range(limit):
                 node = self.nodes[current]
-                if len(node.children) < self.config.fanout and node.range.width >= 2:
+                if len(node.children) < self.config.fanout and node.range.can_split:
                     break
                 if node.children:
                     link = self.rng.choice(node.children)

@@ -151,3 +151,18 @@ class MessageBus:
             yield trace
         finally:
             self._trace_stack.pop()
+
+    @contextmanager
+    def activate(self, trace: Trace) -> Iterator[Trace]:
+        """Attribute traffic to an *existing* trace for the duration.
+
+        The event-driven runtime executes one operation as many separate
+        simulator events; :meth:`trace`'s with-block scoping cannot span
+        them, so each event step re-activates the operation's own trace.
+        The trace accumulates across activations.
+        """
+        self._trace_stack.append(trace)
+        try:
+            yield trace
+        finally:
+            self._trace_stack.pop()

@@ -1,4 +1,4 @@
-"""A small discrete-event simulation engine.
+"""Discrete-event simulation: engine, latency models and the async runtime.
 
 Most of the paper's measurements are pure message counts, which the
 synchronous protocols in :mod:`repro.core` produce directly.  The exception
@@ -8,6 +8,11 @@ queries issued inside the update window can be misrouted and pay extra
 messages.  The :class:`Simulator` here provides the timeline for that
 experiment — events with latencies drawn from a :class:`LatencyModel`,
 executed in timestamp order.
+
+:class:`AsyncBatonNetwork` builds the full concurrent regime on top: every
+BATON operation decomposed into per-hop scheduled events, any number in
+flight at once, completion delivered through :class:`OpFuture` — see
+:mod:`repro.sim.runtime`.
 """
 
 from repro.sim.engine import Event, Simulator
@@ -17,6 +22,7 @@ from repro.sim.latency import (
     LatencyModel,
     UniformLatency,
 )
+from repro.sim.runtime import AsyncBatonNetwork, OpFuture
 
 __all__ = [
     "Event",
@@ -25,4 +31,6 @@ __all__ = [
     "ConstantLatency",
     "UniformLatency",
     "ExponentialLatency",
+    "AsyncBatonNetwork",
+    "OpFuture",
 ]

@@ -37,7 +37,10 @@ class Simulator:
         self._queue: list[Event] = []
         self._seq = itertools.count()
         self._now = 0.0
+        self._queued_seqs: set[int] = set()
+        self._cancelled: set[int] = set()
         self.executed_count = 0
+        self.cancelled_count = 0
 
     @property
     def now(self) -> float:
@@ -46,8 +49,8 @@ class Simulator:
 
     @property
     def pending_count(self) -> int:
-        """Number of events not yet executed."""
-        return len(self._queue)
+        """Number of events not yet executed (cancelled events excluded)."""
+        return len(self._queue) - len(self._cancelled)
 
     def schedule(
         self, delay: float, action: Callable[[], None], label: str = ""
@@ -59,6 +62,7 @@ class Simulator:
             time=self._now + delay, seq=next(self._seq), action=action, label=label
         )
         heapq.heappush(self._queue, event)
+        self._queued_seqs.add(event.seq)
         return event
 
     def schedule_at(
@@ -71,13 +75,36 @@ class Simulator:
             )
         event = Event(time=time, seq=next(self._seq), action=action, label=label)
         heapq.heappush(self._queue, event)
+        self._queued_seqs.add(event.seq)
         return event
+
+    def cancel(self, event: Event) -> bool:
+        """Withdraw a scheduled event; its action will never run.
+
+        Returns False when the event already executed or was already
+        cancelled.  Cancelled entries are dropped lazily as the queue pops
+        past them, so cancellation is O(1).
+        """
+        if event.seq not in self._queued_seqs or event.seq in self._cancelled:
+            return False
+        self._cancelled.add(event.seq)
+        self.cancelled_count += 1
+        return True
+
+    def _next_live_event(self) -> Optional[Event]:
+        """Drop cancelled heap heads; return the next real event unpopped."""
+        while self._queue and self._queue[0].seq in self._cancelled:
+            dropped = heapq.heappop(self._queue)
+            self._cancelled.discard(dropped.seq)
+            self._queued_seqs.discard(dropped.seq)
+        return self._queue[0] if self._queue else None
 
     def step(self) -> Optional[Event]:
         """Execute the next event; return it, or None if the queue is empty."""
-        if not self._queue:
+        if self._next_live_event() is None:
             return None
         event = heapq.heappop(self._queue)
+        self._queued_seqs.discard(event.seq)
         self._now = event.time
         self.executed_count += 1
         event.action()
@@ -86,7 +113,7 @@ class Simulator:
     def run(self, max_events: Optional[int] = None) -> int:
         """Run until the queue drains (or ``max_events``); return #executed."""
         executed = 0
-        while self._queue:
+        while self._next_live_event() is not None:
             if max_events is not None and executed >= max_events:
                 break
             self.step()
@@ -100,7 +127,10 @@ class Simulator:
         was later, which cannot happen given the guard).
         """
         executed = 0
-        while self._queue and self._queue[0].time <= time:
+        while True:
+            head = self._next_live_event()
+            if head is None or head.time > time:
+                break
             self.step()
             executed += 1
         self._now = max(self._now, time)

@@ -1,0 +1,674 @@
+"""Event-driven runtime: BATON operations as scheduled message exchanges.
+
+The synchronous protocols in :mod:`repro.core` execute each operation
+atomically — correct for counting messages, but unable to express the
+scenarios the paper's §V-E gestures at and a deployment lives in: many
+operations *in flight at once*, churn racing queries, routing state going
+stale between a hop being chosen and the next message being sent.
+
+:class:`AsyncBatonNetwork` closes that gap.  It wraps a plain
+:class:`~repro.core.network.BatonNetwork` and re-expresses every public
+operation — join, leave, fail, exact search, range search, insert, delete —
+as a *hop generator*: a Python generator that performs one protocol step
+(one message exchange, using exactly the same helpers and message accounting
+as the synchronous code) and then yields the latency of the next hop, drawn
+from a :class:`~repro.sim.latency.LatencyModel`.  The runtime schedules each
+resumption on the shared :class:`~repro.sim.engine.Simulator`, so any number
+of operations interleave at hop granularity while each individual step stays
+atomic.  Completion is exposed through :class:`OpFuture` (result, error,
+latency, done-callbacks).
+
+Routing-table refreshes ride the same clock: the wrapped network's
+:class:`~repro.core.network.UpdateChannel` is given a delivery sink that
+schedules each receiver-side application one sampled latency later, so
+queries issued inside an update window genuinely race stale links.
+
+Fidelity notes:
+
+* With a constant latency model and operations run one at a time (submit,
+  then drain), an ``AsyncBatonNetwork`` sends byte-for-byte the same message
+  sequence as the synchronous network and reaches the same final structure —
+  the equivalence the test suite pins down.
+* Under interleaving, an operation's carrier peer can vanish between hops
+  (its host left or crashed).  The operation then *fails*: its future
+  reports the error instead of a result, which is how a real client
+  experiences a lost request.  Queries that merely get boxed in by stale
+  links give up and report the last peer reached, mirroring the synchronous
+  degraded-routing behaviour.
+* An async insert's trace also accumulates any load-balancing traffic the
+  insert triggers (the synchronous API reports that separately in
+  ``balance_trace``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Generator, List, Optional, Set
+
+from repro.core import balance as balance_protocol
+from repro.core import data as data_protocol
+from repro.core import join as join_protocol
+from repro.core import leave as leave_protocol
+from repro.core import search as search_protocol
+from repro.core.links import LEFT, RIGHT
+from repro.core.network import BatonConfig, BatonNetwork
+from repro.core.results import (
+    DataOpResult,
+    JoinResult,
+    LeaveResult,
+    RangeSearchResult,
+    SearchResult,
+)
+from repro.net.address import Address
+from repro.net.bus import Trace
+from repro.net.message import MsgType
+from repro.sim.engine import Simulator
+from repro.sim.latency import ConstantLatency, LatencyModel
+from repro.util.errors import (
+    PeerNotFoundError,
+    ProtocolError,
+    ReproError,
+)
+
+#: A hop generator yields per-hop delays and returns the operation's result.
+OpSteps = Generator[float, None, object]
+
+PENDING = "pending"
+SUCCEEDED = "succeeded"
+FAILED = "failed"
+
+
+class OpFuture:
+    """Completion handle for one in-flight operation."""
+
+    def __init__(self, op_id: int, kind: str, trace: Trace, submitted_at: float):
+        self.op_id = op_id
+        self.kind = kind
+        self.trace = trace
+        self.submitted_at = submitted_at
+        self.completed_at: Optional[float] = None
+        self.status = PENDING
+        self.result: object = None
+        self.error: Optional[ReproError] = None
+        self.hops = 0
+        self._callbacks: List[Callable[["OpFuture"], None]] = []
+
+    @property
+    def done(self) -> bool:
+        return self.status != PENDING
+
+    @property
+    def succeeded(self) -> bool:
+        return self.status == SUCCEEDED
+
+    @property
+    def latency(self) -> Optional[float]:
+        """Simulated submit-to-completion time (None while in flight)."""
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.submitted_at
+
+    def add_done_callback(self, callback: Callable[["OpFuture"], None]) -> None:
+        """Run ``callback(self)`` at completion (immediately if already done)."""
+        if self.done:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def _complete(self, status: str, now: float) -> None:
+        self.status = status
+        self.completed_at = now
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<OpFuture #{self.op_id} {self.kind} {self.status}>"
+
+
+class AsyncBatonNetwork:
+    """Concurrent-operation facade over a :class:`BatonNetwork`.
+
+    Every ``submit_*`` method starts an operation and returns an
+    :class:`OpFuture` immediately; nothing executes until the simulator
+    runs.  ``run()`` / ``run_until()`` / ``drain()`` advance the clock.
+
+    All scheduling randomness comes from the latency model's seeded rng and
+    the wrapped network's own rng, so a given (network seed, latency model,
+    submission sequence) replays the exact same event order — the
+    ``event_log`` records it for comparison.
+    """
+
+    def __init__(
+        self,
+        net: Optional[BatonNetwork] = None,
+        *,
+        sim: Optional[Simulator] = None,
+        latency: Optional[LatencyModel] = None,
+        seed: int = 0,
+        config: Optional[BatonConfig] = None,
+        defer_updates: bool = True,
+    ):
+        self.net = net if net is not None else BatonNetwork(config=config, seed=seed)
+        self.sim = sim if sim is not None else Simulator()
+        self.latency = latency if latency is not None else ConstantLatency(1.0)
+        self.ops: List[OpFuture] = []
+        self.event_log: List[tuple] = []
+        self.max_in_flight = 0
+        self._in_flight = 0
+        self._op_ids = itertools.count(1)
+        self._pending_leaves: Set[Address] = set()
+        self._inflight_updates: dict[Address, List[tuple]] = {}
+        self._last_update_arrival: dict[Address, float] = {}
+        if defer_updates:
+            self.net.updates.set_sink(self._deliver_update)
+
+    @classmethod
+    def build(
+        cls,
+        n_peers: int,
+        seed: int = 0,
+        *,
+        config: Optional[BatonConfig] = None,
+        latency: Optional[LatencyModel] = None,
+        defer_updates: bool = True,
+    ) -> "AsyncBatonNetwork":
+        """Grow a synchronous network, then wrap it for concurrent traffic."""
+        net = BatonNetwork.build(n_peers, seed=seed, config=config)
+        return cls(net, latency=latency, defer_updates=defer_updates)
+
+    # -- clock ----------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    @property
+    def in_flight(self) -> int:
+        """Operations submitted but not yet completed."""
+        return self._in_flight
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Advance the simulator; returns the number of events executed."""
+        return self.sim.run(max_events)
+
+    def run_until(self, time: float) -> int:
+        return self.sim.run_until(time)
+
+    def drain(self) -> int:
+        """Run until every scheduled event (hence every operation) finishes."""
+        return self.sim.run()
+
+    def reconcile(self) -> int:
+        """One anti-entropy round: refresh every peer's links to ground truth.
+
+        Concurrent operations read each other's link state mid-refresh, so
+        at quiescence third-party snapshots (ranges, child flags, table
+        entries) can be stale in ways the synchronous protocols never
+        produce — a real deployment runs a periodic maintenance sweep for
+        exactly this reason.  Like the restructuring link rebuild this
+        substitutes the position map for the peer-to-peer exchange (the
+        documented cost-model substitution; compare ``bulk_load``), so no
+        messages are counted.  Returns the number of peers refreshed.
+        """
+        from repro.core import restructure as restructure_protocol
+
+        cache: dict = {}
+        include_ghosts = bool(self.net.ghosts)
+        for peer in self.net.peers.values():
+            restructure_protocol.refresh_links_from_map(
+                self.net, peer, cache, include_ghosts=include_ghosts
+            )
+        return len(self.net.peers)
+
+    # -- submission API -------------------------------------------------------
+
+    def submit_search_exact(
+        self, key: int, via: Optional[Address] = None
+    ) -> OpFuture:
+        start = via if via is not None else self.net.random_peer_address()
+        future = self._new_future("search.exact")
+        self._launch(future, self._search_exact_steps(future, start, key))
+        return future
+
+    def submit_search_range(
+        self, low: int, high: int, via: Optional[Address] = None
+    ) -> OpFuture:
+        if low >= high:
+            raise ValueError(f"empty query range [{low}, {high})")
+        start = via if via is not None else self.net.random_peer_address()
+        future = self._new_future("search.range")
+        self._launch(future, self._search_range_steps(future, start, low, high))
+        return future
+
+    def submit_insert(self, key: int, via: Optional[Address] = None) -> OpFuture:
+        start = via if via is not None else self.net.random_peer_address()
+        future = self._new_future("insert")
+        self._launch(future, self._data_op_steps(future, start, key, MsgType.INSERT))
+        return future
+
+    def submit_delete(self, key: int, via: Optional[Address] = None) -> OpFuture:
+        start = via if via is not None else self.net.random_peer_address()
+        future = self._new_future("delete")
+        self._launch(future, self._data_op_steps(future, start, key, MsgType.DELETE))
+        return future
+
+    def submit_join(self, via: Optional[Address] = None) -> OpFuture:
+        start = via if via is not None else self.net.random_peer_address()
+        future = self._new_future("join")
+        self._launch(future, self._join_steps(future, start))
+        return future
+
+    def submit_leave(self, address: Address) -> OpFuture:
+        if address in self._pending_leaves:
+            raise ValueError(f"a leave of address {address} is already in flight")
+        self._pending_leaves.add(address)
+        future = self._new_future("leave")
+        future.add_done_callback(
+            lambda _fut: self._pending_leaves.discard(address)
+        )
+        self._launch(future, self._leave_steps(future, address))
+        return future
+
+    def submit_fail(self, address: Address) -> OpFuture:
+        """Schedule an abrupt crash of ``address`` one latency from now."""
+        future = self._new_future("fail")
+        self._launch(future, self._fail_steps(future, address))
+        return future
+
+    def leave_candidates(self) -> List[Address]:
+        """Live addresses with no leave currently in flight."""
+        return [
+            address
+            for address in self.net.addresses()
+            if address not in self._pending_leaves
+        ]
+
+    # -- bookkeeping ----------------------------------------------------------
+
+    def _new_future(self, kind: str) -> OpFuture:
+        future = OpFuture(
+            op_id=next(self._op_ids),
+            kind=kind,
+            trace=Trace(label=kind),
+            submitted_at=self.sim.now,
+        )
+        self.ops.append(future)
+        return future
+
+    def _launch(self, future: OpFuture, steps: OpSteps) -> None:
+        self._in_flight += 1
+        self.max_in_flight = max(self.max_in_flight, self._in_flight)
+        self._log(future, "submit")
+        self._advance(future, steps)
+
+    def _advance(self, future: OpFuture, steps: OpSteps) -> None:
+        """Execute one atomic protocol step; reschedule or complete."""
+        finished = False
+        failed: Optional[ReproError] = None
+        value: object = None
+        delay = 0.0
+        with self.net.bus.activate(future.trace):
+            try:
+                delay = next(steps)
+            except StopIteration as stop:
+                finished, value = True, stop.value
+            except ReproError as error:
+                failed = error
+        if failed is not None:
+            future.error = failed
+            self._in_flight -= 1
+            self._log(future, "failed")
+            future._complete(FAILED, self.sim.now)
+            return
+        if finished:
+            future.result = value
+            self._in_flight -= 1
+            self._log(future, "done")
+            future._complete(SUCCEEDED, self.sim.now)
+            return
+        future.hops += 1
+        self._log(future, "hop")
+        self.sim.schedule(
+            delay,
+            lambda: self._advance(future, steps),
+            label=f"{future.kind}#{future.op_id}",
+        )
+
+    def _log(self, future: OpFuture, phase: str) -> None:
+        self.event_log.append(
+            (self.sim.now, future.op_id, future.kind, phase, future.trace.total)
+        )
+
+    def _deliver_update(self, dst: Address, deliver: Callable[[], None]) -> None:
+        """UpdateChannel sink: apply a table refresh one latency later.
+
+        Deliveries to the same receiver keep their send order (an ordered
+        transport, as TCP gives a real deployment); without this, two
+        refreshes about the same peer could apply newest-first and leave
+        the receiver permanently stale.
+        """
+        pending = self._inflight_updates.setdefault(dst, [])
+        entry: list = [None, deliver]
+
+        def fire() -> None:
+            try:
+                pending.remove(entry)
+            except ValueError:
+                pass
+            deliver()
+
+        arrival = self.sim.now + self.latency.sample()
+        arrival = max(arrival, self._last_update_arrival.get(dst, 0.0))
+        self._last_update_arrival[dst] = arrival
+        entry[0] = self.sim.schedule_at(arrival, fire, label="table-update")
+        pending.append(entry)
+
+    def _flush_updates_to(self, address: Address) -> None:
+        """Deliver every in-flight table refresh addressed to ``address``.
+
+        A peer about to hand its state to a replacement first drains its
+        inbox; without this, refreshes still in the air would be applied to
+        the detached object and the replacement would inherit stale links
+        forever (the synchronous protocols apply them instantly, so this
+        also keeps the serialized runs equivalent).
+        """
+        for event, deliver in self._inflight_updates.pop(address, []):
+            if self.sim.cancel(event):
+                deliver()
+
+    def _hop_delay(self) -> float:
+        return self.latency.sample()
+
+    def _routing_degraded(self) -> bool:
+        """Whether stale links can legitimately strand an operation.
+
+        The synchronous notion (unrepaired failures, updates in flight)
+        plus concurrency itself: with other operations in the air, links
+        observed at one hop may be stale by the next.
+        """
+        return search_protocol.network_degraded(self.net) or self._in_flight > 1
+
+    # -- hop generators -------------------------------------------------------
+
+    def _route_steps(
+        self, future: OpFuture, start: Address, key: int, mtype: MsgType
+    ) -> OpSteps:
+        """Per-hop :func:`~repro.core.search.route_to_owner`.
+
+        Pays exactly the same messages as the synchronous walk; between
+        hops, the simulator may run other operations' events.
+        """
+        net = self.net
+        yield self._hop_delay()  # the request reaches its entry peer
+        current = start
+        limit = search_protocol.hop_limit(net)
+        for _ in range(limit):
+            peer = net.peer(current)  # raises if the carrier vanished mid-op
+            if peer.range.contains(key):
+                return current
+            primary, fallback = search_protocol.hop_candidates(peer, key)
+            if not primary:
+                return current  # extreme node; key beyond the covered domain
+            next_hop = search_protocol.first_live_hop(
+                net, current, primary + fallback, mtype
+            )
+            if next_hop is None:
+                if self._routing_degraded():
+                    return current  # marooned; report best effort
+                raise ProtocolError(
+                    f"all routes from {peer.position} toward {key} are dead"
+                )
+            current = next_hop
+            yield self._hop_delay()
+        if self._routing_degraded():
+            return current
+        raise ProtocolError(f"search for {key} did not terminate")
+
+    def _search_exact_steps(
+        self, future: OpFuture, start: Address, key: int
+    ) -> OpSteps:
+        owner = yield from self._route_steps(future, start, key, MsgType.SEARCH)
+        peer = self.net.peer(owner)
+        found = peer.range.contains(key) and key in peer.store
+        return SearchResult(found=found, owner=owner, trace=future.trace)
+
+    def _search_range_steps(
+        self, future: OpFuture, start: Address, low: int, high: int
+    ) -> OpSteps:
+        net = self.net
+        first = yield from self._route_steps(
+            future, start, low, MsgType.RANGE_SEARCH
+        )
+        owners: List[Address] = []
+        keys: List[int] = []
+        # As in the synchronous walk: an answer anchored at a marooned peer
+        # (degraded routing gave up short of low's owner) is never complete.
+        complete = False
+        anchored = search_protocol.anchors_range(net.peer(first), low)
+        current = first
+        limit = search_protocol.hop_limit(net) + net.size
+        for _ in range(limit):
+            try:
+                peer = net.peer(current)
+            except PeerNotFoundError:
+                break  # carrier vanished between hops: truncated answer
+            if peer.range.low >= high:
+                complete = anchored
+                break
+            owners.append(current)
+            keys.extend(peer.store.keys_in(low, high))
+            if peer.range.high >= high or peer.right_adjacent is None:
+                complete = anchored
+                break
+            next_hop = peer.right_adjacent.address
+            try:
+                net.count_message(current, next_hop, MsgType.RANGE_SEARCH)
+            except PeerNotFoundError:
+                break  # partial answer; repair will restore the chain
+            current = next_hop
+            yield self._hop_delay()
+        return RangeSearchResult(
+            owners=owners, keys=keys, trace=future.trace, complete=complete
+        )
+
+    def _data_op_steps(
+        self, future: OpFuture, start: Address, key: int, mtype: MsgType
+    ) -> OpSteps:
+        net = self.net
+        owner_address = yield from self._route_steps(future, start, key, mtype)
+        owner = net.peer(owner_address)
+        if mtype is MsgType.INSERT:
+            if not owner.range.contains(key):
+                data_protocol.expand_extreme_range(net, owner, key)
+            owner.store.insert(key)
+            applied = True
+            if net.config.replication:
+                from repro.core import replication
+
+                replication.replicate_insert(net, owner, key)
+        else:
+            applied = owner.store.delete(key)
+            if applied and net.config.replication:
+                from repro.core import replication
+
+                replication.replicate_delete(net, owner, key)
+        result = DataOpResult(applied=applied, owner=owner_address, trace=future.trace)
+        if mtype is MsgType.INSERT:
+            outcome = balance_protocol.maybe_balance(net, owner_address)
+            if outcome is not None:
+                result.balance_trace = outcome.trace
+                result.balance_moves = outcome.shift_size
+        return result
+
+    def _join_steps(self, future: OpFuture, start: Address) -> OpSteps:
+        net = self.net
+        yield self._hop_delay()  # the join request reaches its entry peer
+        current = start
+        for _attempt in range(16):
+            parent_address = yield from self._find_join_parent_steps(future, current)
+            # The accepting parent drains its inbox before committing: the
+            # walk's acceptance test may have read table entries whose
+            # corrections (a neighbour's new child, a LEAVE notice) were
+            # still in flight, and accepting on stale state would violate
+            # Theorem 1.  Check and accept then run in the same simulator
+            # event, so no other operation can snatch the slot in between.
+            self._flush_updates_to(parent_address)
+            parent = net.peer(parent_address)
+            if not join_protocol.can_accept_join(parent):
+                current = parent_address  # fresh state disagrees; keep walking
+                yield self._hop_delay()
+                continue
+            side = LEFT if parent.left_child is None else RIGHT
+            new_peer = join_protocol.add_child(net, parent, side)
+            net.stats.joins += 1
+            return JoinResult(
+                address=new_peer.address,
+                parent=parent_address,
+                find_trace=future.trace,
+                update_trace=net.new_trace("join.update"),
+            )
+        raise ProtocolError("join kept losing acceptance races")
+
+    def _find_join_parent_steps(self, future: OpFuture, start: Address) -> OpSteps:
+        """Per-hop Algorithm 1 with mid-flight carrier-loss recovery."""
+        net = self.net
+        limit = 8 * max(net.size.bit_length(), 1) + 2 * net.size + 64
+        current = start
+        for _ in range(limit):
+            try:
+                peer = net.peer(current)
+            except PeerNotFoundError:
+                # The walk's carrier vanished; re-enter somewhere live, as a
+                # real joining host would retry through another contact.
+                current = net.random_peer_address()
+                yield self._hop_delay()
+                continue
+            if join_protocol.can_accept_join(peer):
+                return current
+            next_hop = None
+            for candidate in join_protocol.forward_targets(net, peer):
+                if join_protocol.try_message(
+                    net, current, candidate, MsgType.JOIN_FIND
+                ):
+                    next_hop = candidate
+                    break
+            if next_hop is None:
+                if not self._routing_degraded():
+                    raise ProtocolError(
+                        f"join request stuck at {peer.position}: "
+                        "no forwarding target"
+                    )
+                current = net.random_peer_address()
+            else:
+                current = next_hop
+            yield self._hop_delay()
+        raise ProtocolError("join request did not terminate (routing state corrupt?)")
+
+    def _leave_steps(self, future: OpFuture, address: Address) -> OpSteps:
+        net = self.net
+        yield self._hop_delay()  # the departure intent is announced
+        for _attempt in range(8):
+            departing = net.peer(address)  # raises if the peer already vanished
+            if net.size == 1:
+                net.unregister_peer(address)
+                net.stats.leaves += 1
+                return self._leave_result(future, address, None)
+            self._flush_updates_to(address)
+            if leave_protocol.can_depart_simply(departing):
+                leave_protocol.depart_leaf(net, departing, content_target="parent")
+                net.stats.leaves += 1
+                return self._leave_result(future, address, None)
+            replacement_address = yield from self._find_replacement_steps(
+                future, departing
+            )
+            if net.peers.get(address) is not departing:
+                # Another operation removed or transplanted us mid-walk; the
+                # next attempt re-reads the peer (and fails if it is gone).
+                yield self._hop_delay()
+                continue
+            if replacement_address is None or replacement_address == address:
+                yield self._hop_delay()
+                continue
+            replacement = net.peers.get(replacement_address)
+            if replacement is None:
+                yield self._hop_delay()  # lost the race; walk again
+                continue
+            # Drain the replacement's inbox first: its safe-departure test
+            # reads its tables, which must not be mid-refresh.
+            self._flush_updates_to(replacement_address)
+            if not leave_protocol.can_depart_simply(replacement):
+                yield self._hop_delay()  # lost the race; walk again
+                continue
+            leave_protocol.depart_leaf(net, replacement, content_target="parent")
+            # Refreshes emitted by the departure itself can target the
+            # departing peer; they must land before its state is handed over.
+            self._flush_updates_to(address)
+            leave_protocol.transplant(net, departing, replacement)
+            net.stats.leaves += 1
+            return self._leave_result(future, address, replacement_address)
+        raise ProtocolError(f"leave of address {address} kept losing races")
+
+    def _leave_result(
+        self, future: OpFuture, address: Address, replacement: Optional[Address]
+    ) -> LeaveResult:
+        return LeaveResult(
+            departed=address,
+            replacement=replacement,
+            find_trace=future.trace,
+            update_trace=self.net.new_trace("leave.update"),
+        )
+
+    def _find_replacement_steps(
+        self, future: OpFuture, departing
+    ) -> Generator[float, None, Optional[Address]]:
+        """Per-hop Algorithm 2; None (instead of an error) on dead ends."""
+        net = self.net
+        try:
+            start = leave_protocol.replacement_entry_point(net, departing)
+        except (ProtocolError, PeerNotFoundError):
+            return None
+        yield self._hop_delay()
+        limit = 4 * max(net.size.bit_length(), 2) + 32
+        current = start
+        for _ in range(limit):
+            try:
+                peer = net.peer(current)
+            except PeerNotFoundError:
+                return None  # carrier vanished; the caller re-walks
+            next_hop: Optional[Address] = None
+            if peer.left_child is not None:
+                next_hop = peer.left_child.address
+            elif peer.right_child is not None:
+                next_hop = peer.right_child.address
+            else:
+                with_children = (
+                    peer.left_table.nodes_with_children()
+                    + peer.right_table.nodes_with_children()
+                )
+                if with_children:
+                    nearest = min(
+                        with_children,
+                        key=lambda info: abs(
+                            info.position.number - peer.position.number
+                        ),
+                    )
+                    next_hop = nearest.left_child or nearest.right_child
+                else:
+                    return current
+            if next_hop is None:
+                return None
+            try:
+                net.count_message(current, next_hop, MsgType.LEAVE_FIND)
+            except PeerNotFoundError:
+                return None
+            current = next_hop
+            yield self._hop_delay()
+        return None
+
+    def _fail_steps(self, future: OpFuture, address: Address) -> OpSteps:
+        yield self._hop_delay()  # the crash is observed one beat later
+        if address in self.net.peers:
+            self.net.fail(address)
+            return address
+        return None

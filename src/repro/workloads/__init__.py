@@ -15,6 +15,12 @@ from repro.workloads.generators import (
     zipfian_keys,
 )
 from repro.workloads.churn import ChurnEvent, churn_schedule
+from repro.workloads.concurrent import (
+    ConcurrentConfig,
+    ConcurrentReport,
+    percentile,
+    run_concurrent_workload,
+)
 
 __all__ = [
     "UniformKeys",
@@ -25,4 +31,8 @@ __all__ = [
     "range_queries",
     "ChurnEvent",
     "churn_schedule",
+    "ConcurrentConfig",
+    "ConcurrentReport",
+    "percentile",
+    "run_concurrent_workload",
 ]

@@ -1,0 +1,269 @@
+"""Concurrent churn-and-query workloads for the event-driven runtime.
+
+The paper's §V-E sweeps "number of concurrent joins/leaves"; D3-Tree and
+ART evaluate their overlays under sustained concurrent load.  This driver
+reproduces that regime on an :class:`~repro.sim.runtime.AsyncBatonNetwork`:
+independent Poisson arrival processes submit membership changes, queries
+and inserts onto the shared simulator, so at any instant many operations
+are in flight and queries race half-applied structural changes.
+
+Everything is seeded — the arrival streams use labelled sub-rngs — so a
+run replays byte-for-byte (the regression tests compare two runs' event
+logs and reports).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.ranges import Range
+from repro.sim.runtime import AsyncBatonNetwork, OpFuture
+from repro.util.rng import SeededRng
+
+
+@dataclass(frozen=True)
+class ConcurrentConfig:
+    """Arrival processes for one concurrent run.
+
+    Rates are events per simulated time unit (the latency model's unit, so
+    ``query_rate=4`` with mean latency 1 means four new queries arrive per
+    mean network hop).  A rate of 0 disables that process.
+    """
+
+    duration: float = 50.0
+    churn_rate: float = 0.5
+    query_rate: float = 4.0
+    insert_rate: float = 0.0
+    #: Fraction of churn events that are joins (the rest depart).
+    join_fraction: float = 0.5
+    #: Fraction of departures that are abrupt crashes instead of graceful
+    #: leaves.  Crashed peers are repaired after the run drains.
+    fail_fraction: float = 0.0
+    #: Fraction of queries that are range queries (the rest exact-match).
+    range_fraction: float = 0.0
+    #: Width of each range query's interval.
+    range_span: int = 2_000_000
+    #: Departures are suppressed below this population.
+    min_peers: int = 8
+
+    def __post_init__(self) -> None:
+        for name in ("churn_rate", "query_rate", "insert_rate"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} cannot be negative")
+        for name in ("join_fraction", "fail_fraction", "range_fraction"):
+            if not 0.0 <= getattr(self, name) <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+
+
+@dataclass
+class ConcurrentReport:
+    """What one concurrent run did and how the queries fared."""
+
+    duration: float
+    submitted: Dict[str, int] = field(default_factory=dict)
+    completed: int = 0
+    failed: int = 0
+    #: Exact queries that resolved and found their key.
+    exact_hits: int = 0
+    exact_total: int = 0
+    #: Range queries that resolved with a complete answer.
+    range_complete: int = 0
+    range_total: int = 0
+    query_latency_p50: float = 0.0
+    query_latency_p90: float = 0.0
+    query_latency_p99: float = 0.0
+    query_latency_mean: float = 0.0
+    messages_total: int = 0
+    messages_per_query: float = 0.0
+    max_in_flight: int = 0
+    joins_applied: int = 0
+    leaves_applied: int = 0
+    fails_applied: int = 0
+    final_size: int = 0
+    skipped_departures: int = 0
+
+    @property
+    def query_total(self) -> int:
+        return self.exact_total + self.range_total
+
+    @property
+    def query_success_rate(self) -> float:
+        """Fraction of queries answered fully (found / complete)."""
+        if self.query_total == 0:
+            return 0.0
+        return (self.exact_hits + self.range_complete) / self.query_total
+
+    def summary_lines(self) -> List[str]:
+        lines = [
+            f"simulated duration: {self.duration:.1f} (drained)",
+            "submitted: "
+            + ", ".join(f"{kind}={n}" for kind, n in sorted(self.submitted.items())),
+            f"completed {self.completed}, failed {self.failed}, "
+            f"max in flight {self.max_in_flight}",
+            f"membership: +{self.joins_applied} joins, "
+            f"-{self.leaves_applied} leaves, {self.fails_applied} crashes "
+            f"-> {self.final_size} peers",
+            f"query success rate: {self.query_success_rate:.3f} "
+            f"({self.exact_hits}/{self.exact_total} exact hits"
+            + (
+                f", {self.range_complete}/{self.range_total} complete ranges)"
+                if self.range_total
+                else ")"
+            ),
+            f"query latency p50/p90/p99: {self.query_latency_p50:.2f}/"
+            f"{self.query_latency_p90:.2f}/{self.query_latency_p99:.2f} "
+            f"(mean {self.query_latency_mean:.2f})",
+            f"messages: {self.messages_total} total, "
+            f"{self.messages_per_query:.2f} per query",
+        ]
+        if self.skipped_departures:
+            lines.append(
+                f"note: {self.skipped_departures} departures skipped "
+                f"(population floor)"
+            )
+        return lines
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile: ``ceil(q*n)``-th order statistic."""
+    if not values:
+        return 0.0
+    if not 0.0 < q <= 1.0:
+        raise ValueError("q must be in (0, 1]")
+    ordered = sorted(values)
+    rank = min(len(ordered), max(1, math.ceil(q * len(ordered))))
+    return ordered[rank - 1]
+
+
+def run_concurrent_workload(
+    anet: AsyncBatonNetwork,
+    keys: Sequence[int],
+    config: Optional[ConcurrentConfig] = None,
+    seed: int = 0,
+    repair_at_end: bool = True,
+    reconcile_at_end: bool = True,
+) -> ConcurrentReport:
+    """Drive interleaved churn/query/insert arrivals and report the outcome.
+
+    ``keys`` are the loaded keys exact queries aim at (hit-ratio 1 in a
+    quiet network, as the paper's query workloads do); inserts and range
+    queries draw from the network's configured domain.
+    """
+    config = config or ConcurrentConfig()
+    rng = SeededRng(seed)
+    domain: Range = anet.net.config.domain
+    report = ConcurrentReport(duration=config.duration)
+    futures: List[OpFuture] = []
+    query_futures: List[OpFuture] = []
+    start_messages = anet.net.bus.stats.total
+    start_time = anet.sim.now
+    horizon = start_time + config.duration  # the clock may not start at zero
+
+    def note(kind: str, future: Optional[OpFuture]) -> None:
+        if future is None:
+            return
+        report.submitted[kind] = report.submitted.get(kind, 0) + 1
+        futures.append(future)
+
+    def submit_churn(stream: SeededRng) -> None:
+        if stream.random() < config.join_fraction:
+            note("join", anet.submit_join())
+            return
+        candidates = anet.leave_candidates()
+        if len(candidates) <= config.min_peers:
+            report.skipped_departures += 1
+            return
+        victim = stream.choice(candidates)
+        if config.fail_fraction and stream.random() < config.fail_fraction:
+            note("fail", anet.submit_fail(victim))
+        else:
+            note("leave", anet.submit_leave(victim))
+
+    def submit_query(stream: SeededRng) -> None:
+        if config.range_fraction and stream.random() < config.range_fraction:
+            span = min(config.range_span, domain.width - 1)
+            low = stream.randint(domain.low, domain.high - span - 1)
+            future = anet.submit_search_range(low, low + span)
+            note("search.range", future)
+        else:
+            key = (
+                stream.choice(keys)
+                if keys
+                else stream.randint(domain.low, domain.high - 1)
+            )
+            future = anet.submit_search_exact(key)
+            note("search.exact", future)
+        query_futures.append(futures[-1])
+
+    def submit_insert(stream: SeededRng) -> None:
+        note("insert", anet.submit_insert(stream.randint(domain.low, domain.high - 1)))
+
+    def arrivals(label: str, rate: float, submit_one) -> None:
+        """Schedule a Poisson stream of submissions until the horizon."""
+        if rate <= 0:
+            return
+        stream = rng.child("arrivals", label)
+
+        def fire() -> None:
+            submit_one(stream)
+            gap = stream.expovariate(rate)
+            if anet.sim.now + gap <= horizon:
+                anet.sim.schedule(gap, fire, label=f"arrival.{label}")
+
+        first = stream.expovariate(rate)
+        if anet.sim.now + first <= horizon:
+            anet.sim.schedule(first, fire, label=f"arrival.{label}")
+
+    arrivals("churn", config.churn_rate, submit_churn)
+    arrivals("query", config.query_rate, submit_query)
+    arrivals("insert", config.insert_rate, submit_insert)
+
+    anet.drain()
+    if repair_at_end and anet.net.ghosts:
+        anet.net.repair_all()
+    if reconcile_at_end:
+        anet.reconcile()
+
+    report.duration = anet.sim.now - start_time
+    report.max_in_flight = anet.max_in_flight
+    report.final_size = anet.net.size
+    report.messages_total = anet.net.bus.stats.total - start_messages
+    for future in futures:
+        if future.succeeded:
+            report.completed += 1
+        else:
+            report.failed += 1
+        if not future.succeeded:
+            continue
+        if future.kind == "join":
+            report.joins_applied += 1
+        elif future.kind == "leave":
+            report.leaves_applied += 1
+        elif future.kind == "fail" and future.result is not None:
+            report.fails_applied += 1
+
+    latencies: List[float] = []
+    for future in query_futures:
+        if future.kind == "search.exact":
+            report.exact_total += 1
+            if future.succeeded and future.result.found:
+                report.exact_hits += 1
+        else:
+            report.range_total += 1
+            if future.succeeded and future.result.complete:
+                report.range_complete += 1
+        if future.succeeded and future.latency is not None:
+            latencies.append(future.latency)
+    if latencies:
+        report.query_latency_p50 = percentile(latencies, 0.50)
+        report.query_latency_p90 = percentile(latencies, 0.90)
+        report.query_latency_p99 = percentile(latencies, 0.99)
+        report.query_latency_mean = sum(latencies) / len(latencies)
+    if report.query_total:
+        query_messages = sum(f.trace.total for f in query_futures)
+        report.messages_per_query = query_messages / report.query_total
+    return report

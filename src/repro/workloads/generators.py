@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from typing import Iterator, List, Sequence, Tuple
+from bisect import bisect_left
+from typing import List, Sequence, Tuple
 
 from repro.core.ranges import Range
 from repro.util.rng import SeededRng
@@ -62,11 +63,12 @@ class ZipfianKeys:
         return cdf
 
     def draw_rank(self) -> int:
-        """One Zipf rank in [1, n_ranks]."""
-        import bisect
+        """One Zipf rank in [1, n_ranks].
 
-        u = self._rng.random()
-        return bisect.bisect_left(self._cdf, u) + 1
+        One uniform draw plus one binary search over the precomputed CDF —
+        no per-draw list rebuilds, so a draw is O(log n_ranks).
+        """
+        return bisect_left(self._cdf, self._rng.random()) + 1
 
     def draw(self) -> int:
         """One key: the rank's bucket plus uniform jitter inside it."""

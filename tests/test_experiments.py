@@ -8,6 +8,7 @@ import pytest
 
 from repro.experiments import harness
 from repro.experiments import (
+    concurrent_dynamics,
     fig8a_join_leave_find,
     fig8b_table_updates,
     fig8c_insert_delete,
@@ -133,6 +134,20 @@ class TestFig8i:
         extras = result.column("extra")
         assert extras[0] >= 0
         assert extras[-1] > 0
+        assert all(v == 0 for v in result.column("violations"))
+
+
+class TestConcurrentDynamics:
+    def test_success_and_latency_reported_per_churn_rate(self, scale):
+        result = concurrent_dynamics.run(scale, churn_rates=(0.0, 2.0))
+        assert [row["churn_rate"] for row in result.rows] == [0.0, 2.0]
+        success = result.column("success")
+        assert success[0] == 1.0  # quiet network answers everything
+        assert all(0.8 < rate <= 1.0 for rate in success)
+        for row in result.rows:
+            assert row["queries"] > 0
+            assert row["p50"] <= row["p90"] <= row["p99"]
+            assert row["max_in_flight"] > 1  # genuine overlap
         assert all(v == 0 for v in result.column("violations"))
 
 

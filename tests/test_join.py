@@ -125,3 +125,72 @@ class TestJoinPlacement:
         before = net.stats.joins
         net.join()
         assert net.stats.joins == before + 1
+
+
+class TestNarrowRanges:
+    """Width-1 ranges refuse to split gracefully (no ValueError crashes)."""
+
+    def test_join_saturates_narrow_domain_gracefully(self):
+        from repro.core import BatonConfig
+        from repro.core.ranges import Range
+        from repro.util.errors import ProtocolError, ReproError
+
+        config = BatonConfig(domain=Range(0, 4))
+        net = BatonNetwork(config=config, seed=3)
+        net.bootstrap()
+        joined = 1
+        error = None
+        for _ in range(8):
+            try:
+                net.join()
+                joined += 1
+            except ReproError as exc:
+                error = exc
+                break
+        # the domain holds at most 4 width-1 peers; the refusal is a
+        # ProtocolError (defined library error), never a ValueError crash
+        assert joined == 4
+        assert isinstance(error, ProtocolError)
+        assert net.size == 4
+        check_invariants(net)
+        assert all(p.range.width == 1 for p in net.peers.values())
+
+    def test_saturated_network_still_serves_queries(self):
+        from repro.core import BatonConfig
+        from repro.core.ranges import Range
+        from repro.util.errors import ReproError
+
+        config = BatonConfig(domain=Range(0, 4))
+        net = BatonNetwork(config=config, seed=3)
+        net.bootstrap()
+        for _ in range(3):
+            net.join()
+        net.insert(2)
+        assert net.search_exact(2).found
+        try:
+            net.join()
+        except ReproError:
+            pass
+        assert net.search_exact(2).found  # refusal left routing intact
+
+    def test_balance_rejoin_refuses_unsplittable_hotspot(self):
+        from repro.core import BatonConfig, LoadBalanceConfig
+        from repro.core.balance import maybe_balance
+        from repro.core.ranges import Range
+
+        config = BatonConfig(
+            domain=Range(0, 4),
+            balance=LoadBalanceConfig(capacity=3, enabled=True),
+        )
+        net = BatonNetwork(config=config, seed=3)
+        net.bootstrap()
+        for _ in range(3):
+            net.join()
+        # overload one width-1 leaf with duplicates: the adjacent shift
+        # cannot place a boundary and the rejoin cannot split, so the
+        # episode refuses (returns None) instead of crashing mid-protocol
+        leaf = next(p for p in net.peers.values() if p.is_leaf)
+        for _ in range(10):
+            leaf.store.insert(leaf.range.low)
+        assert maybe_balance(net, leaf.address) is None
+        check_invariants(net)

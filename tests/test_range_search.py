@@ -71,3 +71,58 @@ class TestCost:
         # one expansion hop per additional covered node
         assert result.trace.total <= math.ceil(1.44 * math.log2(128)) + net.size
         assert result.nodes_visited == net.size
+
+
+class TestPartialResults:
+    def test_dead_peer_in_chain_truncates_and_flags(self):
+        net = make_network(64, seed=9)
+        keys = list(range(10_000_000, 1_000_000_000, 3_000_000))
+        net.bulk_load(keys)
+        low, high = 10**8, 6 * 10**8
+        healthy = net.search_range(low, high, via=net.addresses()[0])
+        assert healthy.complete
+        assert len(healthy.owners) >= 4
+
+        victim = healthy.owners[2]  # mid-chain: the walk starts fine, then hits it
+        net.fail(victim)
+        partial = net.search_range(low, high, via=healthy.owners[0])
+        assert not partial.complete
+        assert len(partial.keys) < len(healthy.keys)
+        assert victim not in partial.owners
+
+    def test_repair_restores_complete_answers(self):
+        net = make_network(64, seed=9)
+        keys = list(range(10_000_000, 1_000_000_000, 3_000_000))
+        net.bulk_load(keys)
+        low, high = 10**8, 6 * 10**8
+        healthy = net.search_range(low, high, via=net.addresses()[0])
+        victim = healthy.owners[2]
+        net.fail(victim)
+        net.repair_all()
+        repaired = net.search_range(low, high, via=healthy.owners[0])
+        assert repaired.complete
+        # the failed peer's own keys died with it; the chain is whole again
+        survivors = set(healthy.keys) - set(repaired.keys)
+        assert all(k in range(low, high) for k in survivors)
+
+    def test_healthy_network_reports_complete(self, net100):
+        net100.bulk_load(list(range(1, 10**9, 10**7)))
+        result = net100.search_range(2 * 10**8, 5 * 10**8)
+        assert result.complete
+
+    def test_marooned_route_never_reports_complete(self):
+        # Every owner of the query interval dies; routing gives up at a
+        # surviving peer outside the interval.  The (empty) answer must be
+        # flagged incomplete, not pass as a covered range.
+        net = make_network(64, seed=9)
+        keys = list(range(10_000_000, 1_000_000_000, 3_000_000))
+        net.bulk_load(keys)
+        low, high = 10**8, 2 * 10**8
+        healthy = net.search_range(low, high, via=net.addresses()[0])
+        assert healthy.complete and healthy.keys
+        for owner in healthy.owners:
+            net.fail(owner)
+        survivor = next(a for a in net.addresses() if a not in healthy.owners)
+        partial = net.search_range(low, high, via=survivor)
+        assert not partial.complete
+        assert partial.keys == []

@@ -89,3 +89,23 @@ class TestExtend:
 
     def test_extend_inside_is_noop(self):
         assert Range(10, 20).extend_to_include(15) == Range(10, 20)
+
+
+class TestSplitGuards:
+    def test_can_split_requires_interior_pivot(self):
+        assert Range(0, 2).can_split
+        assert not Range(5, 6).can_split
+        assert not Range(5, 5).can_split
+
+    def test_width_one_midpoint_degenerates_to_low(self):
+        narrow = Range(5, 6)
+        assert narrow.midpoint() == narrow.low
+
+    def test_width_one_split_at_midpoint_is_rejected(self):
+        narrow = Range(5, 6)
+        with pytest.raises(ValueError):
+            narrow.split_at(narrow.midpoint())
+
+    def test_width_two_splits_cleanly(self):
+        left, right = Range(5, 7).split_at(Range(5, 7).midpoint())
+        assert (left, right) == (Range(5, 6), Range(6, 7))

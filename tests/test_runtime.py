@@ -1,0 +1,268 @@
+"""Tests for the event-driven runtime (repro.sim.runtime).
+
+Two properties anchor everything else:
+
+* **Serialized equivalence** — with constant latency and one operation in
+  flight at a time, the async network sends the same message sequence as
+  the synchronous one and converges to the identical structure.
+* **Determinism** — a seeded interleaved run replays byte-for-byte:
+  same event log, same per-operation outcomes, across two fresh runs.
+"""
+
+import pytest
+
+from repro.core import check_invariants
+from repro.core.network import BatonNetwork
+from repro.sim.latency import ConstantLatency, ExponentialLatency
+from repro.sim.runtime import AsyncBatonNetwork
+from repro.util.errors import PeerNotFoundError, ReproError
+from repro.util.rng import SeededRng
+from repro.workloads.generators import uniform_keys
+
+
+def structure_snapshot(net: BatonNetwork) -> set:
+    return {
+        (
+            str(peer.position),
+            peer.range.low,
+            peer.range.high,
+            tuple(sorted(peer.store)),
+        )
+        for peer in net.peers.values()
+    }
+
+
+def serialized_pair(n_peers: int = 40, seed: int = 3):
+    """Identical sync and async networks; async uses constant latency."""
+    sync = BatonNetwork.build(n_peers, seed=seed)
+    anet = AsyncBatonNetwork(
+        BatonNetwork.build(n_peers, seed=seed), latency=ConstantLatency(1.0)
+    )
+    return sync, anet
+
+
+class TestSerializedEquivalence:
+    def test_search_exact_matches_sync(self):
+        sync, anet = serialized_pair()
+        keys = uniform_keys(30, seed=9)
+        sync.bulk_load(keys)
+        anet.net.bulk_load(keys)
+        for key in keys:
+            expected = sync.search_exact(key)
+            future = anet.submit_search_exact(key)
+            anet.drain()
+            assert future.succeeded
+            assert future.result.found is expected.found is True
+            assert future.result.owner == expected.owner
+            assert future.trace.total == expected.trace.total
+
+    def test_search_range_matches_sync(self):
+        sync, anet = serialized_pair()
+        keys = uniform_keys(200, seed=10)
+        sync.bulk_load(keys)
+        anet.net.bulk_load(keys)
+        for low in (10**8, 4 * 10**8, 7 * 10**8):
+            expected = sync.search_range(low, low + 10**8)
+            future = anet.submit_search_range(low, low + 10**8)
+            anet.drain()
+            assert future.succeeded
+            assert future.result.owners == expected.owners
+            assert future.result.keys == expected.keys
+            assert future.result.complete is expected.complete is True
+            assert future.trace.total == expected.trace.total
+
+    def test_insert_delete_match_sync(self):
+        sync, anet = serialized_pair()
+        for key in uniform_keys(25, seed=12):
+            expected = sync.insert(key)
+            future = anet.submit_insert(key)
+            anet.drain()
+            assert future.succeeded
+            assert future.result.owner == expected.owner
+            assert future.trace.total == expected.trace.total
+            expected_del = sync.delete(key)
+            future_del = anet.submit_delete(key)
+            anet.drain()
+            assert future_del.result.applied is expected_del.applied is True
+            assert future_del.result.owner == expected_del.owner
+
+    def test_join_and_leave_match_sync(self):
+        sync, anet = serialized_pair()
+        for _ in range(12):
+            expected = sync.join()
+            future = anet.submit_join()
+            anet.drain()
+            assert future.succeeded
+            assert future.result.address == expected.address
+            assert future.result.parent == expected.parent
+            assert future.result.total_messages == expected.total_messages
+        for index in (7, 3, 11, 0, 5):
+            victim = sync.addresses()[index]
+            expected = sync.leave(victim)
+            future = anet.submit_leave(victim)
+            anet.drain()
+            assert future.succeeded
+            assert future.result.replacement == expected.replacement
+            assert future.result.total_messages == expected.total_messages
+
+    def test_final_structures_identical(self):
+        sync, anet = serialized_pair()
+        keys = uniform_keys(40, seed=5)
+        for key in keys[:20]:
+            sync.insert(key)
+            anet.submit_insert(key)
+            anet.drain()
+        for _ in range(8):
+            sync.join()
+            anet.submit_join()
+            anet.drain()
+        for index in (9, 2, 14):
+            victim = sync.addresses()[index]
+            sync.leave(victim)
+            anet.submit_leave(victim)
+            anet.drain()
+        check_invariants(sync)
+        check_invariants(anet.net)
+        assert structure_snapshot(sync) == structure_snapshot(anet.net)
+
+
+def interleaved_run(seed: int = 42, n_ops: int = 520):
+    """A mixed join/leave/query stream, all submitted up front."""
+    rng = SeededRng(seed)
+    anet = AsyncBatonNetwork(
+        BatonNetwork.build(60, seed=1),
+        latency=ExponentialLatency(1.0, rng.child("latency")),
+    )
+    anet.net.bulk_load(uniform_keys(600, seed=2))
+    futures = []
+    while len(futures) < n_ops:
+        roll = rng.random()
+        if roll < 0.15:
+            futures.append(anet.submit_join())
+        elif roll < 0.3:
+            candidates = anet.leave_candidates()
+            if len(candidates) > 8:
+                futures.append(anet.submit_leave(rng.choice(sorted(candidates))))
+        else:
+            futures.append(anet.submit_search_exact(rng.randint(1, 10**9 - 1)))
+    anet.drain()
+    return anet, futures
+
+
+class TestInterleaving:
+    def test_many_operations_overlap_and_complete(self):
+        anet, futures = interleaved_run()
+        assert len(futures) >= 500
+        assert all(future.done for future in futures)
+        assert anet.max_in_flight > 1  # genuine in-flight overlap
+        succeeded = sum(1 for f in futures if f.succeeded)
+        assert succeeded > len(futures) // 2
+
+    def test_deterministic_across_two_runs(self):
+        first_net, first = interleaved_run()
+        second_net, second = interleaved_run()
+        assert first_net.event_log == second_net.event_log
+        assert [(f.status, f.hops, f.trace.total) for f in first] == [
+            (f.status, f.hops, f.trace.total) for f in second
+        ]
+
+    def test_reconcile_restores_invariants(self):
+        anet, _futures = interleaved_run()
+        anet.reconcile()
+        check_invariants(anet.net)
+
+    def test_key_conservation_under_graceful_churn(self):
+        # Graceful leaves hand content over, joins split it: no key is lost.
+        anet, _futures = interleaved_run()
+        keys = sorted(
+            key for peer in anet.net.peers.values() for key in peer.store
+        )
+        assert keys == sorted(uniform_keys(600, seed=2))
+
+
+class TestOpFuture:
+    def test_done_callback_fires_at_completion(self):
+        anet = AsyncBatonNetwork(
+            BatonNetwork.build(10, seed=2), latency=ConstantLatency(1.0)
+        )
+        seen = []
+        future = anet.submit_search_exact(123)
+        future.add_done_callback(lambda f: seen.append(f.status))
+        assert seen == []  # nothing ran yet
+        anet.drain()
+        assert seen == ["succeeded"]
+        # late registration fires immediately
+        future.add_done_callback(lambda f: seen.append("late"))
+        assert seen == ["succeeded", "late"]
+
+    def test_latency_measures_submit_to_completion(self):
+        anet = AsyncBatonNetwork(
+            BatonNetwork.build(10, seed=2), latency=ConstantLatency(2.0)
+        )
+        future = anet.submit_search_exact(123)
+        assert future.latency is None
+        anet.drain()
+        # at least the initial delivery hop, quantized by the constant model
+        assert future.latency is not None
+        assert future.latency >= 2.0
+        assert future.latency == pytest.approx(2.0 * future.hops)
+
+    def test_query_to_failed_carrier_fails_cleanly(self):
+        anet = AsyncBatonNetwork(
+            BatonNetwork.build(20, seed=6), latency=ConstantLatency(1.0)
+        )
+        start = anet.net.addresses()[5]
+        future = anet.submit_search_exact(10**8, via=start)
+        anet.net.fail(start)  # the carrier crashes before delivery
+        anet.drain()
+        assert future.done and not future.succeeded
+        assert isinstance(future.error, ReproError)
+
+    def test_duplicate_leave_rejected(self):
+        anet = AsyncBatonNetwork(
+            BatonNetwork.build(20, seed=6), latency=ConstantLatency(1.0)
+        )
+        victim = anet.net.addresses()[3]
+        anet.submit_leave(victim)
+        with pytest.raises(ValueError):
+            anet.submit_leave(victim)
+        anet.drain()
+        assert victim not in anet.net.peers
+
+    def test_leave_of_vanished_peer_fails(self):
+        anet = AsyncBatonNetwork(
+            BatonNetwork.build(20, seed=6), latency=ConstantLatency(1.0)
+        )
+        victim = anet.net.addresses()[4]
+        anet.net.fail(victim)
+        future = anet.submit_leave(victim)
+        anet.drain()
+        assert future.done and not future.succeeded
+        assert isinstance(future.error, PeerNotFoundError)
+
+
+class TestUpdatePropagation:
+    def test_updates_apply_after_latency_not_immediately(self):
+        anet = AsyncBatonNetwork(
+            BatonNetwork.build(30, seed=8), latency=ConstantLatency(1.0)
+        )
+        assert anet.net.updates.in_flight == 0
+        anet.submit_join()
+        anet.drain()
+        # join's table refreshes were scheduled (and by now delivered)
+        assert anet.net.updates.in_flight == 0
+        check_invariants(anet.net)
+
+    def test_sink_counts_in_flight(self):
+        anet = AsyncBatonNetwork(
+            BatonNetwork.build(30, seed=8), latency=ConstantLatency(1.0)
+        )
+        anet.submit_join()
+        # run just past the accept: refreshes are in the air
+        saw_in_flight = False
+        while anet.sim.pending_count:
+            anet.sim.step()
+            if anet.net.updates.in_flight > 0:
+                saw_in_flight = True
+        assert saw_in_flight
+        assert anet.net.updates.in_flight == 0

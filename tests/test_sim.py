@@ -113,3 +113,45 @@ class TestLatencyModels:
     def test_exponential_rejects_nonpositive_mean(self):
         with pytest.raises(ValueError):
             ExponentialLatency(0.0, SeededRng(1))
+
+
+class TestCancellation:
+    def test_cancelled_event_never_runs(self):
+        sim = Simulator()
+        ran = []
+        event = sim.schedule(1.0, lambda: ran.append("a"))
+        sim.schedule(2.0, lambda: ran.append("b"))
+        assert sim.cancel(event)
+        sim.run()
+        assert ran == ["b"]
+
+    def test_cancel_is_idempotent_and_rejects_executed(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        assert sim.cancel(event)
+        assert not sim.cancel(event)  # already cancelled
+        done = sim.schedule(2.0, lambda: None)
+        sim.run()
+        assert not sim.cancel(done)  # already executed
+
+    def test_pending_count_excludes_cancelled(self):
+        sim = Simulator()
+        keep = sim.schedule(1.0, lambda: None)
+        drop = sim.schedule(2.0, lambda: None)
+        sim.cancel(drop)
+        assert sim.pending_count == 1
+        sim.run()
+        assert sim.pending_count == 0
+        assert sim.cancelled_count == 1
+
+    def test_run_until_skips_cancelled_head(self):
+        sim = Simulator()
+        order = []
+        head = sim.schedule(1.0, lambda: order.append("head"))
+        sim.schedule(1.5, lambda: order.append("mid"))
+        sim.schedule(3.0, lambda: order.append("late"))
+        sim.cancel(head)
+        executed = sim.run_until(2.0)
+        assert executed == 1
+        assert order == ["mid"]
+        assert sim.now == 2.0
