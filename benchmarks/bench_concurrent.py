@@ -1,11 +1,16 @@
 """Benchmark for the concurrent-dynamics experiment (event-driven runtime).
 
-Times the churn-racing-queries sweep and checks its qualitative shape:
-full success with no churn, graceful degradation (not collapse) as churn
-intensity grows, and a structure that repairs/reconciles clean.
+Times the churn-racing-queries sweep and checks its qualitative shape,
+parameterized over every overlay in the registry: full (or near-full)
+success with no churn, graceful degradation (not collapse) as churn
+intensity grows, and — for BATON — a structure that repairs/reconciles
+clean.  A final benchmark times the three-way comparison itself.
 """
 
+import pytest
+
 from benchmarks.conftest import attach_series
+from repro import overlays
 from repro.experiments import concurrent_dynamics
 
 
@@ -27,3 +32,38 @@ def test_concurrent_dynamics(benchmark, scale):
     # (stale safe-departure decision); anything more means a real bug
     assert sum(violations) <= 2, violations
     assert all(p99 >= p50 for p50, p99 in zip(result.column("p50"), result.column("p99")))
+
+
+@pytest.mark.parametrize(
+    "overlay", [name for name in overlays.available() if name != "baton"]
+)
+def test_concurrent_dynamics_baselines(benchmark, scale, overlay):
+    """The baselines survive the same workloads, with their own cost shapes."""
+    result = benchmark.pedantic(
+        lambda: concurrent_dynamics.run(
+            scale, churn_rates=(0.0, 1.0), overlay=overlay
+        ),
+        iterations=1,
+        rounds=1,
+    )
+    attach_series(benchmark, result)
+    success = result.column("success")
+    assert success[0] > 0.95  # quiet network: essentially every query answered
+    # Under churn the baselines degrade by their structure (multiway walks
+    # are the most fragile) but must not collapse.
+    assert all(rate > 0.5 for rate in success), success
+
+
+def test_concurrent_comparison(benchmark, scale):
+    """Three overlays, identical workloads: BATON's p50 stays the flattest."""
+    result = benchmark.pedantic(
+        lambda: concurrent_dynamics.run_comparison(scale, churn_rates=(0.0,)),
+        iterations=1,
+        rounds=1,
+    )
+    attach_series(benchmark, result)
+    assert {row["overlay"] for row in result.rows} == set(overlays.available())
+    baton_p50 = result.column("p50", where={"overlay": "baton"})[0]
+    multiway_p50 = result.column("p50", where={"overlay": "multiway"})[0]
+    # No sideways tables means longer walks: the paper's §V-B claim.
+    assert multiway_p50 > baton_p50

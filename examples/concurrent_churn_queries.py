@@ -14,6 +14,7 @@ Run::
 
 from __future__ import annotations
 
+from repro import overlays
 from repro.core.invariants import collect_violations
 from repro.sim.latency import ExponentialLatency
 from repro.sim.runtime import AsyncBatonNetwork
@@ -86,6 +87,32 @@ def main() -> None:
         f"\nfinal structure: {anet.net.size} peers, {state}, "
         f"{anet.net.bus.stats.total} messages counted overall"
     )
+
+    # --- phase 3: the same storm on every registered overlay ----------------
+    # The runtime is overlay-agnostic: Chord and the multiway tree take the
+    # identical churn-racing-queries workload, so the per-overlay costs the
+    # paper compares (range-scan cliffs, long walks) show up side by side.
+    print("\nphase 3: identical workload on every overlay in the registry")
+    for name in overlays.available():
+        rival = overlays.get(name).build_async(
+            150,
+            seed=17,
+            latency=ExponentialLatency(mean=1.0, rng=SeededRng(99).child(name)),
+        )
+        rival.net.bulk_load(keys)
+        report = run_concurrent_workload(
+            rival,
+            keys,
+            ConcurrentConfig(
+                duration=40.0, churn_rate=1.0, query_rate=8.0, range_fraction=0.25
+            ),
+            seed=3,
+        )
+        print(
+            f"  {name:9s} success {report.query_success_rate:.3f}  "
+            f"p50/p99 {report.query_latency_p50:.1f}/{report.query_latency_p99:.1f}  "
+            f"{report.messages_per_query:.1f} msgs/query"
+        )
 
 
 if __name__ == "__main__":

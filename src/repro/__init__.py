@@ -23,6 +23,16 @@ Concurrent traffic runs on the event-driven runtime::
     future = anet.submit_search_exact(123_456)
     anet.drain()
     assert future.succeeded
+
+The Chord and multiway baselines speak the same :class:`~repro.overlays.Overlay`
+protocol and run on the same runtime, selected through the registry::
+
+    from repro import overlays
+
+    for name in overlays.available():        # ['baton', 'chord', 'multiway']
+        anet = overlays.get(name).build_async(1000, seed=7)
+        anet.submit_search_range(100_000, 200_000)
+        anet.drain()
 """
 
 from repro.core import (
@@ -34,7 +44,8 @@ from repro.core import (
     check_invariants,
     tree_height,
 )
-from repro.sim import AsyncBatonNetwork, OpFuture
+from repro.sim import AsyncBatonNetwork, AsyncOverlayRuntime, OpFuture
+from repro import overlays
 
 __version__ = "1.0.0"
 
@@ -43,7 +54,9 @@ __all__ = [
     "BatonConfig",
     "LoadBalanceConfig",
     "AsyncBatonNetwork",
+    "AsyncOverlayRuntime",
     "OpFuture",
+    "overlays",
     "Position",
     "Range",
     "check_invariants",

@@ -2,23 +2,46 @@
 
 Message accounting mirrors the BATON side: every inter-node hop crosses the
 shared :class:`~repro.net.bus.MessageBus` with a semantic category, and the
-public operations return traces, so the Figure 8 experiments read both
-systems with the same code.
+public operations return the unified result types from
+:mod:`repro.core.results`, so the Figure 8 experiments read both systems
+with the same code.
+
+The routing internals are written as *step generators* (see
+:mod:`repro.util.stepper`): they yield once per inter-node hop.  The
+synchronous facade methods drive them to completion atomically; the
+event-driven runtime (:class:`repro.chord.runtime.AsyncChordNetwork`)
+resumes them one simulator event at a time, so concurrent operations
+interleave at finger-hop granularity while sending byte-for-byte the same
+message sequence as the synchronous path.
+
+Churn tolerance: segments that splice the ring (a join's or leave's
+successor/predecessor rewiring) run atomically between yields, so the
+successor ring is consistent at every event boundary.  Finger maintenance
+is best-effort — a sub-lookup that hits a vanished node is skipped and the
+successor pointers keep routing correct — mirroring how the real protocol
+leans on stabilization rather than atomicity.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.chord.hashing import DEFAULT_M_BITS, hash_key, in_interval, in_open_interval
 from repro.chord.node import ChordNode
-from repro.core.results import DataOpResult, JoinResult, LeaveResult, SearchResult
+from repro.core.results import (
+    DataOpResult,
+    JoinResult,
+    LeaveResult,
+    RangeSearchResult,
+    SearchResult,
+)
 from repro.net.address import Address, AddressAllocator
 from repro.net.bus import MessageBus, Trace
 from repro.net.message import MsgType
-from repro.util.errors import NetworkEmptyError, ProtocolError
+from repro.util.errors import NetworkEmptyError, PeerNotFoundError, ProtocolError
 from repro.util.rng import SeededRng
+from repro.util.stepper import MessageSteps, drive
 
 
 @dataclass
@@ -28,13 +51,10 @@ class ChordConfig:
     m_bits: int = DEFAULT_M_BITS
 
 
-@dataclass
-class ChordRangeResult:
-    """Outcome of the (degenerate) Chord range scan."""
-
-    keys: List[int]
-    nodes_visited: int
-    trace: Trace
+#: Backwards-compatible alias: Chord range scans now return the unified
+#: :class:`~repro.core.results.RangeSearchResult` (owners + keys + trace +
+#: ``complete`` truncation flag) instead of a private dataclass.
+ChordRangeResult = RangeSearchResult
 
 
 class ChordNetwork:
@@ -45,7 +65,7 @@ class ChordNetwork:
         self.rng = SeededRng(seed)
         self.bus = MessageBus()
         self.alloc = AddressAllocator()
-        self.nodes: Dict[Address, ChordNode] = {}
+        self.nodes: dict[Address, ChordNode] = {}
         self._used_ids: set[int] = set()
 
     # -- bookkeeping ---------------------------------------------------------
@@ -59,12 +79,27 @@ class ChordNetwork:
         return self.config.m_bits
 
     def node(self, address: Address) -> ChordNode:
-        return self.nodes[address]
+        """The live node at ``address`` (raises if departed/unknown)."""
+        try:
+            return self.nodes[address]
+        except KeyError:
+            raise PeerNotFoundError(address) from None
 
-    def random_node_address(self) -> Address:
+    def addresses(self) -> List[Address]:
+        return list(self.nodes)
+
+    def random_peer_address(self) -> Address:
+        """A uniformly random live node (query/join entry points)."""
         if not self.nodes:
             raise NetworkEmptyError("ring has no nodes")
         return self.rng.choice(sorted(self.nodes))
+
+    # Historical spelling, kept for callers written against the old API.
+    random_node_address = random_peer_address
+
+    def new_trace(self, label: str) -> Trace:
+        """An empty trace (for operations that turn out to be no-ops)."""
+        return Trace(label=label)
 
     def _new_id(self) -> int:
         space = 1 << self.m_bits
@@ -103,19 +138,34 @@ class ChordNetwork:
         self.bus.register(node.address)
         return node.address
 
+    def spawn_node(self) -> ChordNode:
+        """Allocate a node about to join.
+
+        The node does NOT enter ``self.nodes`` yet — that happens atomically
+        with the ring splice in :meth:`join_update_steps`.  Until then no
+        concurrent operation can select the half-born node (successor and
+        fingers still ``None``) as a query entry point or leave victim,
+        which would fail it spuriously and bias the measurements.
+        """
+        return ChordNode(self.alloc.allocate(), self._new_id(), self.m_bits)
+
+    def abort_join(self, node: ChordNode) -> None:
+        """Withdraw a spawned node whose join died before it was spliced in."""
+        if self.nodes.get(node.address) is node:
+            del self.nodes[node.address]
+        self.bus.unregister(node.address)
+        self._used_ids.discard(node.node_id)
+
     def join(self, via: Optional[Address] = None) -> JoinResult:
         """Classic Chord join: lookup, init_finger_table, update_others."""
-        entry = via if via is not None else self.random_node_address()
-        node = ChordNode(self.alloc.allocate(), self._new_id(), self.m_bits)
-        self.nodes[node.address] = node
-        self.bus.register(node.address)
-
+        entry = via if via is not None else self.random_peer_address()
+        node = self.spawn_node()
         with self.bus.trace("chord.join.find") as find_trace:
-            successor = self._find_successor(entry, node.node_id, MsgType.JOIN_FIND)
+            successor = drive(
+                self.successor_steps(entry, node.node_id, MsgType.JOIN_FIND)
+            )
         with self.bus.trace("chord.join.update") as update_trace:
-            self._init_finger_table(node, entry, successor)
-            self._update_others(node)
-            self._transfer_keys_on_join(node)
+            drive(self.join_update_steps(node, entry, successor))
         return JoinResult(
             address=node.address,
             parent=successor,
@@ -125,7 +175,7 @@ class ChordNetwork:
 
     def leave(self, address: Address) -> LeaveResult:
         """Graceful departure: hand keys to the successor, repair fingers."""
-        node = self.nodes[address]
+        node = self.node(address)
         if self.size == 1:
             with self.bus.trace("chord.leave.update") as update_trace:
                 del self.nodes[address]
@@ -139,18 +189,7 @@ class ChordNetwork:
         with self.bus.trace("chord.leave.find") as find_trace:
             successor = node.successor  # known locally: no search needed
         with self.bus.trace("chord.leave.update") as update_trace:
-            succ = self.nodes[successor]
-            self.bus.send_typed(
-                address, successor, MsgType.LEAVE_TRANSFER, keys=len(node.store)
-            )
-            succ.store.extend(node.store.clear())
-            succ.predecessor = node.predecessor
-            if node.predecessor is not None:
-                self.bus.send_typed(address, node.predecessor, MsgType.LEAVE_TRANSFER)
-                self.nodes[node.predecessor].successor = successor
-            self._repoint_fingers_on_leave(node)
-            del self.nodes[address]
-            self.bus.unregister(address)
+            drive(self.leave_update_steps(node))
         return LeaveResult(
             departed=address,
             replacement=successor,
@@ -158,7 +197,7 @@ class ChordNetwork:
             update_trace=update_trace,
         )
 
-    # -- routing ---------------------------------------------------------------
+    # -- routing (step generators) ---------------------------------------------
 
     def _closest_preceding_finger(self, node: ChordNode, target_id: int) -> Address:
         for i in reversed(range(self.m_bits)):
@@ -170,15 +209,16 @@ class ChordNetwork:
                 return finger
         return node.address
 
-    def _find_predecessor(
+    def predecessor_steps(
         self, start: Address, target_id: int, mtype: MsgType
-    ) -> Address:
+    ) -> MessageSteps:
+        """Hop finger by finger to the node preceding ``target_id``."""
         current = start
         limit = 4 * max(self.size.bit_length(), 2) + self.size + 16
         for _ in range(limit):
-            node = self.nodes[current]
+            node = self.node(current)
             successor = node.successor
-            successor_id = self.nodes[successor].node_id
+            successor_id = self.node(successor).node_id
             if in_interval(target_id, node.node_id, successor_id, self.m_bits):
                 return current
             next_hop = self._closest_preceding_finger(node, target_id)
@@ -186,59 +226,94 @@ class ChordNetwork:
                 next_hop = successor
             self.bus.send_typed(current, next_hop, mtype)
             current = next_hop
+            yield
         raise ProtocolError(f"chord lookup for {target_id} did not terminate")
 
-    def _find_successor(self, start: Address, target_id: int, mtype: MsgType) -> Address:
-        predecessor = self._find_predecessor(start, target_id, mtype)
-        successor = self.nodes[predecessor].successor
+    def successor_steps(
+        self, start: Address, target_id: int, mtype: MsgType
+    ) -> MessageSteps:
+        """``find_successor``: predecessor walk plus the final successor hop."""
+        predecessor = yield from self.predecessor_steps(start, target_id, mtype)
+        successor = self.node(predecessor).successor
         if successor != predecessor:
             self.bus.send_typed(predecessor, successor, mtype)
+            yield
         return successor
 
     # -- join helpers -------------------------------------------------------------
 
-    def _init_finger_table(
+    def join_update_steps(
         self, node: ChordNode, entry: Address, successor: Address
-    ) -> None:
+    ) -> MessageSteps:
+        """The join's update phase: splice, init fingers, update others.
+
+        The ring splice (successor/predecessor rewiring) is one atomic
+        segment — the newcomer becomes a ring member, visible to entry-point
+        and victim selection, only here; everything after it is best-effort
+        finger maintenance that tolerates nodes vanishing under churn.
+        """
+        succ = self.node(successor)  # raises before any wiring: join aborts
+        self.nodes[node.address] = node
+        self.bus.register(node.address)
         node.successor = successor
-        succ = self.nodes[successor]
         node.predecessor = succ.predecessor
         self.bus.send_typed(node.address, successor, MsgType.TABLE_UPDATE)
         succ.predecessor = node.address
         if node.predecessor is not None:
             self.bus.send_typed(node.address, node.predecessor, MsgType.TABLE_UPDATE)
-            self.nodes[node.predecessor].successor = node.address
+            self.node(node.predecessor).successor = node.address
+        yield
+        yield from self._init_fingers_steps(node, entry)
+        yield from self.update_others_steps(node)
+        try:
+            self._transfer_keys_on_join(node)
+        except PeerNotFoundError:
+            pass  # successor vanished this instant; keys stay where they are
+
+    def _init_fingers_steps(self, node: ChordNode, entry: Address) -> MessageSteps:
+        """Fill ``finger[1:]``, reusing the previous finger when possible."""
         for i in range(1, self.m_bits):
             start = node.finger_start(i)
             previous = node.finger[i - 1]
-            previous_id = self.nodes[previous].node_id
-            if in_interval(start, node.node_id, previous_id, self.m_bits) and not (
-                previous == node.address
+            prev_node = self.nodes.get(previous) if previous is not None else None
+            if (
+                prev_node is not None
+                and previous != node.address
+                and in_interval(start, node.node_id, prev_node.node_id, self.m_bits)
             ):
                 # The interval [start_i, previous finger] is empty of nodes:
                 # reuse without a lookup (the classic optimisation).
                 node.finger[i] = previous
             else:
-                node.finger[i] = self._find_successor(
-                    entry, start, MsgType.TABLE_UPDATE
-                )
+                try:
+                    node.finger[i] = yield from self.successor_steps(
+                        entry, start, MsgType.TABLE_UPDATE
+                    )
+                except PeerNotFoundError:
+                    node.finger[i] = None  # churn broke the lookup; successors route
 
-    def _update_others(self, node: ChordNode) -> None:
+    def update_others_steps(self, node: ChordNode) -> MessageSteps:
         """Tell existing nodes to adopt the newcomer into their fingers."""
         space = 1 << self.m_bits
         for i in range(self.m_bits):
             target = (node.node_id - (1 << i)) % space
-            predecessor = self._find_predecessor(
-                node.address, target, MsgType.TABLE_UPDATE
-            )
-            self._update_finger_table(predecessor, node, i)
+            try:
+                predecessor = yield from self.predecessor_steps(
+                    node.address, target, MsgType.TABLE_UPDATE
+                )
+            except PeerNotFoundError:
+                continue  # lookup died under churn; stabilization territory
+            yield from self.update_finger_table_steps(predecessor, node, i)
 
-    def _update_finger_table(self, address: Address, node: ChordNode, index: int) -> None:
+    def update_finger_table_steps(
+        self, address: Address, node: ChordNode, index: int
+    ) -> MessageSteps:
+        """Cascade a finger adoption backwards along predecessors."""
         limit = self.size + 4
         current = address
         for _ in range(limit):
-            holder = self.nodes[current]
-            if holder.address == node.address:
+            holder = self.nodes.get(current)
+            if holder is None or holder.address == node.address:
                 return
             finger = holder.finger[index]
             finger_id = self.nodes[finger].node_id if finger in self.nodes else None
@@ -250,12 +325,13 @@ class ChordNetwork:
                 if holder.predecessor is None or holder.predecessor == current:
                     return
                 current = holder.predecessor  # cascade to the predecessor
+                yield
             else:
                 return
 
     def _transfer_keys_on_join(self, node: ChordNode) -> None:
         """Pull the keys the newcomer is now responsible for."""
-        succ = self.nodes[node.successor]
+        succ = self.node(node.successor)
         if succ.address == node.address:
             return
         self.bus.send_typed(node.address, succ.address, MsgType.JOIN_TRANSFER)
@@ -265,7 +341,7 @@ class ChordNetwork:
             if in_interval(
                 hash_key(key, self.m_bits),
                 self.nodes[node.predecessor].node_id
-                if node.predecessor is not None
+                if node.predecessor is not None and node.predecessor in self.nodes
                 else node.node_id,
                 node.node_id,
                 self.m_bits,
@@ -275,81 +351,128 @@ class ChordNetwork:
             succ.store.delete(key)
         node.store.extend(moved)
 
-    def _repoint_fingers_on_leave(self, node: ChordNode) -> None:
+    # -- leave helpers ------------------------------------------------------------
+
+    def leave_update_steps(self, node: ChordNode) -> MessageSteps:
+        """Hand keys over, repoint the ring (atomic), then repair fingers."""
+        successor = node.successor
+        succ = self.node(successor)
+        self.bus.send_typed(
+            node.address, successor, MsgType.LEAVE_TRANSFER, keys=len(node.store)
+        )
+        succ.store.extend(node.store.clear())
+        succ.predecessor = node.predecessor
+        if node.predecessor is not None and node.predecessor in self.nodes:
+            self.bus.send_typed(node.address, node.predecessor, MsgType.LEAVE_TRANSFER)
+            self.nodes[node.predecessor].successor = successor
+        yield
+        yield from self.repoint_fingers_steps(node)
+        if self.nodes.get(node.address) is node:
+            del self.nodes[node.address]
+        self.bus.unregister(node.address)
+
+    def repoint_fingers_steps(self, node: ChordNode) -> MessageSteps:
         """Repair fingers that pointed at the departing node (Θ(log² N))."""
         space = 1 << self.m_bits
         successor = node.successor
         for i in range(self.m_bits):
             target = (node.node_id - (1 << i)) % space
-            predecessor = self._find_predecessor(
-                node.address, target, MsgType.TABLE_UPDATE
-            )
+            try:
+                predecessor = yield from self.predecessor_steps(
+                    node.address, target, MsgType.TABLE_UPDATE
+                )
+            except PeerNotFoundError:
+                continue  # repair lookup died under churn; fingers stay stale
             current = predecessor
             for _ in range(self.size + 4):
-                holder = self.nodes[current]
-                if holder.finger[i] == node.address:
-                    self.bus.send_typed(node.address, current, MsgType.TABLE_UPDATE)
-                    holder.finger[i] = successor
-                    if holder.predecessor is None or holder.predecessor == current:
-                        break
-                    current = holder.predecessor
-                else:
+                holder = self.nodes.get(current)
+                if holder is None or holder.finger[i] != node.address:
                     break
+                self.bus.send_typed(node.address, current, MsgType.TABLE_UPDATE)
+                holder.finger[i] = successor
+                if holder.predecessor is None or holder.predecessor == current:
+                    break
+                current = holder.predecessor
+                yield
 
     # -- data operations -----------------------------------------------------------
 
     def insert(self, key: int, via: Optional[Address] = None) -> DataOpResult:
         """Hash the key and store it at its successor node."""
-        entry = via if via is not None else self.random_node_address()
+        entry = via if via is not None else self.random_peer_address()
         with self.bus.trace("chord.insert") as trace:
-            owner = self._find_successor(
-                entry, hash_key(key, self.m_bits), MsgType.INSERT
+            owner = drive(
+                self.successor_steps(entry, hash_key(key, self.m_bits), MsgType.INSERT)
             )
-            self.nodes[owner].store.insert(key)
+            self.node(owner).store.insert(key)
         return DataOpResult(applied=True, owner=owner, trace=trace)
 
     def delete(self, key: int, via: Optional[Address] = None) -> DataOpResult:
-        entry = via if via is not None else self.random_node_address()
+        entry = via if via is not None else self.random_peer_address()
         with self.bus.trace("chord.delete") as trace:
-            owner = self._find_successor(
-                entry, hash_key(key, self.m_bits), MsgType.DELETE
+            owner = drive(
+                self.successor_steps(entry, hash_key(key, self.m_bits), MsgType.DELETE)
             )
-            applied = self.nodes[owner].store.delete(key)
+            applied = self.node(owner).store.delete(key)
         return DataOpResult(applied=applied, owner=owner, trace=trace)
 
     def search_exact(self, key: int, via: Optional[Address] = None) -> SearchResult:
-        entry = via if via is not None else self.random_node_address()
+        entry = via if via is not None else self.random_peer_address()
         with self.bus.trace("chord.search") as trace:
-            owner = self._find_successor(
-                entry, hash_key(key, self.m_bits), MsgType.SEARCH
+            owner = drive(
+                self.successor_steps(entry, hash_key(key, self.m_bits), MsgType.SEARCH)
             )
-            found = key in self.nodes[owner].store
+            found = key in self.node(owner).store
         return SearchResult(found=found, owner=owner, trace=trace)
 
     def search_range(
         self, low: int, high: int, via: Optional[Address] = None
-    ) -> ChordRangeResult:
+    ) -> RangeSearchResult:
         """Range scan on a hash-partitioned ring: visit *every* node.
 
         Hashing scatters [low, high) uniformly over the ring, so the only
         complete answer walks all successors — the O(N) cliff that motivates
         order-preserving overlays like BATON.
         """
-        entry = via if via is not None else self.random_node_address()
+        if low >= high:
+            raise ValueError(f"empty query range [{low}, {high})")
+        entry = via if via is not None else self.random_peer_address()
         with self.bus.trace("chord.range") as trace:
-            keys: List[int] = []
-            current = entry
-            visited = 0
-            for _ in range(self.size):
-                node = self.nodes[current]
-                keys.extend(k for k in node.store if low <= k < high)
-                visited += 1
-                successor = node.successor
-                if successor == entry or successor is None:
-                    break
+            owners, keys, complete = drive(self.range_steps(entry, low, high))
+        return RangeSearchResult(
+            owners=owners, keys=keys, trace=trace, complete=complete
+        )
+
+    def range_steps(self, entry: Address, low: int, high: int) -> MessageSteps:
+        """Walk the successor ring collecting [low, high); one yield per hop.
+
+        Returns ``(owners, keys, complete)`` — ``complete`` is True only when
+        the walk closed the full ring; a vanished successor truncates the
+        answer, exactly like a broken adjacent chain does in BATON.
+        """
+        owners: List[Address] = []
+        keys: List[int] = []
+        complete = False
+        current = entry
+        for _ in range(max(self.size, 1)):
+            node = self.nodes.get(current)
+            if node is None:
+                break  # walk carrier vanished: truncated answer
+            owners.append(current)
+            keys.extend(k for k in node.store if low <= k < high)
+            successor = node.successor
+            if successor == entry:
+                complete = True
+                break
+            if successor is None:
+                break
+            try:
                 self.bus.send_typed(current, successor, MsgType.RANGE_SEARCH)
-                current = successor
-        return ChordRangeResult(keys=sorted(keys), nodes_visited=visited, trace=trace)
+            except PeerNotFoundError:
+                break  # dead successor: partial answer
+            current = successor
+            yield
+        return owners, sorted(keys), complete
 
     def bulk_load(self, keys: List[int]) -> int:
         """Place keys at their owners without routed messages (untimed load)."""

@@ -7,6 +7,8 @@ Usage::
     python -m repro ranges --peers 20 --keys 400
     python -m repro experiments --quick
     python -m repro concurrent --peers 200 --churn-rate 1.0 --duration 60
+    python -m repro concurrent --overlay chord --peers 200
+    python -m repro concurrent --overlay all --peers 100 --duration 30
 """
 
 from __future__ import annotations
@@ -76,10 +78,8 @@ def cmd_experiments(args: argparse.Namespace) -> int:
 
 def cmd_concurrent(args: argparse.Namespace) -> int:
     """Drive interleaved churn + queries on the event-driven runtime."""
-    from repro.sim.latency import ExponentialLatency
-    from repro.sim.runtime import AsyncBatonNetwork
-    from repro.util.rng import SeededRng
-    from repro.workloads.concurrent import ConcurrentConfig, run_concurrent_workload
+    from repro import overlays
+    from repro.workloads.concurrent import ConcurrentConfig
 
     try:
         config = ConcurrentConfig(
@@ -93,8 +93,22 @@ def cmd_concurrent(args: argparse.Namespace) -> int:
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    names = overlays.available() if args.overlay == "all" else [args.overlay]
+    for name in names:
+        _run_concurrent_overlay(name, args, config)
+    return 0
+
+
+def _run_concurrent_overlay(name: str, args: argparse.Namespace, config) -> None:
+    """One overlay's concurrent run, reported to stdout."""
+    from repro import overlays
+    from repro.sim.latency import ExponentialLatency
+    from repro.util.rng import SeededRng
+    from repro.workloads.concurrent import run_concurrent_workload
+
+    entry = overlays.get(name)
     rng = SeededRng(args.seed)
-    anet = AsyncBatonNetwork.build(
+    anet = entry.build_async(
         args.peers,
         seed=args.seed,
         latency=ExponentialLatency(mean=1.0, rng=rng.child("latency")),
@@ -102,9 +116,11 @@ def cmd_concurrent(args: argparse.Namespace) -> int:
     keys = uniform_keys(args.keys or 10 * args.peers, seed=args.seed + 1)
     anet.net.bulk_load(keys)
     report = run_concurrent_workload(anet, keys, config, seed=args.seed + 2)
-    print(f"{args.peers} peers, event-driven runtime, seed {args.seed}")
+    print(f"{name}: {args.peers} peers, event-driven runtime, seed {args.seed}")
     for line in report.summary_lines():
         print(f"  {line}")
+    if name != "baton":
+        return
     from repro.core.invariants import collect_violations
 
     violations = collect_violations(anet.net)
@@ -117,7 +133,6 @@ def cmd_concurrent(args: argparse.Namespace) -> int:
             print(f"  - {violation}")
     else:
         print("invariants: OK (after post-run repair/reconcile)")
-    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -152,10 +167,18 @@ def build_parser() -> argparse.ArgumentParser:
     experiments.add_argument("--out", default=None)
     experiments.set_defaults(func=cmd_experiments)
 
+    from repro import overlays
+
     concurrent = sub.add_parser(
         "concurrent", help="interleaved churn + queries on the event runtime"
     )
     common(concurrent)
+    concurrent.add_argument(
+        "--overlay",
+        default="baton",
+        choices=overlays.available() + ["all"],
+        help="which overlay to drive ('all' runs the full comparison)",
+    )
     concurrent.add_argument("--duration", type=float, default=60.0)
     concurrent.add_argument("--churn-rate", type=float, default=1.0)
     concurrent.add_argument("--query-rate", type=float, default=8.0)

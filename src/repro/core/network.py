@@ -5,10 +5,11 @@ and exposes the paper's operations — join, leave, fail/repair, insert,
 delete, exact-match and range search — by delegating to the protocol modules
 (:mod:`repro.core.join`, :mod:`repro.core.leave`, …).
 
-Honesty rules (see DESIGN.md): protocol decisions use only the acting peer's
-local links.  The global position map kept here serves three sanctioned
-purposes only — the invariant checker, the restructuring link-rebuild helper
-(a documented cost-model substitution), and test assertions.
+Honesty rules (see DESIGN.md at the repository root): protocol decisions use
+only the acting peer's local links.  The global position map kept here serves
+three sanctioned purposes only — the invariant checker, the restructuring
+link-rebuild helper (a documented cost-model substitution), and test
+assertions.
 """
 
 from __future__ import annotations

@@ -7,6 +7,11 @@ event-driven runtime.  For each churn rate the experiment reports the
 query success rate (answered fully: exact hit / complete range) and the
 submit-to-answer latency percentiles in units of mean hop latency.
 
+Since the runtime is overlay-agnostic (:mod:`repro.overlays`), the same
+sweep runs against any registered overlay (``overlay="chord"`` /
+``"multiway"``), and :func:`run_comparison` drives all three through
+identical workloads for the paper's head-to-head claims under churn.
+
 Expected shape: success stays near 1 and latency flat at low churn; as
 churn intensity approaches the query rate, queries pay more recovery hops
 (latency tail grows) and a small fraction are lost outright with their
@@ -15,19 +20,19 @@ carrier peers.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
+from repro import overlays
 from repro.core.invariants import collect_violations
 from repro.experiments.harness import (
     ExperimentResult,
     ExperimentScale,
-    build_baton,
+    build_loaded,
     default_scale,
     loaded_keys,
     mean,
 )
 from repro.sim.latency import ExponentialLatency
-from repro.sim.runtime import AsyncBatonNetwork
 from repro.util.rng import SeededRng, derive_seed
 from repro.workloads.concurrent import ConcurrentConfig, run_concurrent_workload
 
@@ -39,7 +44,16 @@ EXPECTATION = (
     "whose correction was lost to a stale link; the next join heals it)"
 )
 
+COMPARISON_EXPECTATION = (
+    "BATON answers queries in O(log N) hops with complete ranges; Chord "
+    "matches exact-query latency but pays O(N) messages per range scan; "
+    "the multiway tree pays long link-by-link walks, so its latencies are "
+    "highest and its queries are the most fragile under churn (a walk dies "
+    "with any peer it is traversing)"
+)
+
 CHURN_RATES = (0.0, 0.25, 0.5, 1.0, 2.0, 4.0)
+COMPARISON_CHURN_RATES = (0.0, 1.0)
 QUERY_RATE = 8.0
 TARGET_PEERS = 1000
 
@@ -48,6 +62,7 @@ def run(
     scale: Optional[ExperimentScale] = None,
     churn_rates: tuple[float, ...] = CHURN_RATES,
     n_peers: Optional[int] = None,
+    overlay: str = "baton",
 ) -> ExperimentResult:
     scale = scale or default_scale()
     if n_peers is None:
@@ -57,7 +72,7 @@ def run(
         figure="Concurrent dynamics",
         title=(
             f"Churn racing queries on the event runtime "
-            f"(N={n_peers}, query rate {QUERY_RATE}/unit)"
+            f"({overlay}, N={n_peers}, query rate {QUERY_RATE}/unit)"
         ),
         columns=[
             "churn_rate",
@@ -81,7 +96,7 @@ def run(
         violations = 0
         for seed in scale.seeds:
             report, net_violations = _one_run(
-                n_peers, seed, scale.data_per_node, churn_rate, duration
+                overlay, n_peers, seed, scale.data_per_node, churn_rate, duration
             )
             successes.append(report.query_success_rate)
             p50s.append(report.query_latency_p50)
@@ -105,13 +120,82 @@ def run(
     return result
 
 
+def run_comparison(
+    scale: Optional[ExperimentScale] = None,
+    churn_rates: tuple[float, ...] = COMPARISON_CHURN_RATES,
+    names: Optional[Sequence[str]] = None,
+    n_peers: Optional[int] = None,
+) -> ExperimentResult:
+    """Three-way concurrent comparison: every overlay, identical workloads.
+
+    One row per (overlay, churn rate); the churn/query/insert arrival
+    processes, seeds and latency model are shared, so the rows differ only
+    in how each overlay's protocol copes.
+    """
+    scale = scale or default_scale()
+    names = list(names) if names is not None else overlays.available()
+    if n_peers is None:
+        # Same population as the BATON-only dynamics experiment above, so
+        # the baton rows of the two tables are directly comparable.
+        n_peers = TARGET_PEERS if max(scale.sizes) >= TARGET_PEERS else scale.sizes[0]
+    duration = scale.n_queries / QUERY_RATE
+    result = ExperimentResult(
+        figure="Concurrent comparison",
+        title=(
+            f"BATON vs. baselines under concurrent churn "
+            f"(N={n_peers}, query rate {QUERY_RATE}/unit)"
+        ),
+        columns=[
+            "overlay",
+            "churn_rate",
+            "queries",
+            "success",
+            "p50",
+            "p90",
+            "p99",
+            "msgs_per_query",
+        ],
+        expectation=COMPARISON_EXPECTATION,
+    )
+    for name in names:
+        for churn_rate in churn_rates:
+            successes, p50s, p90s, p99s, msgs = [], [], [], [], []
+            queries = 0
+            for seed in scale.seeds:
+                report, _violations = _one_run(
+                    name, n_peers, seed, scale.data_per_node, churn_rate, duration
+                )
+                successes.append(report.query_success_rate)
+                p50s.append(report.query_latency_p50)
+                p90s.append(report.query_latency_p90)
+                p99s.append(report.query_latency_p99)
+                msgs.append(report.messages_per_query)
+                queries += report.query_total
+            result.add_row(
+                overlay=name,
+                churn_rate=churn_rate,
+                queries=queries,
+                success=mean(successes),
+                p50=mean(p50s),
+                p90=mean(p90s),
+                p99=mean(p99s),
+                msgs_per_query=mean(msgs),
+            )
+    return result
+
+
 def _one_run(
-    n_peers: int, seed: int, data_per_node: int, churn_rate: float, duration: float
+    overlay: str,
+    n_peers: int,
+    seed: int,
+    data_per_node: int,
+    churn_rate: float,
+    duration: float,
 ):
     """One seeded concurrent run; returns (report, post-run violations)."""
-    net = build_baton(n_peers, seed, data_per_node)
+    net = build_loaded(overlay, n_peers, seed, data_per_node)
     rng = SeededRng(derive_seed(seed, "concurrent-dynamics"))
-    anet = AsyncBatonNetwork(
+    anet = overlays.get(overlay).wrap(
         net, latency=ExponentialLatency(mean=1.0, rng=rng.child("latency"))
     )
     keys = loaded_keys(n_peers, data_per_node, seed)
@@ -125,12 +209,16 @@ def _one_run(
     report = run_concurrent_workload(
         anet, keys, config, seed=derive_seed(seed, "driver")
     )
-    return report, len(collect_violations(net))
+    violations = len(collect_violations(net)) if overlay == "baton" else 0
+    return report, violations
 
 
 def main() -> ExperimentResult:
     result = run()
     print(result.to_text())
+    comparison = run_comparison()
+    print()
+    print(comparison.to_text())
     return result
 
 

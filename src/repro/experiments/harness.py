@@ -200,3 +200,23 @@ def build_multiway(n_peers: int, seed: int, data_per_node: int) -> MultiwayNetwo
     for _ in range(n_peers - 1):
         net.join()
     return net
+
+
+def build_loaded(overlay: str, n_peers: int, seed: int, data_per_node: int):
+    """A loaded network of any registered overlay, by name.
+
+    The three known overlays keep their historical construction regimes
+    (BATON and multiway grow around their data so median splits see real
+    content; Chord hashes, so bulk placement is equivalent).  An overlay
+    registered later falls back to build-then-bulk-load.
+    """
+    builders = {"baton": build_baton, "chord": build_chord, "multiway": build_multiway}
+    builder = builders.get(overlay)
+    if builder is not None:
+        return builder(n_peers, seed, data_per_node)
+    from repro import overlays
+
+    net = overlays.get(overlay).build(n_peers, seed=seed)
+    if data_per_node:
+        net.bulk_load(loaded_keys(n_peers, data_per_node, seed))
+    return net

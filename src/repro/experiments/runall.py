@@ -59,6 +59,12 @@ def run_all(scale=None, quick: bool = False) -> List[ExperimentResult]:
         (0.0, 2.0) if quick else concurrent_dynamics.CHURN_RATES
     )
     results.append(concurrent_dynamics.run(scale, churn_rates=churn_rates))
+    comparison_rates = (
+        (0.0,) if quick else concurrent_dynamics.COMPARISON_CHURN_RATES
+    )
+    results.append(
+        concurrent_dynamics.run_comparison(scale, churn_rates=comparison_rates)
+    )
     return results
 
 

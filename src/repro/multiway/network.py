@@ -1,7 +1,18 @@
 """The multiway tree overlay: joins, expensive leaves, hop-by-hop search.
 
 Message accounting matches the other two systems so the experiments can
-read all three with the same harness.
+read all three with the same harness, and the public operations return the
+unified result types from :mod:`repro.core.results`.
+
+As on the Chord side, the routing walks are written as *step generators*
+(see :mod:`repro.util.stepper`): one yield per inter-node hop.  The
+synchronous facade drives them atomically; the event-driven runtime
+(:class:`repro.multiway.runtime.AsyncMultiwayNetwork`) schedules each
+resumption on the simulator, so searches, joins and departures interleave
+at hop granularity while sending the same message sequence as the
+synchronous path.  Structural mutations (accepting a child, detaching a
+leaf, transplanting a replacement) each run inside a single segment, so
+the tree is consistent at every event boundary.
 """
 
 from __future__ import annotations
@@ -10,13 +21,20 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.core.ranges import Range
-from repro.core.results import DataOpResult, JoinResult, LeaveResult, SearchResult
+from repro.core.results import (
+    DataOpResult,
+    JoinResult,
+    LeaveResult,
+    RangeSearchResult,
+    SearchResult,
+)
 from repro.multiway.node import ChildLink, MultiwayNode
 from repro.net.address import Address, AddressAllocator
 from repro.net.bus import MessageBus, Trace
 from repro.net.message import MsgType
-from repro.util.errors import NetworkEmptyError, ProtocolError
+from repro.util.errors import NetworkEmptyError, PeerNotFoundError, ProtocolError
 from repro.util.rng import SeededRng
+from repro.util.stepper import MessageSteps, drive
 
 
 @dataclass
@@ -41,13 +59,9 @@ class MultiwayConfig:
             raise ValueError("fanout must be at least 2")
 
 
-@dataclass
-class MultiwayRangeResult:
-    """Outcome of a multiway range query."""
-
-    keys: List[int]
-    nodes_visited: int
-    trace: Trace
+#: Backwards-compatible alias: multiway range scans now return the unified
+#: :class:`~repro.core.results.RangeSearchResult`.
+MultiwayRangeResult = RangeSearchResult
 
 
 class MultiwayNetwork:
@@ -68,12 +82,27 @@ class MultiwayNetwork:
         return len(self.nodes)
 
     def node(self, address: Address) -> MultiwayNode:
-        return self.nodes[address]
+        """The live node at ``address`` (raises if departed/unknown)."""
+        try:
+            return self.nodes[address]
+        except KeyError:
+            raise PeerNotFoundError(address) from None
 
-    def random_node_address(self) -> Address:
+    def addresses(self) -> List[Address]:
+        return list(self.nodes)
+
+    def random_peer_address(self) -> Address:
+        """A uniformly random live node (query/join entry points)."""
         if not self.nodes:
             raise NetworkEmptyError("tree has no nodes")
         return self.rng.choice(sorted(self.nodes))
+
+    # Historical spelling, kept for callers written against the old API.
+    random_node_address = random_peer_address
+
+    def new_trace(self, label: str) -> Trace:
+        """An empty trace (for operations that turn out to be no-ops)."""
+        return Trace(label=label)
 
     @classmethod
     def build(
@@ -100,33 +129,45 @@ class MultiwayNetwork:
 
     def join(self, via: Optional[Address] = None) -> JoinResult:
         """Descend from the contact node to a parent with spare fan-out."""
-        entry = via if via is not None else self.random_node_address()
+        entry = via if via is not None else self.random_peer_address()
         with self.bus.trace("multiway.join.find") as find_trace:
-            current = entry
-            limit = self.size + 8
-            for _ in range(limit):
-                node = self.nodes[current]
-                if len(node.children) < self.config.fanout and node.range.can_split:
-                    break
-                if node.children:
-                    link = self.rng.choice(node.children)
-                    next_hop = link.address
-                elif node.parent is not None:
-                    next_hop = node.parent  # range too narrow to split: back up
-                else:
-                    raise ProtocolError("multiway join found no splittable node")
-                self.bus.send_typed(current, next_hop, MsgType.JOIN_FIND)
-                current = next_hop
-            else:
-                raise ProtocolError("multiway join did not find a parent")
+            parent_address = drive(self.join_find_steps(entry))
         with self.bus.trace("multiway.join.update") as update_trace:
-            child = self._accept_child(self.nodes[current])
+            child = self.accept_child(self.nodes[parent_address])
         return JoinResult(
             address=child.address,
-            parent=current,
+            parent=parent_address,
             find_trace=find_trace,
             update_trace=update_trace,
         )
+
+    def join_find_steps(self, entry: Address) -> MessageSteps:
+        """Walk to a node with spare fan-out and a splittable range.
+
+        The acceptance check and the return happen in the same segment, so
+        a caller that accepts immediately sees exactly the state the check
+        read — no other operation can run in between.
+        """
+        current = entry
+        limit = self.size + 8
+        for _ in range(limit):
+            node = self.node(current)
+            if len(node.children) < self.config.fanout and node.range.can_split:
+                return current
+            if node.children:
+                next_hop = self.rng.choice(node.children).address
+            elif node.parent is not None:
+                next_hop = node.parent  # range too narrow to split: back up
+            else:
+                raise ProtocolError("multiway join found no splittable node")
+            self.bus.send_typed(current, next_hop, MsgType.JOIN_FIND)
+            current = next_hop
+            yield
+        raise ProtocolError("multiway join did not find a parent")
+
+    def can_accept_join(self, node: MultiwayNode) -> bool:
+        """Whether ``node`` can take a child right now (fresh-state check)."""
+        return len(node.children) < self.config.fanout and node.range.can_split
 
     def _split_pivot(self, node: MultiwayNode) -> int:
         if node.range.width < 2:
@@ -137,7 +178,7 @@ class MultiwayNetwork:
                 return median
         return node.range.midpoint()
 
-    def _accept_child(self, parent: MultiwayNode) -> MultiwayNode:
+    def accept_child(self, parent: MultiwayNode) -> MultiwayNode:
         """Hand the upper half of the parent's own range to a new child."""
         pivot = self._split_pivot(parent)
         parent_range, child_range = parent.range.split_at(pivot)
@@ -160,6 +201,9 @@ class MultiwayNetwork:
         parent.children.sort(key=lambda item: item.coverage.low)
         self._wire_neighbors(parent, child)
         return child
+
+    # Historical private spelling.
+    _accept_child = accept_child
 
     def _wire_neighbors(self, parent: MultiwayNode, child: MultiwayNode) -> None:
         """Splice the new child into its level's neighbour chain.
@@ -215,7 +259,7 @@ class MultiwayNetwork:
 
     def leave(self, address: Address) -> LeaveResult:
         """Graceful departure; §V-A's expensive multi-child consultation."""
-        node = self.nodes[address]
+        node = self.node(address)
         if self.size == 1:
             with self.bus.trace("multiway.leave.update") as update_trace:
                 del self.nodes[address]
@@ -228,15 +272,15 @@ class MultiwayNetwork:
                 update_trace=update_trace,
             )
         with self.bus.trace("multiway.leave.find") as find_trace:
-            replacement_address = self._find_replacement_leaf(node)
+            replacement_address = drive(self.replacement_steps(node))
         with self.bus.trace("multiway.leave.update") as update_trace:
             if replacement_address is None:
-                self._detach_leaf(node)
+                self.detach_leaf(node)
                 replacement = None
             else:
                 replacement = self.nodes[replacement_address]
-                self._detach_leaf(replacement)
-                self._transplant(node, replacement)
+                self.detach_leaf(replacement)
+                self.transplant(node, replacement)
         return LeaveResult(
             departed=address,
             replacement=replacement_address,
@@ -244,11 +288,12 @@ class MultiwayNetwork:
             update_trace=update_trace,
         )
 
-    def _find_replacement_leaf(self, node: MultiwayNode) -> Optional[Address]:
+    def replacement_steps(self, node: MultiwayNode) -> MessageSteps:
         """Descend to a leaf, querying *all* children at every level.
 
         This is the cost centre the paper calls out: each step costs one
         message per child (gathering their states) before one is chosen.
+        Yields once per level descended.
         """
         if node.is_leaf:
             return None
@@ -258,7 +303,7 @@ class MultiwayNetwork:
             best: Optional[MultiwayNode] = None
             for link in current.children:
                 self.bus.send_typed(current.address, link.address, MsgType.LEAVE_FIND)
-                candidate = self.nodes[link.address]
+                candidate = self.node(link.address)
                 if best is None or len(candidate.children) < len(best.children):
                     best = candidate
             if best is None:
@@ -266,9 +311,14 @@ class MultiwayNetwork:
             if best.is_leaf:
                 return best.address
             current = best
+            yield
         raise ProtocolError("multiway replacement walk did not terminate")
 
-    def _detach_leaf(self, leaf: MultiwayNode) -> None:
+    # Historical private spelling (returns the replacement address).
+    def _find_replacement_leaf(self, node: MultiwayNode) -> Optional[Address]:
+        return drive(self.replacement_steps(node))
+
+    def detach_leaf(self, leaf: MultiwayNode) -> None:
         """Unhook a leaf; its interval flows to its in-order predecessor.
 
         The parent's own range is always the *lowest* segment of its
@@ -289,8 +339,10 @@ class MultiwayNetwork:
             absorber = parent
         else:
             absorber = self.nodes[
-                self._route(
-                    parent.address, leaf.coverage.low - 1, MsgType.LEAVE_TRANSFER
+                drive(
+                    self.route_steps(
+                        parent.address, leaf.coverage.low - 1, MsgType.LEAVE_TRANSFER
+                    )
                 )
             ]
         self.bus.send_typed(
@@ -332,7 +384,10 @@ class MultiwayNetwork:
         del self.nodes[leaf.address]
         self.bus.unregister(leaf.address)
 
-    def _transplant(self, departing: MultiwayNode, replacement: MultiwayNode) -> None:
+    # Historical private spelling.
+    _detach_leaf = detach_leaf
+
+    def transplant(self, departing: MultiwayNode, replacement: MultiwayNode) -> None:
         """The replacement assumes the departing node's place and content."""
         self.nodes[replacement.address] = replacement
         self.bus.register(replacement.address)
@@ -383,9 +438,12 @@ class MultiwayNetwork:
         del self.nodes[departing.address]
         self.bus.unregister(departing.address)
 
+    # Historical private spelling.
+    _transplant = transplant
+
     # -- search -------------------------------------------------------------------
 
-    def _route(self, start: Address, key: int, mtype: MsgType) -> Address:
+    def route_steps(self, start: Address, key: int, mtype: MsgType) -> MessageSteps:
         """Hop link by link toward the owner of ``key`` (§V-B's cost).
 
         Same-level coverages are not contiguous — the interval between two
@@ -396,7 +454,7 @@ class MultiwayNetwork:
         previous: Optional[Address] = None
         limit = 4 * self.size + 32
         for _ in range(limit):
-            node = self.nodes[current]
+            node = self.node(current)
             if node.range.contains(key):
                 return current
             next_hop: Optional[Address] = None
@@ -414,71 +472,103 @@ class MultiwayNetwork:
                 raise ProtocolError(f"multiway routing stuck at {node!r} for {key}")
             self.bus.send_typed(current, next_hop, mtype)
             previous, current = current, next_hop
+            yield
         raise ProtocolError(f"multiway search for {key} did not terminate")
 
     def search_exact(self, key: int, via: Optional[Address] = None) -> SearchResult:
-        entry = via if via is not None else self.random_node_address()
+        entry = via if via is not None else self.random_peer_address()
         with self.bus.trace("multiway.search") as trace:
-            owner = self._route(entry, key, MsgType.SEARCH)
-            found = key in self.nodes[owner].store
+            owner = drive(self.route_steps(entry, key, MsgType.SEARCH))
+            found = key in self.node(owner).store
         return SearchResult(found=found, owner=owner, trace=trace)
 
     def search_range(
         self, low: int, high: int, via: Optional[Address] = None
-    ) -> MultiwayRangeResult:
+    ) -> RangeSearchResult:
         """Collect [low, high) by climbing to a covering node, then fanning
         out over every intersecting child subtree (one message per visit)."""
         if low >= high:
             raise ValueError(f"empty query range [{low}, {high})")
-        entry = via if via is not None else self.random_node_address()
+        entry = via if via is not None else self.random_peer_address()
         with self.bus.trace("multiway.range") as trace:
-            current = self.nodes[self._route(entry, low, MsgType.RANGE_SEARCH)]
-            # Climb until the subtree coverage spans the query (or root).
-            while current.parent is not None and current.coverage.high < high:
+            owners, keys, complete = drive(self.range_steps(entry, low, high))
+        return RangeSearchResult(
+            owners=owners, keys=keys, trace=trace, complete=complete
+        )
+
+    def range_steps(
+        self, entry: Address, low: int, high: int
+    ) -> MessageSteps:
+        """Route to low's owner, climb to a covering ancestor, fan out.
+
+        Returns ``(owners, keys, complete)``; a subtree that vanished under
+        concurrent churn truncates the answer (``complete=False``) instead
+        of failing the whole query.
+        """
+        first = yield from self.route_steps(entry, low, MsgType.RANGE_SEARCH)
+        owners: List[Address] = []
+        keys: List[int] = []
+        complete = True
+        current = self.node(first)
+        # Climb until the subtree coverage spans the query (or root).
+        while current.parent is not None and current.coverage.high < high:
+            try:
                 self.bus.send_typed(
                     current.address, current.parent, MsgType.RANGE_SEARCH
                 )
-                current = self.nodes[current.parent]
-            keys: List[int] = []
-            visited = 0
-            stack = [current.address]
-            query = Range(low, high)
-            while stack:
-                address = stack.pop()
-                node = self.nodes[address]
-                visited += 1
-                keys.extend(node.store.keys_in(low, high))
-                for link in node.children:
-                    if link.coverage.overlaps(query):
+                current = self.node(current.parent)
+            except PeerNotFoundError:
+                return owners, sorted(keys), False
+            yield
+        stack = [current.address]
+        query = Range(low, high)
+        while stack:
+            address = stack.pop()
+            node = self.nodes.get(address)
+            if node is None:
+                complete = False  # subtree vanished mid-scan: truncated
+                continue
+            owners.append(address)
+            keys.extend(node.store.keys_in(low, high))
+            for link in node.children:
+                if link.coverage.overlaps(query):
+                    try:
                         self.bus.send_typed(address, link.address, MsgType.RANGE_SEARCH)
-                        stack.append(link.address)
-        return MultiwayRangeResult(keys=sorted(keys), nodes_visited=visited, trace=trace)
+                    except PeerNotFoundError:
+                        complete = False
+                        continue
+                    stack.append(link.address)
+            if stack:
+                yield
+        return owners, sorted(keys), complete
 
     # -- data ------------------------------------------------------------------------
 
     def insert(self, key: int, via: Optional[Address] = None) -> DataOpResult:
-        entry = via if via is not None else self.random_node_address()
+        entry = via if via is not None else self.random_peer_address()
         with self.bus.trace("multiway.insert") as trace:
-            owner = self._route_for_update(entry, key, MsgType.INSERT)
-            self.nodes[owner].store.insert(key)
+            owner = drive(self.route_for_update_steps(entry, key, MsgType.INSERT))
+            self.node(owner).store.insert(key)
         return DataOpResult(applied=True, owner=owner, trace=trace)
 
     def delete(self, key: int, via: Optional[Address] = None) -> DataOpResult:
-        entry = via if via is not None else self.random_node_address()
+        entry = via if via is not None else self.random_peer_address()
         with self.bus.trace("multiway.delete") as trace:
-            owner = self._route_for_update(entry, key, MsgType.DELETE)
-            applied = self.nodes[owner].store.delete(key)
+            owner = drive(self.route_for_update_steps(entry, key, MsgType.DELETE))
+            applied = self.node(owner).store.delete(key)
         return DataOpResult(applied=applied, owner=owner, trace=trace)
 
-    def _route_for_update(self, start: Address, key: int, mtype: MsgType) -> Address:
+    def route_for_update_steps(
+        self, start: Address, key: int, mtype: MsgType
+    ) -> MessageSteps:
         """Route an update; out-of-domain keys expand the root's coverage."""
         if not self.config.domain.contains(key):
-            root = self.nodes[self.root]
+            root = self.node(self.root)
             if key < root.coverage.low or key >= root.coverage.high:
                 root.coverage = root.coverage.extend_to_include(key)
                 root.range = root.range.extend_to_include(key)
                 return self.root
-        return self._route(start, key, mtype)
+        return (yield from self.route_steps(start, key, mtype))
 
     def bulk_load(self, keys: List[int]) -> int:
         """Place keys at their owners without routed messages (untimed load)."""

@@ -1,0 +1,75 @@
+"""The overlay registry: names to (network, runtime) pairs.
+
+Experiments, the CLI, benchmarks and the concurrent workload driver all
+select overlays by name — ``overlays.get("baton")`` — so adding a fourth
+overlay is one :func:`register` call, not a sweep through every harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.sim.latency import LatencyModel
+from repro.sim.runtime import AsyncOverlayRuntime
+
+
+@dataclass(frozen=True)
+class OverlayEntry:
+    """One registered overlay: its sync network and async runtime classes."""
+
+    name: str
+    description: str
+    network_cls: type
+    runtime_cls: type
+
+    @property
+    def capabilities(self) -> frozenset:
+        """Optional operations this overlay supports (from its runtime)."""
+        return self.runtime_cls.capabilities
+
+    def build(self, n_peers: int, seed: int = 0, **kwargs):
+        """Grow a synchronous network of ``n_peers``."""
+        return self.network_cls.build(n_peers, seed=seed, **kwargs)
+
+    def build_async(
+        self,
+        n_peers: int,
+        seed: int = 0,
+        *,
+        latency: Optional[LatencyModel] = None,
+        **kwargs,
+    ) -> AsyncOverlayRuntime:
+        """Grow a synchronous network and wrap it for concurrent traffic."""
+        return self.runtime_cls.build(n_peers, seed=seed, latency=latency, **kwargs)
+
+    def wrap(
+        self, net, *, sim=None, latency: Optional[LatencyModel] = None, **kwargs
+    ) -> AsyncOverlayRuntime:
+        """Wrap an existing synchronous network in the async runtime."""
+        return self.runtime_cls(net, sim=sim, latency=latency, **kwargs)
+
+
+_REGISTRY: Dict[str, OverlayEntry] = {}
+
+
+def register(entry: OverlayEntry) -> OverlayEntry:
+    """Add an overlay to the registry; names must be unique."""
+    if entry.name in _REGISTRY:
+        raise ValueError(f"overlay {entry.name!r} is already registered")
+    _REGISTRY[entry.name] = entry
+    return entry
+
+
+def get(name: str) -> OverlayEntry:
+    """Look up one overlay by name (KeyError lists what exists)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(available()) or "<none>"
+        raise KeyError(f"unknown overlay {name!r}; available: {known}") from None
+
+
+def available() -> List[str]:
+    """Registered overlay names, sorted."""
+    return sorted(_REGISTRY)

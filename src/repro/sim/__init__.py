@@ -22,7 +22,7 @@ from repro.sim.latency import (
     LatencyModel,
     UniformLatency,
 )
-from repro.sim.runtime import AsyncBatonNetwork, OpFuture
+from repro.sim.runtime import AsyncBatonNetwork, AsyncOverlayRuntime, OpFuture
 
 __all__ = [
     "Event",
@@ -32,5 +32,6 @@ __all__ = [
     "UniformLatency",
     "ExponentialLatency",
     "AsyncBatonNetwork",
+    "AsyncOverlayRuntime",
     "OpFuture",
 ]

@@ -1,49 +1,53 @@
-"""Event-driven runtime: BATON operations as scheduled message exchanges.
+"""Event-driven runtime: overlay operations as scheduled message exchanges.
 
-The synchronous protocols in :mod:`repro.core` execute each operation
-atomically — correct for counting messages, but unable to express the
-scenarios the paper's §V-E gestures at and a deployment lives in: many
-operations *in flight at once*, churn racing queries, routing state going
-stale between a hop being chosen and the next message being sent.
+The synchronous protocols execute each operation atomically — correct for
+counting messages, but unable to express the scenarios the paper's §V-E
+gestures at and a deployment lives in: many operations *in flight at once*,
+churn racing queries, routing state going stale between a hop being chosen
+and the next message being sent.
 
-:class:`AsyncBatonNetwork` closes that gap.  It wraps a plain
-:class:`~repro.core.network.BatonNetwork` and re-expresses every public
-operation — join, leave, fail, exact search, range search, insert, delete —
-as a *hop generator*: a Python generator that performs one protocol step
-(one message exchange, using exactly the same helpers and message accounting
-as the synchronous code) and then yields the latency of the next hop, drawn
-from a :class:`~repro.sim.latency.LatencyModel`.  The runtime schedules each
-resumption on the shared :class:`~repro.sim.engine.Simulator`, so any number
-of operations interleave at hop granularity while each individual step stays
-atomic.  Completion is exposed through :class:`OpFuture` (result, error,
-latency, done-callbacks).
+:class:`AsyncOverlayRuntime` closes that gap for any overlay implementing
+the :mod:`repro.overlays` protocol.  It wraps a synchronous network and
+re-expresses every public operation — join, leave, exact search, range
+search, insert, delete (plus fail, where supported) — as a *hop generator*:
+a Python generator that performs one protocol step (one message exchange,
+using exactly the same helpers and message accounting as the synchronous
+code) and then yields the latency of the next hop, drawn from a
+:class:`~repro.sim.latency.LatencyModel`.  The runtime schedules each
+resumption on the shared :class:`~repro.sim.engine.Simulator`, so any
+number of operations interleave at hop granularity while each individual
+step stays atomic.  Completion is exposed through :class:`OpFuture`
+(result, error, latency, done-callbacks).
 
-Routing-table refreshes ride the same clock: the wrapped network's
-:class:`~repro.core.network.UpdateChannel` is given a delivery sink that
-schedules each receiver-side application one sampled latency later, so
-queries issued inside an update window genuinely race stale links.
+Three concrete runtimes exist, one per registered overlay:
+
+* :class:`AsyncBatonNetwork` (here) — BATON, including deferred
+  routing-table update delivery and the ``reconcile()`` anti-entropy sweep;
+* :class:`repro.chord.runtime.AsyncChordNetwork` — finger-hop routing;
+* :class:`repro.multiway.runtime.AsyncMultiwayNetwork` — link-by-link tree
+  routing.
 
 Fidelity notes:
 
 * With a constant latency model and operations run one at a time (submit,
-  then drain), an ``AsyncBatonNetwork`` sends byte-for-byte the same message
-  sequence as the synchronous network and reaches the same final structure —
-  the equivalence the test suite pins down.
+  then drain), every runtime sends byte-for-byte the same message sequence
+  as its synchronous network and reaches the same final structure — the
+  equivalence the test suites pin down.
 * Under interleaving, an operation's carrier peer can vanish between hops
   (its host left or crashed).  The operation then *fails*: its future
   reports the error instead of a result, which is how a real client
   experiences a lost request.  Queries that merely get boxed in by stale
   links give up and report the last peer reached, mirroring the synchronous
   degraded-routing behaviour.
-* An async insert's trace also accumulates any load-balancing traffic the
-  insert triggers (the synchronous API reports that separately in
+* An async BATON insert's trace also accumulates any load-balancing traffic
+  the insert triggers (the synchronous API reports that separately in
   ``balance_trace``).
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Callable, Generator, List, Optional, Set
+from typing import Callable, ClassVar, Generator, List, Optional, Set
 
 from repro.core import balance as balance_protocol
 from repro.core import data as data_protocol
@@ -52,23 +56,27 @@ from repro.core import leave as leave_protocol
 from repro.core import search as search_protocol
 from repro.core.links import LEFT, RIGHT
 from repro.core.network import BatonConfig, BatonNetwork
+from repro.core.ranges import Range
 from repro.core.results import (
     DataOpResult,
     JoinResult,
     LeaveResult,
     RangeSearchResult,
+    RepairResult,
     SearchResult,
 )
 from repro.net.address import Address
-from repro.net.bus import Trace
+from repro.net.bus import MessageBus, Trace
 from repro.net.message import MsgType
 from repro.sim.engine import Simulator
 from repro.sim.latency import ConstantLatency, LatencyModel
 from repro.util.errors import (
+    CapabilityError,
     PeerNotFoundError,
     ProtocolError,
     ReproError,
 )
+from repro.util.stepper import MessageSteps
 
 #: A hop generator yields per-hop delays and returns the operation's result.
 OpSteps = Generator[float, None, object]
@@ -126,8 +134,8 @@ class OpFuture:
         return f"<OpFuture #{self.op_id} {self.kind} {self.status}>"
 
 
-class AsyncBatonNetwork:
-    """Concurrent-operation facade over a :class:`BatonNetwork`.
+class AsyncOverlayRuntime:
+    """Concurrent-operation facade over a synchronous overlay network.
 
     Every ``submit_*`` method starts an operation and returns an
     :class:`OpFuture` immediately; nothing executes until the simulator
@@ -137,19 +145,29 @@ class AsyncBatonNetwork:
     the wrapped network's own rng, so a given (network seed, latency model,
     submission sequence) replays the exact same event order — the
     ``event_log`` records it for comparison.
+
+    Subclasses set :attr:`overlay_name`, :attr:`network_cls` and
+    :attr:`capabilities`, and implement the per-operation hop generators
+    (``_search_exact_steps`` and friends).  Optional capabilities —
+    ``"fail"``, ``"repair"``, ``"reconcile"`` — gate :meth:`submit_fail`,
+    :meth:`repair_all` and :meth:`reconcile`.
     """
+
+    #: Registry name of the overlay this runtime drives.
+    overlay_name: ClassVar[str] = "?"
+    #: The synchronous network class :meth:`build` instantiates.
+    network_cls: ClassVar[Optional[type]] = None
+    #: Optional operations this overlay supports.
+    capabilities: ClassVar[frozenset] = frozenset()
 
     def __init__(
         self,
-        net: Optional[BatonNetwork] = None,
+        net,
         *,
         sim: Optional[Simulator] = None,
         latency: Optional[LatencyModel] = None,
-        seed: int = 0,
-        config: Optional[BatonConfig] = None,
-        defer_updates: bool = True,
     ):
-        self.net = net if net is not None else BatonNetwork(config=config, seed=seed)
+        self.net = net
         self.sim = sim if sim is not None else Simulator()
         self.latency = latency if latency is not None else ConstantLatency(1.0)
         self.ops: List[OpFuture] = []
@@ -158,24 +176,14 @@ class AsyncBatonNetwork:
         self._in_flight = 0
         self._op_ids = itertools.count(1)
         self._pending_leaves: Set[Address] = set()
-        self._inflight_updates: dict[Address, List[tuple]] = {}
-        self._last_update_arrival: dict[Address, float] = {}
-        if defer_updates:
-            self.net.updates.set_sink(self._deliver_update)
 
     @classmethod
-    def build(
-        cls,
-        n_peers: int,
-        seed: int = 0,
-        *,
-        config: Optional[BatonConfig] = None,
-        latency: Optional[LatencyModel] = None,
-        defer_updates: bool = True,
-    ) -> "AsyncBatonNetwork":
+    def build(cls, n_peers: int, seed: int = 0, *, config=None, latency=None, **kwargs):
         """Grow a synchronous network, then wrap it for concurrent traffic."""
-        net = BatonNetwork.build(n_peers, seed=seed, config=config)
-        return cls(net, latency=latency, defer_updates=defer_updates)
+        if cls.network_cls is None:
+            raise TypeError(f"{cls.__name__} has no network_cls to build")
+        net = cls.network_cls.build(n_peers, seed=seed, config=config)
+        return cls(net, latency=latency, **kwargs)
 
     # -- clock ----------------------------------------------------------------
 
@@ -187,6 +195,23 @@ class AsyncBatonNetwork:
     def in_flight(self) -> int:
         """Operations submitted but not yet completed."""
         return self._in_flight
+
+    @property
+    def bus(self) -> MessageBus:
+        return self.net.bus
+
+    @property
+    def size(self) -> int:
+        return self.net.size
+
+    @property
+    def domain(self) -> Range:
+        """The key interval workload generators should draw from."""
+        return Range.full_domain()
+
+    def supports(self, capability: str) -> bool:
+        """Whether this overlay implements an optional capability."""
+        return capability in self.capabilities
 
     def run(self, max_events: Optional[int] = None) -> int:
         """Advance the simulator; returns the number of events executed."""
@@ -200,26 +225,12 @@ class AsyncBatonNetwork:
         return self.sim.run()
 
     def reconcile(self) -> int:
-        """One anti-entropy round: refresh every peer's links to ground truth.
+        """Anti-entropy sweep; overlays without one return 0."""
+        return 0
 
-        Concurrent operations read each other's link state mid-refresh, so
-        at quiescence third-party snapshots (ranges, child flags, table
-        entries) can be stale in ways the synchronous protocols never
-        produce — a real deployment runs a periodic maintenance sweep for
-        exactly this reason.  Like the restructuring link rebuild this
-        substitutes the position map for the peer-to-peer exchange (the
-        documented cost-model substitution; compare ``bulk_load``), so no
-        messages are counted.  Returns the number of peers refreshed.
-        """
-        from repro.core import restructure as restructure_protocol
-
-        cache: dict = {}
-        include_ghosts = bool(self.net.ghosts)
-        for peer in self.net.peers.values():
-            restructure_protocol.refresh_links_from_map(
-                self.net, peer, cache, include_ghosts=include_ghosts
-            )
-        return len(self.net.peers)
+    def repair_all(self) -> List[RepairResult]:
+        """Repair outstanding abrupt failures, where the overlay supports it."""
+        return []
 
     # -- submission API -------------------------------------------------------
 
@@ -272,6 +283,10 @@ class AsyncBatonNetwork:
 
     def submit_fail(self, address: Address) -> OpFuture:
         """Schedule an abrupt crash of ``address`` one latency from now."""
+        if not self.supports("fail"):
+            raise CapabilityError(
+                f"the {self.overlay_name} overlay does not support abrupt failure"
+            )
         future = self._new_future("fail")
         self._launch(future, self._fail_steps(future, address))
         return future
@@ -283,6 +298,63 @@ class AsyncBatonNetwork:
             for address in self.net.addresses()
             if address not in self._pending_leaves
         ]
+
+    # -- hop generators subclasses implement ----------------------------------
+    #
+    # Overlays whose network exposes the step-generator convention —
+    # ``node(address).store`` plus an owner-routing generator surfaced via
+    # ``_owner_steps`` and a ``range_steps(entry, low, high)`` generator
+    # returning ``(owners, keys, complete)`` — inherit the query and data
+    # operations below and implement only ``_owner_steps``, ``_join_steps``
+    # and ``_leave_steps``.  BATON overrides the full set (its data path
+    # carries balancing/replication side effects).
+
+    def _owner_steps(
+        self, start: Address, key: int, mtype: MsgType
+    ) -> MessageSteps:
+        """Message-step generator routing from ``start`` to ``key``'s owner."""
+        raise NotImplementedError
+
+    def _search_exact_steps(
+        self, future: OpFuture, start: Address, key: int
+    ) -> OpSteps:
+        yield self._hop_delay()  # the request reaches its entry peer
+        owner = yield from self._lift(self._owner_steps(start, key, MsgType.SEARCH))
+        found = key in self.net.node(owner).store
+        return SearchResult(found=found, owner=owner, trace=future.trace)
+
+    def _search_range_steps(
+        self, future: OpFuture, start: Address, low: int, high: int
+    ) -> OpSteps:
+        yield self._hop_delay()
+        owners, keys, complete = yield from self._lift(
+            self.net.range_steps(start, low, high)
+        )
+        return RangeSearchResult(
+            owners=owners, keys=keys, trace=future.trace, complete=complete
+        )
+
+    def _data_op_steps(
+        self, future: OpFuture, start: Address, key: int, mtype: MsgType
+    ) -> OpSteps:
+        yield self._hop_delay()
+        owner = yield from self._lift(self._owner_steps(start, key, mtype))
+        store = self.net.node(owner).store
+        if mtype is MsgType.INSERT:
+            store.insert(key)
+            applied = True
+        else:
+            applied = store.delete(key)
+        return DataOpResult(applied=applied, owner=owner, trace=future.trace)
+
+    def _join_steps(self, future: OpFuture, start: Address) -> OpSteps:
+        raise NotImplementedError
+
+    def _leave_steps(self, future: OpFuture, address: Address) -> OpSteps:
+        raise NotImplementedError
+
+    def _fail_steps(self, future: OpFuture, address: Address) -> OpSteps:
+        raise NotImplementedError
 
     # -- bookkeeping ----------------------------------------------------------
 
@@ -340,6 +412,94 @@ class AsyncBatonNetwork:
             (self.sim.now, future.op_id, future.kind, phase, future.trace.total)
         )
 
+    def _hop_delay(self) -> float:
+        return self.latency.sample()
+
+    def _lift(self, steps: MessageSteps) -> OpSteps:
+        """Adapt a message-step generator into a latency-yielding hop chain.
+
+        The synchronous facades drive these generators to exhaustion in one
+        call; lifting instead yields one sampled latency per protocol hop,
+        so the simulator can interleave other operations' events between
+        them — same code, same messages, different clock.
+        """
+        while True:
+            try:
+                next(steps)
+            except StopIteration as stop:
+                return stop.value
+            yield self._hop_delay()
+
+
+class AsyncBatonNetwork(AsyncOverlayRuntime):
+    """Concurrent-operation facade over a :class:`BatonNetwork`.
+
+    Beyond the shared runtime machinery this adds the BATON-specific
+    concurrency surface: routing-table refreshes ride the same clock (the
+    wrapped network's :class:`~repro.core.network.UpdateChannel` is given a
+    delivery sink that schedules each receiver-side application one sampled
+    latency later, so queries issued inside an update window genuinely race
+    stale links), peers drain their inbox before structural handshakes, and
+    :meth:`reconcile` is the periodic anti-entropy sweep that restores exact
+    invariants at quiescence.
+    """
+
+    overlay_name = "baton"
+    network_cls = BatonNetwork
+    capabilities = frozenset({"fail", "repair", "balance", "reconcile", "replication"})
+
+    def __init__(
+        self,
+        net: Optional[BatonNetwork] = None,
+        *,
+        sim: Optional[Simulator] = None,
+        latency: Optional[LatencyModel] = None,
+        seed: int = 0,
+        config: Optional[BatonConfig] = None,
+        defer_updates: bool = True,
+    ):
+        if net is None:
+            net = BatonNetwork(config=config, seed=seed)
+        super().__init__(net, sim=sim, latency=latency)
+        self._inflight_updates: dict[Address, List[tuple]] = {}
+        self._last_update_arrival: dict[Address, float] = {}
+        if defer_updates:
+            self.net.updates.set_sink(self._deliver_update)
+
+    @property
+    def domain(self) -> Range:
+        return self.net.config.domain
+
+    def reconcile(self) -> int:
+        """One anti-entropy round: refresh every peer's links to ground truth.
+
+        Concurrent operations read each other's link state mid-refresh, so
+        at quiescence third-party snapshots (ranges, child flags, table
+        entries) can be stale in ways the synchronous protocols never
+        produce — a real deployment runs a periodic maintenance sweep for
+        exactly this reason.  Like the restructuring link rebuild this
+        substitutes the position map for the peer-to-peer exchange (the
+        documented cost-model substitution; compare ``bulk_load``), so no
+        messages are counted.  Returns the number of peers refreshed.
+        """
+        from repro.core import restructure as restructure_protocol
+
+        cache: dict = {}
+        include_ghosts = bool(self.net.ghosts)
+        for peer in self.net.peers.values():
+            restructure_protocol.refresh_links_from_map(
+                self.net, peer, cache, include_ghosts=include_ghosts
+            )
+        return len(self.net.peers)
+
+    def repair_all(self) -> List[RepairResult]:
+        """Run the §III-C repair for every peer that crashed abruptly."""
+        if not self.net.ghosts:
+            return []
+        return self.net.repair_all()
+
+    # -- update-sink plumbing -------------------------------------------------
+
     def _deliver_update(self, dst: Address, deliver: Callable[[], None]) -> None:
         """UpdateChannel sink: apply a table refresh one latency later.
 
@@ -376,9 +536,6 @@ class AsyncBatonNetwork:
         for event, deliver in self._inflight_updates.pop(address, []):
             if self.sim.cancel(event):
                 deliver()
-
-    def _hop_delay(self) -> float:
-        return self.latency.sample()
 
     def _routing_degraded(self) -> bool:
         """Whether stale links can legitimately strand an operation.

@@ -36,6 +36,16 @@ class ProtocolError(ReproError):
     """
 
 
+class CapabilityError(ReproError):
+    """An overlay was asked for an operation it does not implement.
+
+    The :class:`~repro.overlays.Overlay` protocol has a small set of
+    optional capabilities (abrupt failure, repair, load balancing); code
+    that needs one should check ``supports()`` / the registry entry's
+    ``capabilities`` instead of catching this.
+    """
+
+
 class InvariantViolation(ReproError):
     """The global structural checker found a broken invariant.
 

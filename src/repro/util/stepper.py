@@ -1,0 +1,34 @@
+"""Driving message-step generators to completion.
+
+The overlay protocols are written as *step generators*: plain Python
+generators that perform one protocol step (one message exchange, with the
+usual bus accounting) and then ``yield`` to mark a network hop.  The
+synchronous facades run a generator to exhaustion with :func:`drive` — one
+atomic operation, exactly the pre-generator behaviour — while the
+event-driven runtime (:mod:`repro.sim.runtime`) resumes the same generator
+once per simulator event, inserting a sampled latency at every yield.
+
+Writing each protocol once and executing it under both regimes is what
+guarantees the serialized-equivalence property the runtime tests pin down:
+the two paths *cannot* diverge in message order because they are the same
+code.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, TypeVar
+
+T = TypeVar("T")
+
+#: A protocol step generator: yields None once per network hop, returns the
+#: operation's result via StopIteration.
+MessageSteps = Generator[None, None, T]
+
+
+def drive(steps: MessageSteps) -> T:
+    """Run a step generator to completion synchronously; return its result."""
+    while True:
+        try:
+            next(steps)
+        except StopIteration as stop:
+            return stop.value

@@ -2,10 +2,17 @@
 
 The paper's §V-E sweeps "number of concurrent joins/leaves"; D3-Tree and
 ART evaluate their overlays under sustained concurrent load.  This driver
-reproduces that regime on an :class:`~repro.sim.runtime.AsyncBatonNetwork`:
+reproduces that regime on any
+:class:`~repro.sim.runtime.AsyncOverlayRuntime` — BATON, Chord or the
+multiway tree, selected through the :mod:`repro.overlays` registry —
 independent Poisson arrival processes submit membership changes, queries
 and inserts onto the shared simulator, so at any instant many operations
 are in flight and queries race half-applied structural changes.
+
+Overlay capabilities are respected rather than stubbed: churn events that
+would be abrupt crashes fall back to graceful leaves on overlays without
+the ``fail`` capability, and the post-run repair/reconcile steps are
+no-ops where the overlay has nothing to repair or reconcile.
 
 Everything is seeded — the arrival streams use labelled sub-rngs — so a
 run replays byte-for-byte (the regression tests compare two runs' event
@@ -19,7 +26,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.ranges import Range
-from repro.sim.runtime import AsyncBatonNetwork, OpFuture
+from repro.sim.runtime import AsyncOverlayRuntime, OpFuture
 from repro.util.rng import SeededRng
 
 
@@ -39,7 +46,8 @@ class ConcurrentConfig:
     #: Fraction of churn events that are joins (the rest depart).
     join_fraction: float = 0.5
     #: Fraction of departures that are abrupt crashes instead of graceful
-    #: leaves.  Crashed peers are repaired after the run drains.
+    #: leaves.  Crashed peers are repaired after the run drains.  Overlays
+    #: without the ``fail`` capability depart gracefully instead.
     fail_fraction: float = 0.0
     #: Fraction of queries that are range queries (the rest exact-match).
     range_fraction: float = 0.0
@@ -140,7 +148,7 @@ def percentile(values: Sequence[float], q: float) -> float:
 
 
 def run_concurrent_workload(
-    anet: AsyncBatonNetwork,
+    anet: AsyncOverlayRuntime,
     keys: Sequence[int],
     config: Optional[ConcurrentConfig] = None,
     seed: int = 0,
@@ -151,15 +159,15 @@ def run_concurrent_workload(
 
     ``keys`` are the loaded keys exact queries aim at (hit-ratio 1 in a
     quiet network, as the paper's query workloads do); inserts and range
-    queries draw from the network's configured domain.
+    queries draw from the runtime's key domain.
     """
     config = config or ConcurrentConfig()
     rng = SeededRng(seed)
-    domain: Range = anet.net.config.domain
+    domain: Range = anet.domain
     report = ConcurrentReport(duration=config.duration)
     futures: List[OpFuture] = []
     query_futures: List[OpFuture] = []
-    start_messages = anet.net.bus.stats.total
+    start_messages = anet.bus.stats.total
     start_time = anet.sim.now
     horizon = start_time + config.duration  # the clock may not start at zero
 
@@ -178,7 +186,11 @@ def run_concurrent_workload(
             report.skipped_departures += 1
             return
         victim = stream.choice(candidates)
-        if config.fail_fraction and stream.random() < config.fail_fraction:
+        if (
+            config.fail_fraction
+            and anet.supports("fail")
+            and stream.random() < config.fail_fraction
+        ):
             note("fail", anet.submit_fail(victim))
         else:
             note("leave", anet.submit_leave(victim))
@@ -223,15 +235,15 @@ def run_concurrent_workload(
     arrivals("insert", config.insert_rate, submit_insert)
 
     anet.drain()
-    if repair_at_end and anet.net.ghosts:
-        anet.net.repair_all()
+    if repair_at_end:
+        anet.repair_all()
     if reconcile_at_end:
         anet.reconcile()
 
     report.duration = anet.sim.now - start_time
     report.max_in_flight = anet.max_in_flight
-    report.final_size = anet.net.size
-    report.messages_total = anet.net.bus.stats.total - start_messages
+    report.final_size = anet.size
+    report.messages_total = anet.bus.stats.total - start_messages
     for future in futures:
         if future.succeeded:
             report.completed += 1
