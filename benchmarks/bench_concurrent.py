@@ -11,7 +11,7 @@ import pytest
 
 from benchmarks.conftest import attach_series
 from repro import overlays
-from repro.experiments import concurrent_dynamics
+from repro.experiments import concurrent_dynamics, hetero_links
 
 
 def test_concurrent_dynamics(benchmark, scale):
@@ -67,3 +67,25 @@ def test_concurrent_comparison(benchmark, scale):
     multiway_p50 = result.column("p50", where={"overlay": "multiway"})[0]
     # No sideways tables means longer walks: the paper's §V-B claim.
     assert multiway_p50 > baton_p50
+
+
+def test_hetero_links(benchmark, scale):
+    """Per-link WAN costs: every overlay slows as inter-region delay grows."""
+    result = benchmark.pedantic(
+        lambda: hetero_links.run(scale, inter_delays=(1.0, 10.0)),
+        iterations=1,
+        rounds=1,
+    )
+    attach_series(benchmark, result)
+    assert {row["overlay"] for row in result.rows} == set(overlays.available())
+    for name in overlays.available():
+        p50 = result.column("p50", where={"overlay": name})
+        # Costlier inter-region links must show up in end-to-end latency —
+        # the signal the scalar latency model could never produce.
+        assert p50[-1] > p50[0], (name, p50)
+    # The multiway tree crosses the most links, so it pays the most for
+    # expensive ones (the paper's §V-B walk-length claim, re-measured on a
+    # WAN instead of a hop count).
+    baton_wan = result.column("p50", where={"overlay": "baton"})[-1]
+    multiway_wan = result.column("p50", where={"overlay": "multiway"})[-1]
+    assert multiway_wan > baton_wan

@@ -7,7 +7,10 @@ public operations return the unified result types from
 with the same code.
 
 The routing internals are written as *step generators* (see
-:mod:`repro.util.stepper`): they yield once per inter-node hop.  The
+:mod:`repro.util.stepper`): they yield one
+:class:`~repro.sim.topology.Hop` per inter-node hop, declaring which pair
+of nodes the message travels between so the event-driven runtime can price
+it per link.  The
 synchronous facade methods drive them to completion atomically; the
 event-driven runtime (:class:`repro.chord.runtime.AsyncChordNetwork`)
 resumes them one simulator event at a time, so concurrent operations
@@ -39,6 +42,7 @@ from repro.core.results import (
 from repro.net.address import Address, AddressAllocator
 from repro.net.bus import MessageBus, Trace
 from repro.net.message import MsgType
+from repro.sim.topology import Hop
 from repro.util.errors import NetworkEmptyError, PeerNotFoundError, ProtocolError
 from repro.util.rng import SeededRng
 from repro.util.stepper import MessageSteps, drive
@@ -225,8 +229,8 @@ class ChordNetwork:
             if next_hop == current:
                 next_hop = successor
             self.bus.send_typed(current, next_hop, mtype)
+            yield Hop(current, next_hop)
             current = next_hop
-            yield
         raise ProtocolError(f"chord lookup for {target_id} did not terminate")
 
     def successor_steps(
@@ -237,7 +241,7 @@ class ChordNetwork:
         successor = self.node(predecessor).successor
         if successor != predecessor:
             self.bus.send_typed(predecessor, successor, mtype)
-            yield
+            yield Hop(predecessor, successor)
         return successor
 
     # -- join helpers -------------------------------------------------------------
@@ -262,7 +266,7 @@ class ChordNetwork:
         if node.predecessor is not None:
             self.bus.send_typed(node.address, node.predecessor, MsgType.TABLE_UPDATE)
             self.node(node.predecessor).successor = node.address
-        yield
+        yield Hop(node.address, successor)
         yield from self._init_fingers_steps(node, entry)
         yield from self.update_others_steps(node)
         try:
@@ -324,8 +328,8 @@ class ChordNetwork:
                 holder.finger[index] = node.address
                 if holder.predecessor is None or holder.predecessor == current:
                     return
-                current = holder.predecessor  # cascade to the predecessor
-                yield
+                yield Hop(current, holder.predecessor)  # cascade backwards
+                current = holder.predecessor
             else:
                 return
 
@@ -357,15 +361,18 @@ class ChordNetwork:
         """Hand keys over, repoint the ring (atomic), then repair fingers."""
         successor = node.successor
         succ = self.node(successor)
+        moved = len(node.store)
         self.bus.send_typed(
-            node.address, successor, MsgType.LEAVE_TRANSFER, keys=len(node.store)
+            node.address, successor, MsgType.LEAVE_TRANSFER, keys=moved
         )
         succ.store.extend(node.store.clear())
         succ.predecessor = node.predecessor
         if node.predecessor is not None and node.predecessor in self.nodes:
             self.bus.send_typed(node.address, node.predecessor, MsgType.LEAVE_TRANSFER)
             self.nodes[node.predecessor].successor = successor
-        yield
+        # The handover hop carries the departing node's whole store, so
+        # bandwidth-limited topologies charge it by payload.
+        yield Hop(node.address, successor, size=float(max(moved, 1)))
         yield from self.repoint_fingers_steps(node)
         if self.nodes.get(node.address) is node:
             del self.nodes[node.address]
@@ -392,8 +399,8 @@ class ChordNetwork:
                 holder.finger[i] = successor
                 if holder.predecessor is None or holder.predecessor == current:
                     break
+                yield Hop(current, holder.predecessor)
                 current = holder.predecessor
-                yield
 
     # -- data operations -----------------------------------------------------------
 
@@ -470,8 +477,8 @@ class ChordNetwork:
                 self.bus.send_typed(current, successor, MsgType.RANGE_SEARCH)
             except PeerNotFoundError:
                 break  # dead successor: partial answer
+            yield Hop(current, successor)
             current = successor
-            yield
         return owners, sorted(keys), complete
 
     def bulk_load(self, keys: List[int]) -> int:

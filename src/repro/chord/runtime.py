@@ -29,6 +29,7 @@ from repro.core.results import JoinResult, LeaveResult
 from repro.net.address import Address
 from repro.net.message import MsgType
 from repro.sim.runtime import AsyncOverlayRuntime, OpFuture, OpSteps
+from repro.sim.topology import Hop
 from repro.util.errors import ReproError
 
 
@@ -50,7 +51,7 @@ class AsyncChordNetwork(AsyncOverlayRuntime):
 
     def _join_steps(self, future: OpFuture, start: Address) -> OpSteps:
         net = self.net
-        yield self._hop_delay()  # the join request reaches its entry node
+        yield Hop(None, start)  # the join request reaches its entry node
         node = net.spawn_node()
         try:
             successor = yield from self._lift(
@@ -71,7 +72,7 @@ class AsyncChordNetwork(AsyncOverlayRuntime):
 
     def _leave_steps(self, future: OpFuture, address: Address) -> OpSteps:
         net = self.net
-        yield self._hop_delay()  # the departure intent is announced
+        yield Hop(None, address)  # the departure intent is announced
         node = net.node(address)  # raises if the node already vanished
         if net.size == 1:
             del net.nodes[address]

@@ -9,6 +9,7 @@ Usage::
     python -m repro concurrent --peers 200 --churn-rate 1.0 --duration 60
     python -m repro concurrent --overlay chord --peers 200
     python -m repro concurrent --overlay all --peers 100 --duration 30
+    python -m repro concurrent --overlay all --topology clustered
 """
 
 from __future__ import annotations
@@ -20,6 +21,11 @@ from typing import List, Optional
 from repro.core import BatonNetwork, check_invariants, tree_height
 from repro.core import viz
 from repro.workloads.generators import uniform_keys
+
+#: Defaults for the clustered-only flags; changing either with a different
+#: --topology is rejected rather than silently ignored.
+CLUSTERED_REGIONS_DEFAULT = 4
+CLUSTERED_INTER_DELAY_DEFAULT = 5.0
 
 
 def _build(args: argparse.Namespace) -> BatonNetwork:
@@ -89,9 +95,19 @@ def cmd_concurrent(args: argparse.Namespace) -> int:
             insert_rate=args.insert_rate,
             fail_fraction=args.fail_fraction,
             range_fraction=args.range_fraction,
+            maintenance_interval=args.maintenance_interval,
         )
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.topology != "clustered" and (
+        args.regions != CLUSTERED_REGIONS_DEFAULT
+        or args.inter_delay != CLUSTERED_INTER_DELAY_DEFAULT
+    ):
+        print(
+            "error: --regions/--inter-delay only apply to --topology clustered",
+            file=sys.stderr,
+        )
         return 2
     names = overlays.available() if args.overlay == "all" else [args.overlay]
     for name in names:
@@ -102,21 +118,25 @@ def cmd_concurrent(args: argparse.Namespace) -> int:
 def _run_concurrent_overlay(name: str, args: argparse.Namespace, config) -> None:
     """One overlay's concurrent run, reported to stdout."""
     from repro import overlays
-    from repro.sim.latency import ExponentialLatency
-    from repro.util.rng import SeededRng
+    from repro.sim.topology import make_topology
     from repro.workloads.concurrent import run_concurrent_workload
 
     entry = overlays.get(name)
-    rng = SeededRng(args.seed)
-    anet = entry.build_async(
-        args.peers,
-        seed=args.seed,
-        latency=ExponentialLatency(mean=1.0, rng=rng.child("latency")),
-    )
+    topology_params = {}
+    if args.topology == "clustered":
+        topology_params = {
+            "regions": args.regions,
+            "inter_delay": args.inter_delay,
+        }
+    topology = make_topology(args.topology, seed=args.seed, **topology_params)
+    anet = entry.build_async(args.peers, seed=args.seed, topology=topology)
     keys = uniform_keys(args.keys or 10 * args.peers, seed=args.seed + 1)
     anet.net.bulk_load(keys)
     report = run_concurrent_workload(anet, keys, config, seed=args.seed + 2)
-    print(f"{name}: {args.peers} peers, event-driven runtime, seed {args.seed}")
+    print(
+        f"{name}: {args.peers} peers, event-driven runtime, "
+        f"{args.topology} topology, seed {args.seed}"
+    )
     for line in report.summary_lines():
         print(f"  {line}")
     if name != "baton":
@@ -179,12 +199,39 @@ def build_parser() -> argparse.ArgumentParser:
         choices=overlays.available() + ["all"],
         help="which overlay to drive ('all' runs the full comparison)",
     )
+    from repro.sim.topology import available_topologies
+
     concurrent.add_argument("--duration", type=float, default=60.0)
     concurrent.add_argument("--churn-rate", type=float, default=1.0)
     concurrent.add_argument("--query-rate", type=float, default=8.0)
     concurrent.add_argument("--insert-rate", type=float, default=0.0)
     concurrent.add_argument("--fail-fraction", type=float, default=0.0)
     concurrent.add_argument("--range-fraction", type=float, default=0.2)
+    concurrent.add_argument(
+        "--topology",
+        default="exponential",
+        choices=available_topologies(),
+        help="per-link transport model (scalar models are single-region)",
+    )
+    concurrent.add_argument(
+        "--regions",
+        type=int,
+        default=CLUSTERED_REGIONS_DEFAULT,
+        help="region count for --topology clustered",
+    )
+    concurrent.add_argument(
+        "--inter-delay",
+        type=float,
+        default=CLUSTERED_INTER_DELAY_DEFAULT,
+        help="inter-region base delay for --topology clustered",
+    )
+    concurrent.add_argument(
+        "--maintenance-interval",
+        type=float,
+        default=0.0,
+        help="run an in-window reconcile sweep every this many time units "
+        "(0 disables; overlays without the capability never sweep)",
+    )
     concurrent.set_defaults(func=cmd_concurrent)
     return parser
 

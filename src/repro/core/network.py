@@ -107,17 +107,22 @@ class UpdateChannel:
         self._bus = bus
         self.deferred = False
         self._queue: List[Callable[[], None]] = []
-        self._sink: Optional[Callable[[Address, Callable[[], None]], None]] = None
+        self._sink: Optional[
+            Callable[[Address, Address, Callable[[], None]], None]
+        ] = None
         self.in_flight = 0
 
     def set_sink(
-        self, sink: Optional[Callable[[Address, Callable[[], None]], None]]
+        self,
+        sink: Optional[Callable[[Address, Address, Callable[[], None]], None]],
     ) -> None:
         """Route receiver-side applications through ``sink`` (None restores
-        immediate application).  The sink takes the destination address and
-        a zero-argument deliver callback, and decides when to invoke it —
-        the address lets the runtime drain a peer's in-flight updates before
-        that peer hands its state to a replacement."""
+        immediate application).  The sink takes the source and destination
+        addresses and a zero-argument deliver callback, and decides when to
+        invoke it — the link identity lets the runtime price the delivery
+        per (src, dst) link, and the destination lets it drain a peer's
+        in-flight updates before that peer hands its state to a
+        replacement."""
         self._sink = sink
 
     def notify(
@@ -139,7 +144,7 @@ class UpdateChannel:
                 self.in_flight -= 1
                 apply()
 
-            self._sink(dst, deliver)
+            self._sink(src, dst, deliver)
         elif self.deferred:
             self._queue.append(apply)
         else:

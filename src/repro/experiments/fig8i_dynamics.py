@@ -97,13 +97,15 @@ def _churn_window(net, k: int, queries, seed: int) -> float:
 
         return do_query
 
+    # Client-side scheduling delays: no peer link is involved, so the
+    # degenerate (None, None) link prices one baseline hop.
     for _ in range(k):
-        sim.schedule(latency.sample(), do_fail, label="fail")
-        sim.schedule(latency.sample(), do_join, label="join")
+        sim.schedule(latency.sample(None, None), do_fail, label="fail")
+        sim.schedule(latency.sample(None, None), do_join, label="join")
     window_span = 2.0  # churn events land within ~2 mean latencies
     for i, key in enumerate(queries):
         sim.schedule(
-            rng.uniform(0, window_span) + latency.sample(),
+            rng.uniform(0, window_span) + latency.sample(None, None),
             make_query(key),
             label="query",
         )

@@ -1,0 +1,146 @@
+"""Heterogeneous links: the three overlays when hops stop being equal.
+
+The paper's evaluation counts hops as if every link cost the same, which
+flattens exactly the question BATON's sideways tables are built for: a hop
+that skips across subtrees is worth more when the alternative path crosses
+an ocean.  This experiment places every peer in a clustered multi-region
+WAN (:class:`~repro.sim.topology.ClusteredTopology`) and sweeps the
+inter-region base delay, driving identical concurrent query workloads
+against BATON, Chord and the multiway tree — the measurement the old
+scalar latency model was structurally unable to produce.
+
+Expected shape: every overlay's query latency grows with inter-region
+cost, scaled by how many links its walks cross.  BATON and Chord route in
+O(log N) hops, so their p50 grows gently; the multiway tree's link-by-link
+walks cross far more (and therefore more inter-region) links, so its
+curves climb fastest and its tail detaches first.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro import overlays
+from repro.experiments.harness import (
+    ExperimentResult,
+    ExperimentScale,
+    build_loaded,
+    default_scale,
+    loaded_keys,
+    mean,
+)
+from repro.sim.topology import ClusteredTopology
+from repro.util.rng import derive_seed
+from repro.workloads.concurrent import ConcurrentConfig, run_concurrent_workload
+
+EXPECTATION = (
+    "latency grows with inter-region cost for every overlay, scaled by the "
+    "number of links a walk crosses: BATON and Chord (O(log N) hops) climb "
+    "gently, the multiway tree's link-by-link walks climb fastest; BATON "
+    "answers ranges along the adjacent chain so it keeps complete answers "
+    "while paying tree-depth hops only once"
+)
+
+INTER_DELAYS = (1.0, 2.0, 5.0, 10.0, 20.0)
+QUERY_RATE = 8.0
+REGIONS = 4
+INTRA_DELAY = 1.0
+
+
+def run(
+    scale: Optional[ExperimentScale] = None,
+    inter_delays: tuple[float, ...] = INTER_DELAYS,
+    names: Optional[Sequence[str]] = None,
+    n_peers: Optional[int] = None,
+) -> ExperimentResult:
+    """One row per (overlay, inter-region delay), identical workloads."""
+    scale = scale or default_scale()
+    names = list(names) if names is not None else overlays.available()
+    if n_peers is None:
+        n_peers = scale.sizes[0]
+    duration = scale.n_queries / QUERY_RATE
+    result = ExperimentResult(
+        figure="Hetero links",
+        title=(
+            f"Query latency vs inter-region link cost "
+            f"(clustered WAN, {REGIONS} regions, N={n_peers}, "
+            f"intra delay {INTRA_DELAY})"
+        ),
+        columns=[
+            "overlay",
+            "inter_delay",
+            "queries",
+            "success",
+            "p50",
+            "p99",
+            "transit_p99",
+            "msgs_per_query",
+        ],
+        expectation=EXPECTATION,
+    )
+    for name in names:
+        for inter_delay in inter_delays:
+            successes, p50s, p99s, transit_p99s, msgs = [], [], [], [], []
+            queries = 0
+            for seed in scale.seeds:
+                report = _one_run(
+                    name, n_peers, seed, scale.data_per_node, inter_delay, duration
+                )
+                successes.append(report.query_success_rate)
+                p50s.append(report.query_latency_p50)
+                p99s.append(report.query_latency_p99)
+                transit_p99s.append(report.query_transit_p99)
+                msgs.append(report.messages_per_query)
+                queries += report.query_total
+            result.add_row(
+                overlay=name,
+                inter_delay=inter_delay,
+                queries=queries,
+                success=mean(successes),
+                p50=mean(p50s),
+                p99=mean(p99s),
+                transit_p99=mean(transit_p99s),
+                msgs_per_query=mean(msgs),
+            )
+    return result
+
+
+def _one_run(
+    overlay: str,
+    n_peers: int,
+    seed: int,
+    data_per_node: int,
+    inter_delay: float,
+    duration: float,
+):
+    """One seeded run on a clustered WAN; query-only (the latency signal)."""
+    net = build_loaded(overlay, n_peers, seed, data_per_node)
+    topology = ClusteredTopology(
+        derive_seed(seed, "hetero-links"),
+        regions=REGIONS,
+        intra_delay=INTRA_DELAY,
+        inter_delay=inter_delay,
+        jitter=0.2,
+        asymmetry=0.1,
+    )
+    anet = overlays.get(overlay).wrap(net, topology=topology)
+    keys = loaded_keys(n_peers, data_per_node, seed)
+    config = ConcurrentConfig(
+        duration=duration,
+        churn_rate=0.0,
+        query_rate=QUERY_RATE,
+        range_fraction=0.2,
+    )
+    return run_concurrent_workload(
+        anet, keys, config, seed=derive_seed(seed, "hetero-driver")
+    )
+
+
+def main() -> ExperimentResult:
+    result = run()
+    print(result.to_text())
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -26,6 +26,7 @@ from repro.experiments import (
     fig8g_load_balancing,
     fig8h_shift_sizes,
     fig8i_dynamics,
+    hetero_links,
 )
 from repro.experiments.balancing import run_balancing
 from repro.experiments.harness import ExperimentResult
@@ -65,6 +66,8 @@ def run_all(scale=None, quick: bool = False) -> List[ExperimentResult]:
     results.append(
         concurrent_dynamics.run_comparison(scale, churn_rates=comparison_rates)
     )
+    inter_delays = (1.0, 10.0) if quick else hetero_links.INTER_DELAYS
+    results.append(hetero_links.run(scale, inter_delays=inter_delays))
     return results
 
 

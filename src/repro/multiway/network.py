@@ -5,7 +5,9 @@ read all three with the same harness, and the public operations return the
 unified result types from :mod:`repro.core.results`.
 
 As on the Chord side, the routing walks are written as *step generators*
-(see :mod:`repro.util.stepper`): one yield per inter-node hop.  The
+(see :mod:`repro.util.stepper`): one :class:`~repro.sim.topology.Hop`
+yielded per inter-node hop, naming the pair of nodes the message travels
+between so the event-driven runtime can price it per link.  The
 synchronous facade drives them atomically; the event-driven runtime
 (:class:`repro.multiway.runtime.AsyncMultiwayNetwork`) schedules each
 resumption on the simulator, so searches, joins and departures interleave
@@ -32,6 +34,7 @@ from repro.multiway.node import ChildLink, MultiwayNode
 from repro.net.address import Address, AddressAllocator
 from repro.net.bus import MessageBus, Trace
 from repro.net.message import MsgType
+from repro.sim.topology import Hop
 from repro.util.errors import NetworkEmptyError, PeerNotFoundError, ProtocolError
 from repro.util.rng import SeededRng
 from repro.util.stepper import MessageSteps, drive
@@ -161,8 +164,8 @@ class MultiwayNetwork:
             else:
                 raise ProtocolError("multiway join found no splittable node")
             self.bus.send_typed(current, next_hop, MsgType.JOIN_FIND)
+            yield Hop(current, next_hop)
             current = next_hop
-            yield
         raise ProtocolError("multiway join did not find a parent")
 
     def can_accept_join(self, node: MultiwayNode) -> bool:
@@ -310,8 +313,8 @@ class MultiwayNetwork:
                 return current.address
             if best.is_leaf:
                 return best.address
+            yield Hop(current.address, best.address)
             current = best
-            yield
         raise ProtocolError("multiway replacement walk did not terminate")
 
     # Historical private spelling (returns the replacement address).
@@ -471,8 +474,8 @@ class MultiwayNetwork:
             if next_hop is None:
                 raise ProtocolError(f"multiway routing stuck at {node!r} for {key}")
             self.bus.send_typed(current, next_hop, mtype)
+            yield Hop(current, next_hop)
             previous, current = current, next_hop
-            yield
         raise ProtocolError(f"multiway search for {key} did not terminate")
 
     def search_exact(self, key: int, via: Optional[Address] = None) -> SearchResult:
@@ -512,18 +515,22 @@ class MultiwayNetwork:
         current = self.node(first)
         # Climb until the subtree coverage spans the query (or root).
         while current.parent is not None and current.coverage.high < high:
+            parent_address = current.parent
             try:
                 self.bus.send_typed(
-                    current.address, current.parent, MsgType.RANGE_SEARCH
+                    current.address, parent_address, MsgType.RANGE_SEARCH
                 )
-                current = self.node(current.parent)
+                parent = self.node(parent_address)
             except PeerNotFoundError:
                 return owners, sorted(keys), False
-            yield
-        stack = [current.address]
+            yield Hop(current.address, parent_address)
+            current = parent
+        # Each stack entry remembers which node sent the fan-out message, so
+        # the hop to the next visited subtree is priced on the real link.
+        stack: List[tuple[Address, Address]] = [(current.address, current.address)]
         query = Range(low, high)
         while stack:
-            address = stack.pop()
+            sender, address = stack.pop()
             node = self.nodes.get(address)
             if node is None:
                 complete = False  # subtree vanished mid-scan: truncated
@@ -537,9 +544,9 @@ class MultiwayNetwork:
                     except PeerNotFoundError:
                         complete = False
                         continue
-                    stack.append(link.address)
+                    stack.append((address, link.address))
             if stack:
-                yield
+                yield Hop(stack[-1][0], stack[-1][1])
         return owners, sorted(keys), complete
 
     # -- data ------------------------------------------------------------------------

@@ -29,6 +29,7 @@ from repro.multiway.network import MultiwayNetwork
 from repro.net.address import Address
 from repro.net.message import MsgType
 from repro.sim.runtime import AsyncOverlayRuntime, OpFuture, OpSteps
+from repro.sim.topology import Hop
 from repro.util.errors import PeerNotFoundError, ProtocolError
 
 
@@ -54,7 +55,7 @@ class AsyncMultiwayNetwork(AsyncOverlayRuntime):
 
     def _join_steps(self, future: OpFuture, start: Address) -> OpSteps:
         net = self.net
-        yield self._hop_delay()  # the join request reaches its entry node
+        yield Hop(None, start)  # the join request reaches its entry node
         current = start
         for _attempt in range(16):
             try:
@@ -62,18 +63,20 @@ class AsyncMultiwayNetwork(AsyncOverlayRuntime):
             except PeerNotFoundError:
                 # The walk's carrier vanished; re-enter somewhere live.
                 current = net.random_peer_address()
-                yield self._hop_delay()
+                yield Hop(None, current)  # fresh client ingress
                 continue
             # The acceptance check and the accept run in the same simulator
             # event (join_find_steps returns in the segment that verified
             # acceptability), so this re-check cannot lose a race — it only
             # guards the retry path's fresh entry.
             parent = net.nodes.get(parent_address)
-            if parent is None or not net.can_accept_join(parent):
-                current = (
-                    parent_address if parent is not None else net.random_peer_address()
-                )
-                yield self._hop_delay()
+            if parent is None:
+                current = net.random_peer_address()
+                yield Hop(None, current)
+                continue
+            if not net.can_accept_join(parent):
+                current = parent_address
+                yield Hop(current, current)  # local beat: keep walking
                 continue
             child = net.accept_child(parent)
             return JoinResult(
@@ -86,7 +89,7 @@ class AsyncMultiwayNetwork(AsyncOverlayRuntime):
 
     def _leave_steps(self, future: OpFuture, address: Address) -> OpSteps:
         net = self.net
-        yield self._hop_delay()  # the departure intent is announced
+        yield Hop(None, address)  # the departure intent is announced
         for _attempt in range(8):
             departing = net.node(address)  # raises if the node already vanished
             if net.size == 1:
@@ -102,19 +105,19 @@ class AsyncMultiwayNetwork(AsyncOverlayRuntime):
                     net.replacement_steps(departing)
                 )
             except PeerNotFoundError:
-                yield self._hop_delay()  # a consulted child vanished; re-walk
+                yield Hop(address, address)  # a consulted child vanished; re-walk
                 continue
             if net.nodes.get(address) is not departing:
                 # Another operation transplanted us mid-walk; the next
                 # attempt re-reads the node (and fails if it is gone).
-                yield self._hop_delay()
+                yield Hop(address, address)
                 continue
             if replacement_address is None or replacement_address == address:
-                yield self._hop_delay()
+                yield Hop(address, address)
                 continue
             replacement = net.nodes.get(replacement_address)
             if replacement is None or not replacement.is_leaf:
-                yield self._hop_delay()  # lost the race; walk again
+                yield Hop(address, address)  # lost the race; walk again
                 continue
             net.detach_leaf(replacement)
             net.transplant(departing, replacement)

@@ -12,6 +12,7 @@ from typing import Dict, List, Optional
 
 from repro.sim.latency import LatencyModel
 from repro.sim.runtime import AsyncOverlayRuntime
+from repro.sim.topology import Topology
 
 
 @dataclass(frozen=True)
@@ -38,16 +39,31 @@ class OverlayEntry:
         seed: int = 0,
         *,
         latency: Optional[LatencyModel] = None,
+        topology: Optional[Topology] = None,
         **kwargs,
     ) -> AsyncOverlayRuntime:
-        """Grow a synchronous network and wrap it for concurrent traffic."""
-        return self.runtime_cls.build(n_peers, seed=seed, latency=latency, **kwargs)
+        """Grow a synchronous network and wrap it for concurrent traffic.
+
+        ``topology`` selects the per-link transport model; ``latency`` is
+        the historical spelling for the scalar (single-region) case.
+        """
+        return self.runtime_cls.build(
+            n_peers, seed=seed, latency=latency, topology=topology, **kwargs
+        )
 
     def wrap(
-        self, net, *, sim=None, latency: Optional[LatencyModel] = None, **kwargs
+        self,
+        net,
+        *,
+        sim=None,
+        latency: Optional[LatencyModel] = None,
+        topology: Optional[Topology] = None,
+        **kwargs,
     ) -> AsyncOverlayRuntime:
         """Wrap an existing synchronous network in the async runtime."""
-        return self.runtime_cls(net, sim=sim, latency=latency, **kwargs)
+        return self.runtime_cls(
+            net, sim=sim, latency=latency, topology=topology, **kwargs
+        )
 
 
 _REGISTRY: Dict[str, OverlayEntry] = {}

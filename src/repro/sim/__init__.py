@@ -6,8 +6,9 @@ is §V-E (Figure 8(i), *Effect of Network Dynamics*): there, joins and leaves
 happen **concurrently** and routing-table updates take time to propagate, so
 queries issued inside the update window can be misrouted and pay extra
 messages.  The :class:`Simulator` here provides the timeline for that
-experiment — events with latencies drawn from a :class:`LatencyModel`,
-executed in timestamp order.
+experiment — events with latencies drawn per link from a
+:class:`Topology` (scalar :class:`LatencyModel` distributions are the
+degenerate single-region case), executed in timestamp order.
 
 :class:`AsyncBatonNetwork` builds the full concurrent regime on top: every
 BATON operation decomposed into per-hop scheduled events, any number in
@@ -23,10 +24,24 @@ from repro.sim.latency import (
     UniformLatency,
 )
 from repro.sim.runtime import AsyncBatonNetwork, AsyncOverlayRuntime, OpFuture
+from repro.sim.topology import (
+    ClusteredTopology,
+    CoordinateTopology,
+    Hop,
+    Topology,
+    available_topologies,
+    make_topology,
+)
 
 __all__ = [
     "Event",
     "Simulator",
+    "Topology",
+    "Hop",
+    "ClusteredTopology",
+    "CoordinateTopology",
+    "available_topologies",
+    "make_topology",
     "LatencyModel",
     "ConstantLatency",
     "UniformLatency",

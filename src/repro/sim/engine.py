@@ -78,18 +78,41 @@ class Simulator:
         self._queued_seqs.add(event.seq)
         return event
 
+    #: Below this queue size, compaction isn't worth the rebuild.
+    _COMPACT_MIN_QUEUE = 16
+
     def cancel(self, event: Event) -> bool:
         """Withdraw a scheduled event; its action will never run.
 
         Returns False when the event already executed or was already
         cancelled.  Cancelled entries are dropped lazily as the queue pops
-        past them, so cancellation is O(1).
+        past them, so cancellation is O(1) — except when the dead entries
+        come to dominate: once they exceed half the heap it is compacted
+        (amortized O(1) per cancel), so long churn runs don't hold dead
+        events, and their closed-over state, forever.
         """
         if event.seq not in self._queued_seqs or event.seq in self._cancelled:
             return False
         self._cancelled.add(event.seq)
         self.cancelled_count += 1
+        if (
+            len(self._queue) >= self._COMPACT_MIN_QUEUE
+            and 2 * len(self._cancelled) > len(self._queue)
+        ):
+            self._compact()
         return True
+
+    def _compact(self) -> None:
+        """Rebuild the heap without cancelled entries.
+
+        Events order totally by (time, seq), so a heapified subset pops in
+        exactly the order lazy skipping would have produced — no observable
+        behaviour change, just reclaimed memory.
+        """
+        self._queue = [e for e in self._queue if e.seq not in self._cancelled]
+        heapq.heapify(self._queue)
+        self._queued_seqs.difference_update(self._cancelled)
+        self._cancelled.clear()
 
     def _next_live_event(self) -> Optional[Event]:
         """Drop cancelled heap heads; return the next real event unpopped."""

@@ -1,24 +1,38 @@
-"""Latency models for the discrete-event experiments.
+"""Scalar latency models: degenerate single-region topologies.
 
 Figure 8(i) needs a notion of "how long does a routing-table update take to
 reach everyone" versus "how often do queries arrive meanwhile".  Absolute
 units are arbitrary (the paper reports message counts, not seconds); what
 matters is the ratio between update-propagation delay and churn intensity.
+
+Since the transport seam became topology-aware (:mod:`repro.sim.topology`),
+these models are :class:`~repro.sim.topology.Topology` subclasses whose
+delay simply ignores which link a message crosses — every pair of peers is
+one region away.  The transport entry point is ``sample(src, dst)``
+everywhere; subclasses implement the link-blind :meth:`LatencyModel.draw`.
 """
 
 from __future__ import annotations
 
 import abc
 
+from repro.sim.topology import Topology
 from repro.util.rng import SeededRng
 
 
-class LatencyModel(abc.ABC):
-    """Draws per-message network delays."""
+class LatencyModel(Topology):
+    """A link-blind delay distribution — a degenerate single-region topology.
+
+    Subclasses implement :meth:`draw`; ``sample(src, dst)`` (the only
+    transport entry point) returns one draw regardless of the link.
+    """
 
     @abc.abstractmethod
-    def sample(self) -> float:
+    def draw(self) -> float:
         """Return one delay, in arbitrary simulated time units (>= 0)."""
+
+    def link_delay(self, src, dst) -> float:
+        return self.draw()
 
 
 class ConstantLatency(LatencyModel):
@@ -29,7 +43,7 @@ class ConstantLatency(LatencyModel):
             raise ValueError("latency cannot be negative")
         self.delay = delay
 
-    def sample(self) -> float:
+    def draw(self) -> float:
         return self.delay
 
 
@@ -43,7 +57,7 @@ class UniformLatency(LatencyModel):
         self.high = high
         self._rng = rng
 
-    def sample(self) -> float:
+    def draw(self) -> float:
         return self._rng.uniform(self.low, self.high)
 
 
@@ -56,5 +70,5 @@ class ExponentialLatency(LatencyModel):
         self.mean = mean
         self._rng = rng
 
-    def sample(self) -> float:
+    def draw(self) -> float:
         return self._rng.expovariate(1.0 / self.mean)

@@ -12,12 +12,14 @@ re-expresses every public operation — join, leave, exact search, range
 search, insert, delete (plus fail, where supported) — as a *hop generator*:
 a Python generator that performs one protocol step (one message exchange,
 using exactly the same helpers and message accounting as the synchronous
-code) and then yields the latency of the next hop, drawn from a
-:class:`~repro.sim.latency.LatencyModel`.  The runtime schedules each
-resumption on the shared :class:`~repro.sim.engine.Simulator`, so any
-number of operations interleave at hop granularity while each individual
-step stays atomic.  Completion is exposed through :class:`OpFuture`
-(result, error, latency, done-callbacks).
+code) and then yields a :class:`~repro.sim.topology.Hop` declaring which
+pair of peers the next message travels between.  The runtime prices each
+hop per link through the run's :class:`~repro.sim.topology.Topology`
+(``sample(src, dst, size=...)``) and schedules the resumption on the shared
+:class:`~repro.sim.engine.Simulator`, so any number of operations
+interleave at hop granularity while each individual step stays atomic.
+Completion is exposed through :class:`OpFuture` (result, error, latency,
+accumulated transit time, done-callbacks).
 
 Three concrete runtimes exist, one per registered overlay:
 
@@ -29,10 +31,11 @@ Three concrete runtimes exist, one per registered overlay:
 
 Fidelity notes:
 
-* With a constant latency model and operations run one at a time (submit,
-  then drain), every runtime sends byte-for-byte the same message sequence
-  as its synchronous network and reaches the same final structure — the
-  equivalence the test suites pin down.
+* With operations run one at a time (submit, then drain), every runtime
+  sends byte-for-byte the same message sequence as its synchronous network
+  and reaches the same final structure under *any* topology — delays only
+  stretch the clock between serialized steps — the equivalence the test
+  suites pin down (for constant and clustered topologies alike).
 * Under interleaving, an operation's carrier peer can vanish between hops
   (its host left or crashed).  The operation then *fails*: its future
   reports the error instead of a result, which is how a real client
@@ -70,6 +73,7 @@ from repro.net.bus import MessageBus, Trace
 from repro.net.message import MsgType
 from repro.sim.engine import Simulator
 from repro.sim.latency import ConstantLatency, LatencyModel
+from repro.sim.topology import Hop, Topology
 from repro.util.errors import (
     CapabilityError,
     PeerNotFoundError,
@@ -78,8 +82,9 @@ from repro.util.errors import (
 )
 from repro.util.stepper import MessageSteps
 
-#: A hop generator yields per-hop delays and returns the operation's result.
-OpSteps = Generator[float, None, object]
+#: A hop generator yields one Hop per protocol step (which link the next
+#: message crosses) and returns the operation's result.
+OpSteps = Generator[Hop, None, object]
 
 PENDING = "pending"
 SUCCEEDED = "succeeded"
@@ -99,6 +104,10 @@ class OpFuture:
         self.result: object = None
         self.error: Optional[ReproError] = None
         self.hops = 0
+        #: Total sampled link time this operation spent on the wire (the sum
+        #: of its hops' per-link delays; equals `latency` while the runtime
+        #: has no queueing, and diverges the day it does).
+        self.transit = 0.0
         self._callbacks: List[Callable[["OpFuture"], None]] = []
 
     @property
@@ -141,8 +150,8 @@ class AsyncOverlayRuntime:
     :class:`OpFuture` immediately; nothing executes until the simulator
     runs.  ``run()`` / ``run_until()`` / ``drain()`` advance the clock.
 
-    All scheduling randomness comes from the latency model's seeded rng and
-    the wrapped network's own rng, so a given (network seed, latency model,
+    All scheduling randomness comes from the topology's seeded rngs and
+    the wrapped network's own rng, so a given (network seed, topology,
     submission sequence) replays the exact same event order — the
     ``event_log`` records it for comparison.
 
@@ -166,10 +175,16 @@ class AsyncOverlayRuntime:
         *,
         sim: Optional[Simulator] = None,
         latency: Optional[LatencyModel] = None,
+        topology: Optional[Topology] = None,
     ):
+        if latency is not None and topology is not None:
+            raise ValueError("pass either topology or latency (its alias), not both")
         self.net = net
         self.sim = sim if sim is not None else Simulator()
-        self.latency = latency if latency is not None else ConstantLatency(1.0)
+        transport = topology if topology is not None else latency
+        self.topology: Topology = (
+            transport if transport is not None else ConstantLatency(1.0)
+        )
         self.ops: List[OpFuture] = []
         self.event_log: List[tuple] = []
         self.max_in_flight = 0
@@ -178,12 +193,27 @@ class AsyncOverlayRuntime:
         self._pending_leaves: Set[Address] = set()
 
     @classmethod
-    def build(cls, n_peers: int, seed: int = 0, *, config=None, latency=None, **kwargs):
+    def build(
+        cls,
+        n_peers: int,
+        seed: int = 0,
+        *,
+        config=None,
+        latency=None,
+        topology=None,
+        **kwargs,
+    ):
         """Grow a synchronous network, then wrap it for concurrent traffic."""
         if cls.network_cls is None:
             raise TypeError(f"{cls.__name__} has no network_cls to build")
         net = cls.network_cls.build(n_peers, seed=seed, config=config)
-        return cls(net, latency=latency, **kwargs)
+        return cls(net, latency=latency, topology=topology, **kwargs)
+
+    @property
+    def latency(self) -> Topology:
+        """Historical alias for :attr:`topology` (scalar models are
+        degenerate topologies, so old call sites keep reading)."""
+        return self.topology
 
     # -- clock ----------------------------------------------------------------
 
@@ -318,7 +348,7 @@ class AsyncOverlayRuntime:
     def _search_exact_steps(
         self, future: OpFuture, start: Address, key: int
     ) -> OpSteps:
-        yield self._hop_delay()  # the request reaches its entry peer
+        yield Hop(None, start)  # the request reaches its entry peer
         owner = yield from self._lift(self._owner_steps(start, key, MsgType.SEARCH))
         found = key in self.net.node(owner).store
         return SearchResult(found=found, owner=owner, trace=future.trace)
@@ -326,7 +356,7 @@ class AsyncOverlayRuntime:
     def _search_range_steps(
         self, future: OpFuture, start: Address, low: int, high: int
     ) -> OpSteps:
-        yield self._hop_delay()
+        yield Hop(None, start)
         owners, keys, complete = yield from self._lift(
             self.net.range_steps(start, low, high)
         )
@@ -337,7 +367,7 @@ class AsyncOverlayRuntime:
     def _data_op_steps(
         self, future: OpFuture, start: Address, key: int, mtype: MsgType
     ) -> OpSteps:
-        yield self._hop_delay()
+        yield Hop(None, start)
         owner = yield from self._lift(self._owner_steps(start, key, mtype))
         store = self.net.node(owner).store
         if mtype is MsgType.INSERT:
@@ -379,10 +409,10 @@ class AsyncOverlayRuntime:
         finished = False
         failed: Optional[ReproError] = None
         value: object = None
-        delay = 0.0
+        hop: Optional[Hop] = None
         with self.net.bus.activate(future.trace):
             try:
-                delay = next(steps)
+                hop = next(steps)
             except StopIteration as stop:
                 finished, value = True, stop.value
             except ReproError as error:
@@ -399,7 +429,14 @@ class AsyncOverlayRuntime:
             self._log(future, "done")
             future._complete(SUCCEEDED, self.sim.now)
             return
+        if not isinstance(hop, Hop):
+            raise TypeError(
+                f"hop generators must yield Hop(src, dst), got {hop!r} "
+                f"(transport costs are per-link now; see repro.sim.topology)"
+            )
+        delay = self.topology.sample(hop.src, hop.dst, size=hop.size)
         future.hops += 1
+        future.transit += delay
         self._log(future, "hop")
         self.sim.schedule(
             delay,
@@ -412,23 +449,16 @@ class AsyncOverlayRuntime:
             (self.sim.now, future.op_id, future.kind, phase, future.trace.total)
         )
 
-    def _hop_delay(self) -> float:
-        return self.latency.sample()
-
     def _lift(self, steps: MessageSteps) -> OpSteps:
-        """Adapt a message-step generator into a latency-yielding hop chain.
+        """Adopt a message-step generator's hops into this operation.
 
         The synchronous facades drive these generators to exhaustion in one
-        call; lifting instead yields one sampled latency per protocol hop,
-        so the simulator can interleave other operations' events between
-        them — same code, same messages, different clock.
+        call, ignoring the yielded hops; lifting instead forwards each
+        :class:`Hop` to the scheduler, which prices it per link and resumes
+        the generator one simulator event later — same code, same messages,
+        different clock.
         """
-        while True:
-            try:
-                next(steps)
-            except StopIteration as stop:
-                return stop.value
-            yield self._hop_delay()
+        return (yield from steps)
 
 
 class AsyncBatonNetwork(AsyncOverlayRuntime):
@@ -454,13 +484,14 @@ class AsyncBatonNetwork(AsyncOverlayRuntime):
         *,
         sim: Optional[Simulator] = None,
         latency: Optional[LatencyModel] = None,
+        topology: Optional[Topology] = None,
         seed: int = 0,
         config: Optional[BatonConfig] = None,
         defer_updates: bool = True,
     ):
         if net is None:
             net = BatonNetwork(config=config, seed=seed)
-        super().__init__(net, sim=sim, latency=latency)
+        super().__init__(net, sim=sim, latency=latency, topology=topology)
         self._inflight_updates: dict[Address, List[tuple]] = {}
         self._last_update_arrival: dict[Address, float] = {}
         if defer_updates:
@@ -500,13 +531,18 @@ class AsyncBatonNetwork(AsyncOverlayRuntime):
 
     # -- update-sink plumbing -------------------------------------------------
 
-    def _deliver_update(self, dst: Address, deliver: Callable[[], None]) -> None:
-        """UpdateChannel sink: apply a table refresh one latency later.
+    def _deliver_update(
+        self, src: Address, dst: Address, deliver: Callable[[], None]
+    ) -> None:
+        """UpdateChannel sink: apply a table refresh one link delay later.
 
-        Deliveries to the same receiver keep their send order (an ordered
-        transport, as TCP gives a real deployment); without this, two
-        refreshes about the same peer could apply newest-first and leave
-        the receiver permanently stale.
+        The delay is drawn for the actual (src, dst) link, so a refresh
+        crossing regions takes longer to land than one next door — queries
+        near a remote peer race a wider staleness window.  Deliveries to
+        the same receiver keep their send order (an ordered transport, as
+        TCP gives a real deployment); without this, two refreshes about the
+        same peer could apply newest-first and leave the receiver
+        permanently stale.
         """
         pending = self._inflight_updates.setdefault(dst, [])
         entry: list = [None, deliver]
@@ -518,7 +554,10 @@ class AsyncBatonNetwork(AsyncOverlayRuntime):
                 pass
             deliver()
 
-        arrival = self.sim.now + self.latency.sample()
+        # Priced like any other single message (size 1.0, matching Hop's
+        # default), so bandwidth-limited links delay refreshes and routed
+        # traffic alike — the staleness window they race is consistent.
+        arrival = self.sim.now + self.topology.sample(src, dst, size=1.0)
         arrival = max(arrival, self._last_update_arrival.get(dst, 0.0))
         self._last_update_arrival[dst] = arrival
         entry[0] = self.sim.schedule_at(arrival, fire, label="table-update")
@@ -557,7 +596,7 @@ class AsyncBatonNetwork(AsyncOverlayRuntime):
         hops, the simulator may run other operations' events.
         """
         net = self.net
-        yield self._hop_delay()  # the request reaches its entry peer
+        yield Hop(None, start)  # the request reaches its entry peer
         current = start
         limit = search_protocol.hop_limit(net)
         for _ in range(limit):
@@ -576,8 +615,8 @@ class AsyncBatonNetwork(AsyncOverlayRuntime):
                 raise ProtocolError(
                     f"all routes from {peer.position} toward {key} are dead"
                 )
+            yield Hop(current, next_hop)
             current = next_hop
-            yield self._hop_delay()
         if self._routing_degraded():
             return current
         raise ProtocolError(f"search for {key} did not terminate")
@@ -623,8 +662,8 @@ class AsyncBatonNetwork(AsyncOverlayRuntime):
                 net.count_message(current, next_hop, MsgType.RANGE_SEARCH)
             except PeerNotFoundError:
                 break  # partial answer; repair will restore the chain
+            yield Hop(current, next_hop)
             current = next_hop
-            yield self._hop_delay()
         return RangeSearchResult(
             owners=owners, keys=keys, trace=future.trace, complete=complete
         )
@@ -660,7 +699,7 @@ class AsyncBatonNetwork(AsyncOverlayRuntime):
 
     def _join_steps(self, future: OpFuture, start: Address) -> OpSteps:
         net = self.net
-        yield self._hop_delay()  # the join request reaches its entry peer
+        yield Hop(None, start)  # the join request reaches its entry peer
         current = start
         for _attempt in range(16):
             parent_address = yield from self._find_join_parent_steps(future, current)
@@ -674,7 +713,7 @@ class AsyncBatonNetwork(AsyncOverlayRuntime):
             parent = net.peer(parent_address)
             if not join_protocol.can_accept_join(parent):
                 current = parent_address  # fresh state disagrees; keep walking
-                yield self._hop_delay()
+                yield Hop(current, current)  # local beat: re-examine, move on
                 continue
             side = LEFT if parent.left_child is None else RIGHT
             new_peer = join_protocol.add_child(net, parent, side)
@@ -699,7 +738,7 @@ class AsyncBatonNetwork(AsyncOverlayRuntime):
                 # The walk's carrier vanished; re-enter somewhere live, as a
                 # real joining host would retry through another contact.
                 current = net.random_peer_address()
-                yield self._hop_delay()
+                yield Hop(None, current)  # fresh client ingress
                 continue
             if join_protocol.can_accept_join(peer):
                 return current
@@ -717,14 +756,15 @@ class AsyncBatonNetwork(AsyncOverlayRuntime):
                         "no forwarding target"
                     )
                 current = net.random_peer_address()
+                yield Hop(None, current)  # marooned: retry via a new contact
             else:
+                yield Hop(current, next_hop)
                 current = next_hop
-            yield self._hop_delay()
         raise ProtocolError("join request did not terminate (routing state corrupt?)")
 
     def _leave_steps(self, future: OpFuture, address: Address) -> OpSteps:
         net = self.net
-        yield self._hop_delay()  # the departure intent is announced
+        yield Hop(None, address)  # the departure intent is announced
         for _attempt in range(8):
             departing = net.peer(address)  # raises if the peer already vanished
             if net.size == 1:
@@ -742,20 +782,20 @@ class AsyncBatonNetwork(AsyncOverlayRuntime):
             if net.peers.get(address) is not departing:
                 # Another operation removed or transplanted us mid-walk; the
                 # next attempt re-reads the peer (and fails if it is gone).
-                yield self._hop_delay()
+                yield Hop(address, address)
                 continue
             if replacement_address is None or replacement_address == address:
-                yield self._hop_delay()
+                yield Hop(address, address)
                 continue
             replacement = net.peers.get(replacement_address)
             if replacement is None:
-                yield self._hop_delay()  # lost the race; walk again
+                yield Hop(address, address)  # lost the race; walk again
                 continue
             # Drain the replacement's inbox first: its safe-departure test
             # reads its tables, which must not be mid-refresh.
             self._flush_updates_to(replacement_address)
             if not leave_protocol.can_depart_simply(replacement):
-                yield self._hop_delay()  # lost the race; walk again
+                yield Hop(address, address)  # lost the race; walk again
                 continue
             leave_protocol.depart_leaf(net, replacement, content_target="parent")
             # Refreshes emitted by the departure itself can target the
@@ -778,14 +818,14 @@ class AsyncBatonNetwork(AsyncOverlayRuntime):
 
     def _find_replacement_steps(
         self, future: OpFuture, departing
-    ) -> Generator[float, None, Optional[Address]]:
+    ) -> Generator[Hop, None, Optional[Address]]:
         """Per-hop Algorithm 2; None (instead of an error) on dead ends."""
         net = self.net
         try:
             start = leave_protocol.replacement_entry_point(net, departing)
         except (ProtocolError, PeerNotFoundError):
             return None
-        yield self._hop_delay()
+        yield Hop(departing.address, start)
         limit = 4 * max(net.size.bit_length(), 2) + 32
         current = start
         for _ in range(limit):
@@ -819,12 +859,12 @@ class AsyncBatonNetwork(AsyncOverlayRuntime):
                 net.count_message(current, next_hop, MsgType.LEAVE_FIND)
             except PeerNotFoundError:
                 return None
+            yield Hop(current, next_hop)
             current = next_hop
-            yield self._hop_delay()
         return None
 
     def _fail_steps(self, future: OpFuture, address: Address) -> OpSteps:
-        yield self._hop_delay()  # the crash is observed one beat later
+        yield Hop(None, address)  # the crash is observed one beat later
         if address in self.net.peers:
             self.net.fail(address)
             return address

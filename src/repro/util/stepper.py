@@ -2,11 +2,13 @@
 
 The overlay protocols are written as *step generators*: plain Python
 generators that perform one protocol step (one message exchange, with the
-usual bus accounting) and then ``yield`` to mark a network hop.  The
+usual bus accounting) and then ``yield`` a :class:`~repro.sim.topology.Hop`
+declaring which pair of peers the next message travels between.  The
 synchronous facades run a generator to exhaustion with :func:`drive` — one
-atomic operation, exactly the pre-generator behaviour — while the
-event-driven runtime (:mod:`repro.sim.runtime`) resumes the same generator
-once per simulator event, inserting a sampled latency at every yield.
+atomic operation, exactly the pre-generator behaviour; the yielded hops are
+ignored — while the event-driven runtime (:mod:`repro.sim.runtime`) resumes
+the same generator once per simulator event, turning each hop into a
+per-link delay drawn from the run's :class:`~repro.sim.topology.Topology`.
 
 Writing each protocol once and executing it under both regimes is what
 guarantees the serialized-equivalence property the runtime tests pin down:
@@ -16,13 +18,17 @@ code.
 
 from __future__ import annotations
 
-from typing import Generator, TypeVar
+from typing import TYPE_CHECKING, Generator, TypeVar
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.sim.topology import Hop
 
 T = TypeVar("T")
 
-#: A protocol step generator: yields None once per network hop, returns the
-#: operation's result via StopIteration.
-MessageSteps = Generator[None, None, T]
+#: A protocol step generator: yields one Hop (which link the next message
+#: crosses) per network hop, returns the operation's result via
+#: StopIteration.
+MessageSteps = Generator["Hop", None, T]
 
 
 def drive(steps: MessageSteps) -> T:

@@ -55,6 +55,11 @@ class ConcurrentConfig:
     range_span: int = 2_000_000
     #: Departures are suppressed below this population.
     min_peers: int = 8
+    #: Run an anti-entropy ``reconcile()`` sweep every this many simulated
+    #: time units *during* the window (0 disables; overlays without the
+    #: ``reconcile`` capability never sweep).  Without it, staleness only
+    #: drains at the end of the run.
+    maintenance_interval: float = 0.0
 
     def __post_init__(self) -> None:
         for name in ("churn_rate", "query_rate", "insert_rate"):
@@ -65,6 +70,8 @@ class ConcurrentConfig:
                 raise ValueError(f"{name} must be in [0, 1]")
         if self.duration <= 0:
             raise ValueError("duration must be positive")
+        if self.maintenance_interval < 0:
+            raise ValueError("maintenance_interval cannot be negative")
 
 
 @dataclass
@@ -85,6 +92,12 @@ class ConcurrentReport:
     query_latency_p90: float = 0.0
     query_latency_p99: float = 0.0
     query_latency_mean: float = 0.0
+    #: Per-op wire-time accounting (sum of each op's sampled link delays,
+    #: from the topology's per-link ``sample(src, dst)`` draws).
+    transit_time_total: float = 0.0
+    query_transit_p50: float = 0.0
+    query_transit_p99: float = 0.0
+    query_transit_mean: float = 0.0
     messages_total: int = 0
     messages_per_query: float = 0.0
     max_in_flight: int = 0
@@ -93,6 +106,8 @@ class ConcurrentReport:
     fails_applied: int = 0
     final_size: int = 0
     skipped_departures: int = 0
+    #: In-window anti-entropy sweeps run (``maintenance_interval`` knob).
+    reconcile_sweeps: int = 0
 
     @property
     def query_total(self) -> int:
@@ -125,9 +140,16 @@ class ConcurrentReport:
             f"query latency p50/p90/p99: {self.query_latency_p50:.2f}/"
             f"{self.query_latency_p90:.2f}/{self.query_latency_p99:.2f} "
             f"(mean {self.query_latency_mean:.2f})",
+            f"transit time: {self.transit_time_total:.1f} total on the wire, "
+            f"query p50/p99 {self.query_transit_p50:.2f}/"
+            f"{self.query_transit_p99:.2f}",
             f"messages: {self.messages_total} total, "
             f"{self.messages_per_query:.2f} per query",
         ]
+        if self.reconcile_sweeps:
+            lines.append(
+                f"maintenance: {self.reconcile_sweeps} in-window reconcile sweep(s)"
+            )
         if self.skipped_departures:
             lines.append(
                 f"note: {self.skipped_departures} departures skipped "
@@ -234,6 +256,20 @@ def run_concurrent_workload(
     arrivals("query", config.query_rate, submit_query)
     arrivals("insert", config.insert_rate, submit_insert)
 
+    if config.maintenance_interval > 0 and anet.supports("reconcile"):
+        # Periodic in-window anti-entropy: staleness is bounded by the
+        # sweep interval instead of accumulating until the drain.
+        def sweep() -> None:
+            anet.reconcile()
+            report.reconcile_sweeps += 1
+            if anet.sim.now + config.maintenance_interval <= horizon:
+                anet.sim.schedule(
+                    config.maintenance_interval, sweep, label="maintenance"
+                )
+
+        if start_time + config.maintenance_interval <= horizon:
+            anet.sim.schedule(config.maintenance_interval, sweep, label="maintenance")
+
     anet.drain()
     if repair_at_end:
         anet.repair_all()
@@ -258,7 +294,9 @@ def run_concurrent_workload(
         elif future.kind == "fail" and future.result is not None:
             report.fails_applied += 1
 
+    report.transit_time_total = sum(f.transit for f in futures)
     latencies: List[float] = []
+    transits: List[float] = []
     for future in query_futures:
         if future.kind == "search.exact":
             report.exact_total += 1
@@ -270,11 +308,16 @@ def run_concurrent_workload(
                 report.range_complete += 1
         if future.succeeded and future.latency is not None:
             latencies.append(future.latency)
+            transits.append(future.transit)
     if latencies:
         report.query_latency_p50 = percentile(latencies, 0.50)
         report.query_latency_p90 = percentile(latencies, 0.90)
         report.query_latency_p99 = percentile(latencies, 0.99)
         report.query_latency_mean = sum(latencies) / len(latencies)
+    if transits:
+        report.query_transit_p50 = percentile(transits, 0.50)
+        report.query_transit_p99 = percentile(transits, 0.99)
+        report.query_transit_mean = sum(transits) / len(transits)
     if report.query_total:
         query_messages = sum(f.trace.total for f in query_futures)
         report.messages_per_query = query_messages / report.query_total

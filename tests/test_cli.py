@@ -42,3 +42,27 @@ class TestCommands:
         out_file = tmp_path / "results.txt"
         assert main(["experiments", "--quick", "--out", str(out_file)]) == 0
         assert "Fig 8a" in out_file.read_text()
+
+    def test_concurrent_clustered_topology_runs(self, capsys):
+        assert (
+            main(
+                [
+                    "concurrent",
+                    "--peers", "16",
+                    "--duration", "5",
+                    "--churn-rate", "0.0",
+                    "--query-rate", "2",
+                    "--topology", "clustered",
+                    "--inter-delay", "8",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "clustered topology" in out
+        assert "transit time" in out
+
+    def test_clustered_flags_rejected_elsewhere(self, capsys):
+        assert main(["concurrent", "--peers", "10", "--inter-delay", "9"]) == 2
+        err = capsys.readouterr().err
+        assert "--topology clustered" in err

@@ -18,6 +18,7 @@ from repro.experiments import (
     fig8g_load_balancing,
     fig8h_shift_sizes,
     fig8i_dynamics,
+    hetero_links,
 )
 from repro.experiments.balancing import run_balancing, shift_histogram
 from repro.experiments.membership import aggregate, measure_membership
@@ -149,6 +150,22 @@ class TestConcurrentDynamics:
             assert row["p50"] <= row["p90"] <= row["p99"]
             assert row["max_in_flight"] > 1  # genuine overlap
         assert all(v == 0 for v in result.column("violations"))
+
+
+class TestHeteroLinks:
+    def test_latency_grows_with_inter_region_cost(self, scale):
+        result = hetero_links.run(scale, inter_delays=(1.0, 10.0))
+        assert len(result.rows) == 2 * 3  # (overlay, inter_delay) grid
+        for name in ("baton", "chord", "multiway"):
+            p50 = result.column("p50", where={"overlay": name})
+            # Costlier inter-region links must surface in end-to-end latency
+            # — the signal the scalar latency model could not express.
+            assert p50[-1] > p50[0], (name, p50)
+            success = result.column("success", where={"overlay": name})
+            assert all(rate > 0.9 for rate in success)  # query-only: no churn loss
+        for row in result.rows:
+            assert row["p50"] <= row["p99"]
+            assert row["transit_p99"] > 0
 
 
 class TestHarness:

@@ -87,9 +87,13 @@ class TestSimulator:
 
 
 class TestLatencyModels:
+    """Scalar models are degenerate topologies: sample(src, dst) ignores
+    the link (see tests/test_topology.py for the link-aware models)."""
+
     def test_constant(self):
         model = ConstantLatency(2.5)
-        assert model.sample() == 2.5
+        assert model.sample(1, 2) == 2.5
+        assert model.sample(None, None) == 2.5  # link identity is ignored
 
     def test_constant_rejects_negative(self):
         with pytest.raises(ValueError):
@@ -98,7 +102,7 @@ class TestLatencyModels:
     def test_uniform_within_bounds(self):
         model = UniformLatency(1.0, 2.0, SeededRng(3))
         for _ in range(100):
-            assert 1.0 <= model.sample() < 2.0
+            assert 1.0 <= model.sample(1, 2) < 2.0
 
     def test_uniform_rejects_bad_bounds(self):
         with pytest.raises(ValueError):
@@ -106,7 +110,7 @@ class TestLatencyModels:
 
     def test_exponential_positive_with_roughly_right_mean(self):
         model = ExponentialLatency(2.0, SeededRng(5))
-        samples = [model.sample() for _ in range(2000)]
+        samples = [model.sample(1, 2) for _ in range(2000)]
         assert all(s >= 0 for s in samples)
         assert 1.7 < sum(samples) / len(samples) < 2.3
 
@@ -155,3 +159,57 @@ class TestCancellation:
         assert executed == 1
         assert order == ["mid"]
         assert sim.now == 2.0
+
+
+class TestHeapCompaction:
+    """Heap hygiene: when the lazily-cancelled set exceeds half the heap,
+    the queue is compacted — memory reclaimed, zero behaviour change."""
+
+    def test_compaction_reclaims_dead_events(self):
+        sim = Simulator()
+        events = [sim.schedule(float(t), lambda: None) for t in range(1, 41)]
+        for event in events[:24]:  # 24 of 40 -> exceeds half the heap
+            sim.cancel(event)
+        assert len(sim._queue) < 40  # dead entries were dropped eagerly
+        # whatever is still marked cancelled is below the half-heap bound
+        assert 2 * len(sim._cancelled) <= len(sim._queue)
+        assert sim.pending_count == 16
+        assert sim.cancelled_count == 24
+
+    def test_behavior_identical_with_and_without_compaction(self):
+        def run(compact_min: int):
+            sim = Simulator()
+            order = []
+            events = {}
+            for t in range(1, 60):
+                events[t] = sim.schedule(float(t), lambda t=t: order.append(t))
+            sim._COMPACT_MIN_QUEUE = compact_min
+            for t in range(1, 60):
+                if t % 3:
+                    sim.cancel(events[t])
+            executed = sim.run()
+            return order, executed, sim.now
+
+        # A huge threshold disables compaction (pure lazy skipping).
+        assert run(4) == run(10**9)
+
+    def test_cancel_semantics_survive_compaction(self):
+        sim = Simulator()
+        events = [sim.schedule(float(t), lambda: None) for t in range(1, 30)]
+        for event in events[:20]:
+            assert sim.cancel(event)  # triggers compaction along the way
+        for event in events[:20]:
+            assert not sim.cancel(event)  # still reported as already gone
+        assert sim.pending_count == 9
+        sim.run()
+        assert sim.executed_count == 9
+
+    def test_small_queues_are_left_lazy(self):
+        sim = Simulator()
+        keep = sim.schedule(2.0, lambda: None)
+        drop = sim.schedule(1.0, lambda: None)
+        sim.cancel(drop)
+        assert len(sim._queue) == 2  # below the compaction floor
+        sim.run()
+        assert sim.executed_count == 1
+        assert keep.seq not in sim._queued_seqs
