@@ -11,7 +11,7 @@ import pytest
 
 from benchmarks.conftest import attach_series
 from repro import overlays
-from repro.experiments import concurrent_dynamics, hetero_links
+from repro.experiments import concurrent_dynamics, durability, hetero_links
 
 
 def test_concurrent_dynamics(benchmark, scale):
@@ -67,6 +67,31 @@ def test_concurrent_comparison(benchmark, scale):
     multiway_p50 = result.column("p50", where={"overlay": "multiway"})[0]
     # No sideways tables means longer walks: the paper's §V-B claim.
     assert multiway_p50 > baton_p50
+
+
+def test_durability(benchmark, scale):
+    """Replication pays for itself: fewer lost keys than the bare network."""
+    result = benchmark.pedantic(
+        lambda: durability.run(
+            scale, churn_rates=(2.0,), maintenance_intervals=(0.0, 6.0)
+        ),
+        iterations=1,
+        rounds=1,
+    )
+    attach_series(benchmark, result)
+    replicated = [row for row in result.rows if row["replication"]]
+    bare = [row for row in result.rows if not row["replication"]]
+    assert replicated and bare
+    # Replication recovers what the bare network forfeits; maintenance
+    # traffic is the price and must be visible (priced, counted messages).
+    assert sum(r["keys_lost"] for r in replicated) <= min(
+        r["keys_lost"] for r in bare
+    )
+    if any(r["crashes"] for r in replicated):
+        assert sum(r["keys_recovered"] for r in replicated) > 0
+    assert all(r["replica_msgs"] > 0 for r in replicated)
+    assert all(r["replica_msgs"] == 0 for r in bare)
+    assert all(r["reconcile_msgs"] > 0 for r in result.rows)
 
 
 def test_hetero_links(benchmark, scale):

@@ -10,6 +10,8 @@ Usage::
     python -m repro concurrent --overlay chord --peers 200
     python -m repro concurrent --overlay all --peers 100 --duration 30
     python -m repro concurrent --overlay all --topology clustered
+    python -m repro concurrent --replication --fail-fraction 0.5 --repair-delay 2
+    python -m repro durability --quick
 """
 
 from __future__ import annotations
@@ -82,6 +84,16 @@ def cmd_experiments(args: argparse.Namespace) -> int:
     return runall.main(argv)
 
 
+def cmd_durability(args: argparse.Namespace) -> int:
+    """Run the durability experiment (crash churn, replication on vs. off)."""
+    from repro.experiments import durability, harness
+
+    scale = harness.quick_scale() if args.quick else harness.default_scale()
+    result = durability.run(scale, n_peers=args.peers)
+    print(result.to_text())
+    return 0
+
+
 def cmd_concurrent(args: argparse.Namespace) -> int:
     """Drive interleaved churn + queries on the event-driven runtime."""
     from repro import overlays
@@ -93,9 +105,11 @@ def cmd_concurrent(args: argparse.Namespace) -> int:
             churn_rate=args.churn_rate,
             query_rate=args.query_rate,
             insert_rate=args.insert_rate,
+            join_fraction=args.join_fraction,
             fail_fraction=args.fail_fraction,
             range_fraction=args.range_fraction,
             maintenance_interval=args.maintenance_interval,
+            repair_delay=args.repair_delay,
         )
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -110,6 +124,22 @@ def cmd_concurrent(args: argparse.Namespace) -> int:
         )
         return 2
     names = overlays.available() if args.overlay == "all" else [args.overlay]
+    if args.replication:
+        # Capabilities are honest (DESIGN.md): refuse rather than run a
+        # comparison where only some contenders silently replicate.
+        unsupported = [
+            name
+            for name in names
+            if "replication" not in overlays.get(name).capabilities
+        ]
+        if unsupported:
+            print(
+                f"error: --replication is not supported by "
+                f"{', '.join(unsupported)} (only overlays advertising the "
+                f"capability can replicate)",
+                file=sys.stderr,
+            )
+            return 2
     for name in names:
         _run_concurrent_overlay(name, args, config)
     return 0
@@ -129,9 +159,13 @@ def _run_concurrent_overlay(name: str, args: argparse.Namespace, config) -> None
             "inter_delay": args.inter_delay,
         }
     topology = make_topology(args.topology, seed=args.seed, **topology_params)
-    anet = entry.build_async(args.peers, seed=args.seed, topology=topology)
+    anet = entry.build_async(
+        args.peers, seed=args.seed, topology=topology, replication=args.replication
+    )
     keys = uniform_keys(args.keys or 10 * args.peers, seed=args.seed + 1)
     anet.net.bulk_load(keys)
+    if args.replication:
+        anet.net.refresh_replicas()  # anchor mirrors before traffic starts
     report = run_concurrent_workload(anet, keys, config, seed=args.seed + 2)
     print(
         f"{name}: {args.peers} peers, event-driven runtime, "
@@ -187,6 +221,17 @@ def build_parser() -> argparse.ArgumentParser:
     experiments.add_argument("--out", default=None)
     experiments.set_defaults(func=cmd_experiments)
 
+    durability = sub.add_parser(
+        "durability",
+        help="keys lost vs. maintenance traffic under crash churn "
+        "(replication on vs. off)",
+    )
+    durability.add_argument("--quick", action="store_true")
+    durability.add_argument(
+        "--peers", type=int, default=None, help="override the population"
+    )
+    durability.set_defaults(func=cmd_durability)
+
     from repro import overlays
 
     concurrent = sub.add_parser(
@@ -205,6 +250,7 @@ def build_parser() -> argparse.ArgumentParser:
     concurrent.add_argument("--churn-rate", type=float, default=1.0)
     concurrent.add_argument("--query-rate", type=float, default=8.0)
     concurrent.add_argument("--insert-rate", type=float, default=0.0)
+    concurrent.add_argument("--join-fraction", type=float, default=0.5)
     concurrent.add_argument("--fail-fraction", type=float, default=0.0)
     concurrent.add_argument("--range-fraction", type=float, default=0.2)
     concurrent.add_argument(
@@ -230,7 +276,21 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.0,
         help="run an in-window reconcile sweep every this many time units "
-        "(0 disables; overlays without the capability never sweep)",
+        "(0 disables; overlays without the capability never sweep; with "
+        "--replication each sweep also re-anchors every peer's replica)",
+    )
+    concurrent.add_argument(
+        "--replication",
+        action="store_true",
+        help="mirror each peer's store at its adjacent and restore it on "
+        "repair (only overlays advertising the replication capability)",
+    )
+    concurrent.add_argument(
+        "--repair-delay",
+        type=float,
+        default=0.0,
+        help="detect and repair each crash this many time units after it "
+        "lands (0 repairs only after the run drains)",
     )
     concurrent.set_defaults(func=cmd_concurrent)
     return parser

@@ -15,6 +15,14 @@ After the structural surgery the repair re-establishes link consistency with
 the map-based rebuild helper from :mod:`repro.core.restructure` (the same
 documented cost-model substitution), charging the coordinator one REPAIR
 message per regenerated link.
+
+Repair is written as a step generator (:func:`repair_steps`) so the
+event-driven runtime can price it: the structural surgery runs as one
+atomic segment (no other operation can observe a half-repaired tree), and
+— when the replication extension is enabled — the replica pull that
+restores the dead peer's keys follows as sized, per-link hops
+(:func:`repro.core.replication.restore_from_replica_steps`).  The
+synchronous :func:`repair` drives the same generator to exhaustion.
 """
 
 from __future__ import annotations
@@ -25,8 +33,10 @@ from repro.core.links import LEFT, RIGHT
 from repro.core.peer import BatonPeer
 from repro.core.results import RepairResult
 from repro.net.address import Address
+from repro.net.bus import Trace
 from repro.net.message import MsgType
 from repro.util.errors import PeerNotFoundError, ProtocolError
+from repro.util.stepper import MessageSteps, drive
 
 if TYPE_CHECKING:
     from repro.core.network import BatonNetwork
@@ -48,34 +58,63 @@ def fail(net: "BatonNetwork", address: Address) -> None:
 
 
 def repair(net: "BatonNetwork", failed: Address) -> RepairResult:
-    """Run the parent-coordinated repair for a failed peer."""
+    """Run the parent-coordinated repair for a failed peer (atomically)."""
+    with net.open_trace("repair") as trace:
+        return drive(repair_steps(net, failed, trace))
+
+
+def repair_steps(
+    net: "BatonNetwork", failed: Address, trace: Trace
+) -> MessageSteps:
+    """The §III-C repair as a step generator.
+
+    The coordinator lookup, table regeneration and structural surgery all
+    run in the first segment — between submission and the first yield no
+    other operation can observe a half-repaired tree.  The only yielded
+    hops are the replication extension's replica pull (request, sized bulk
+    reply, batched onward re-mirror), so under the event-driven runtime
+    recovery *latency* includes the wire time of moving the dead peer's
+    data, while the tree itself is whole from the moment the repair runs.
+
+    ``trace`` is recorded on the result; callers attribute the messages
+    (the synchronous wrapper drives inside an open trace, the runtime
+    activates the operation's own trace per segment).
+    """
     ghost = net.ghosts.get(failed)
     if ghost is None:
         raise PeerNotFoundError(failed)
     coordinator = _find_coordinator(net, ghost)
-    with net.open_trace("repair") as trace:
-        if coordinator is None:
-            if net.size == 0:
-                # The sole peer died: nothing to reconnect.
-                _release_slot(net, ghost)
-                del net.ghosts[failed]
-                return RepairResult(failed=failed, replacement=None, trace=trace)
-            # Every neighbour is dead too: block until another repair
-            # revives one (repair_all retries in passes).
-            raise ProtocolError(
-                f"repair of {ghost.position} blocked: no live coordinator"
-            )
-        _regenerate_tables(net, coordinator, ghost)
-        if _safe_leaf_removal(ghost):
-            _remove_dead_leaf(net, coordinator, ghost)
-            replacement: Optional[BatonPeer] = None
-        else:
-            replacement = _replace_dead_internal(net, coordinator, ghost)
-        del net.ghosts[failed]
+    if coordinator is None:
+        if net.size == 0:
+            # The sole peer died: nothing to reconnect.
+            _release_slot(net, ghost)
+            del net.ghosts[failed]
+            return RepairResult(failed=failed, replacement=None, trace=trace)
+        # Every neighbour is dead too: block until another repair
+        # revives one (repair_all retries in passes).
+        raise ProtocolError(
+            f"repair of {ghost.position} blocked: no live coordinator"
+        )
+    _regenerate_tables(net, coordinator, ghost)
+    if _safe_leaf_removal(ghost):
+        absorber = _remove_dead_leaf(net, coordinator, ghost)
+        replacement: Optional[BatonPeer] = None
+    else:
+        replacement = _replace_dead_internal(net, coordinator, ghost)
+        absorber = replacement
+    del net.ghosts[failed]
+    recovered = 0
+    if net.config.replication and absorber is not None:
+        from repro.core import replication
+
+        recovered = yield from replication.restore_from_replica_steps(
+            net, ghost, absorber
+        )
     return RepairResult(
         failed=failed,
         replacement=replacement.address if replacement else None,
         trace=trace,
+        keys_recovered=recovered,
     )
 
 
@@ -175,8 +214,13 @@ def _safe_leaf_removal(ghost: BatonPeer) -> bool:
 
 def _remove_dead_leaf(
     net: "BatonNetwork", coordinator: BatonPeer, ghost: BatonPeer
-) -> None:
-    """Drop a dead leaf: its parent absorbs the range; keys are lost."""
+) -> Optional[BatonPeer]:
+    """Drop a dead leaf: its parent absorbs the range.
+
+    Returns the absorbing peer (the caller pulls the dead leaf's replica
+    into it when the replication extension is enabled), or None on the
+    parent-child double-failure path where nothing live absorbs yet.
+    """
     parent = _live_parent(net, ghost)
     if parent is None:
         # Parent-child double failure (§III-C): fold the dead child's slice
@@ -193,12 +237,8 @@ def _remove_dead_leaf(
         from repro.core.restructure import rebuild_after_moves
 
         rebuild_after_moves(net, [coordinator], _live_ghost_linkers(net, ghost))
-        return
+        return None
     parent.range = parent.range.merge(ghost.range)
-    if net.config.replication:
-        from repro.core import replication
-
-        replication.restore_from_replica(net, ghost, parent)
     linkers = _live_ghost_linkers(net, ghost)
     for address in sorted(linkers):
         if address != coordinator.address:
@@ -208,6 +248,7 @@ def _remove_dead_leaf(
     from repro.core.restructure import rebuild_after_moves
 
     rebuild_after_moves(net, [parent], linkers)
+    return parent
 
 
 def _replace_dead_internal(
@@ -254,10 +295,6 @@ def _replace_dead_internal(
     replacement.range = merged_range
     _release_slot(net, ghost)
     net.register_peer(replacement)
-    if net.config.replication:
-        from repro.core import replication
-
-        replication.restore_from_replica(net, ghost, replacement)
 
     for address in sorted(pre_links):
         if address in net.peers and address != coordinator.address:

@@ -29,6 +29,11 @@ class BatonPeer:
         #: Mirrored stores of other peers (replication extension; keyed by
         #: the owner's address).  Empty unless ``BatonConfig.replication``.
         self.replicas: dict[Address, list[int]] = {}
+        #: Where this peer's own mirror was last anchored (replication
+        #: extension).  Write-throughs follow the anchor while it is live;
+        #: a replica refresh re-anchors at the current adjacent and cleans
+        #: the old anchor, so stale mirrors never accumulate.
+        self.replica_anchor: Optional[Address] = None
         self.parent: Optional[NodeInfo] = None
         self.left_child: Optional[NodeInfo] = None
         self.right_child: Optional[NodeInfo] = None

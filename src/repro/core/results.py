@@ -98,6 +98,9 @@ class RepairResult:
     failed: Address
     replacement: Optional[Address]
     trace: Trace
+    #: Keys pulled back from the dead peer's replica during repair (0
+    #: unless the replication extension is enabled and a mirror survived).
+    keys_recovered: int = 0
 
 
 @dataclass

@@ -1,0 +1,197 @@
+"""Durability under concurrent churn: keys lost vs. maintenance spent.
+
+The paper's fault-tolerance story (§IV) restores *routing* after a failure
+but treats the dead peer's data as out of scope; the adjacent-replica
+extension (:mod:`repro.core.replication`, DESIGN.md "Durability contract")
+closes that gap.  D3-Tree (Sourla et al.) argues durability under churn
+should be *measured*, not asserted — so this experiment crashes peers while
+queries and inserts are in flight and counts what actually survives.
+
+For each (churn intensity, maintenance interval) cell, a replicated BATON
+network runs the concurrent workload with every departure an abrupt crash;
+crashes are detected and repaired in-window (``repair_delay``), the
+maintenance sweep reconciles links *and* re-anchors replicas, and every
+maintenance message crosses a priced link, so the overhead column is real
+traffic, not bookkeeping.  Reported per cell:
+
+* ``keys_lost`` — keys present after loading (plus applied inserts) that
+  no live peer stores once the run drains and repairs finish;
+* ``recovery_p50`` / ``recovery_max`` — crash-to-repaired latency of
+  in-window repairs, including the detection delay and the sized
+  replica-pull hops;
+* ``reconcile_msgs`` / ``replica_msgs`` — the maintenance traffic spent to
+  earn that durability.
+
+Expected shape: with replication off, every crash loses its store
+(``keys_lost`` grows with churn).  With replication on, serialized crashes
+lose nothing; under concurrency a small residue survives only when crashes
+race the refresh interval (a mirror dies with its holder before
+re-anchoring, or a stale mirror is filtered at restore), so ``keys_lost``
+falls as the maintenance interval shrinks — while ``replica_msgs`` rises.
+That staleness-vs-maintenance-traffic trade-off is the measurement.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Optional
+
+from repro import overlays
+from repro.experiments.harness import (
+    ExperimentResult,
+    ExperimentScale,
+    build_baton,
+    default_scale,
+    loaded_keys,
+    mean,
+)
+from repro.sim.latency import ExponentialLatency
+from repro.util.rng import SeededRng, derive_seed
+from repro.workloads.concurrent import ConcurrentConfig, run_concurrent_workload
+
+EXPECTATION = (
+    "replication=off loses every crashed peer's keys; replication=on loses "
+    "zero keys when crashes are repaired without racing churn and only a "
+    "small residue under concurrency (crashes racing the refresh window); "
+    "shrinking the maintenance interval trades replica/reconcile messages "
+    "for fewer lost keys and lower recovery latency"
+)
+
+CHURN_RATES = (0.5, 2.0)
+MAINTENANCE_INTERVALS = (0.0, 4.0, 16.0)
+QUERY_RATE = 4.0
+INSERT_RATE = 0.5
+REPAIR_DELAY = 2.0
+FAIL_FRACTION = 1.0
+
+
+def run(
+    scale: Optional[ExperimentScale] = None,
+    churn_rates: tuple[float, ...] = CHURN_RATES,
+    maintenance_intervals: tuple[float, ...] = MAINTENANCE_INTERVALS,
+    n_peers: Optional[int] = None,
+    include_baseline: bool = True,
+) -> ExperimentResult:
+    """One row per (replication, churn rate, maintenance interval)."""
+    scale = scale or default_scale()
+    if n_peers is None:
+        n_peers = scale.sizes[0]
+    duration = scale.n_queries / QUERY_RATE
+    result = ExperimentResult(
+        figure="Durability",
+        title=(
+            f"Keys lost vs. maintenance traffic under crash churn "
+            f"(N={n_peers}, fail fraction {FAIL_FRACTION}, "
+            f"repair delay {REPAIR_DELAY})"
+        ),
+        columns=[
+            "replication",
+            "churn_rate",
+            "interval",
+            "crashes",
+            "repairs",
+            "keys_lost",
+            "keys_recovered",
+            "recovery_p50",
+            "recovery_max",
+            "reconcile_msgs",
+            "replica_msgs",
+            "success",
+        ],
+        expectation=EXPECTATION,
+    )
+    modes = [True, False] if include_baseline else [True]
+    for replication in modes:
+        intervals = maintenance_intervals if replication else (0.0,)
+        for churn_rate in churn_rates:
+            for interval in intervals:
+                cells = [
+                    _one_run(
+                        n_peers,
+                        seed,
+                        scale.data_per_node,
+                        churn_rate,
+                        interval,
+                        duration,
+                        replication,
+                    )
+                    for seed in scale.seeds
+                ]
+                result.add_row(
+                    replication=int(replication),
+                    churn_rate=churn_rate,
+                    interval=interval,
+                    crashes=sum(c["crashes"] for c in cells),
+                    repairs=sum(c["repairs"] for c in cells),
+                    keys_lost=sum(c["keys_lost"] for c in cells),
+                    keys_recovered=sum(c["keys_recovered"] for c in cells),
+                    recovery_p50=mean([c["recovery_p50"] for c in cells]),
+                    recovery_max=max(c["recovery_max"] for c in cells),
+                    reconcile_msgs=sum(c["reconcile_msgs"] for c in cells),
+                    replica_msgs=sum(c["replica_msgs"] for c in cells),
+                    success=mean([c["success"] for c in cells]),
+                )
+    return result
+
+
+def _stored_multiset(net) -> Counter:
+    counter: Counter = Counter()
+    for peer in net.peers.values():
+        counter.update(peer.store)
+    return counter
+
+
+def _one_run(
+    n_peers: int,
+    seed: int,
+    data_per_node: int,
+    churn_rate: float,
+    maintenance_interval: float,
+    duration: float,
+    replication: bool,
+) -> dict:
+    net = build_baton(n_peers, seed, data_per_node, replication=replication)
+    if replication:
+        net.refresh_replicas()  # anchor every mirror before the storm
+    rng = SeededRng(derive_seed(seed, "durability"))
+    anet = overlays.get("baton").wrap(
+        net, latency=ExponentialLatency(mean=1.0, rng=rng.child("latency"))
+    )
+    keys = loaded_keys(n_peers, data_per_node, seed)
+    before = _stored_multiset(net)
+    config = ConcurrentConfig(
+        duration=duration,
+        churn_rate=churn_rate,
+        query_rate=QUERY_RATE,
+        insert_rate=INSERT_RATE,
+        fail_fraction=FAIL_FRACTION,
+        repair_delay=REPAIR_DELAY,
+        maintenance_interval=maintenance_interval,
+        min_peers=max(8, n_peers // 2),
+    )
+    report = run_concurrent_workload(
+        anet, keys, config, seed=derive_seed(seed, "durability-driver")
+    )
+    expected = before + Counter(report.insert_keys_applied)
+    keys_lost = sum((expected - _stored_multiset(net)).values())
+    return {
+        "crashes": report.fails_applied,
+        "repairs": report.repairs_applied,
+        "keys_lost": keys_lost,
+        "keys_recovered": report.keys_recovered,
+        "recovery_p50": report.recovery_latency_p50,
+        "recovery_max": report.recovery_latency_max,
+        "reconcile_msgs": report.reconcile_messages,
+        "replica_msgs": report.replica_messages,
+        "success": report.query_success_rate,
+    }
+
+
+def main() -> ExperimentResult:
+    result = run()
+    print(result.to_text())
+    return result
+
+
+if __name__ == "__main__":
+    main()

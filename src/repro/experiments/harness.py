@@ -138,6 +138,7 @@ def build_baton(
     data_per_node: int,
     balance_enabled: bool = False,
     capacity: Optional[int] = None,
+    replication: bool = False,
 ) -> BatonNetwork:
     """A BATON overlay grown around its data.
 
@@ -151,7 +152,8 @@ def build_baton(
         balance=LoadBalanceConfig(
             capacity=capacity or max(4 * data_per_node, 16),
             enabled=balance_enabled,
-        )
+        ),
+        replication=replication,
     )
     net = BatonNetwork(config=config, seed=seed)
     root = net.bootstrap()

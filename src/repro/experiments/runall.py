@@ -17,6 +17,7 @@ from typing import List
 from repro.experiments import harness
 from repro.experiments import (
     concurrent_dynamics,
+    durability,
     fig8a_join_leave_find,
     fig8b_table_updates,
     fig8c_insert_delete,
@@ -68,6 +69,15 @@ def run_all(scale=None, quick: bool = False) -> List[ExperimentResult]:
     )
     inter_delays = (1.0, 10.0) if quick else hetero_links.INTER_DELAYS
     results.append(hetero_links.run(scale, inter_delays=inter_delays))
+    durability_churn = (1.0,) if quick else durability.CHURN_RATES
+    durability_intervals = (0.0, 6.0) if quick else durability.MAINTENANCE_INTERVALS
+    results.append(
+        durability.run(
+            scale,
+            churn_rates=durability_churn,
+            maintenance_intervals=durability_intervals,
+        )
+    )
     return results
 
 

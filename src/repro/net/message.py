@@ -52,8 +52,12 @@ class MsgType(enum.Enum):
     #: Replies carrying requested information back to an asker.
     RESPONSE = "response"
     #: Replica maintenance (the data-durability extension; not in the
-    #: paper, see DESIGN.md "extensions").
+    #: paper, see DESIGN.md "Durability contract").
     REPLICATE = "replicate"
+    #: Anti-entropy digest exchange during a ``reconcile()`` maintenance
+    #: sweep (one message per peer per round — the modeled cost of the
+    #: map-based link rebuild; see DESIGN.md "Durability contract").
+    RECONCILE = "reconcile"
 
 
 _message_ids = itertools.count(1)

@@ -36,6 +36,12 @@ from repro.overlays.protocol import (
 from repro.overlays.registry import OverlayEntry, available, get, register
 from repro.sim.runtime import AsyncBatonNetwork, AsyncOverlayRuntime
 
+def _replicated_baton_config():
+    from repro.core.network import BatonConfig
+
+    return BatonConfig(replication=True)
+
+
 register(
     OverlayEntry(
         name="baton",
@@ -45,6 +51,7 @@ register(
         ),
         network_cls=AsyncBatonNetwork.network_cls,
         runtime_cls=AsyncBatonNetwork,
+        replicated_config=_replicated_baton_config,
     )
 )
 register(

@@ -3,16 +3,31 @@
 Experiments, the CLI, benchmarks and the concurrent workload driver all
 select overlays by name — ``overlays.get("baton")`` — so adding a fourth
 overlay is one :func:`register` call, not a sweep through every harness.
+
+Each entry **advertises** what its overlay can do (DESIGN.md, "The
+``Overlay`` protocol"): the ``capabilities`` set — ``fail`` / ``repair`` /
+``balance`` / ``reconcile`` / ``replication`` — comes straight from the
+runtime class and is never stubbed with no-ops.  Harnesses that need an
+optional feature check the entry (or ``runtime.supports(...)``) and asking
+an overlay for a feature it does not advertise raises
+:class:`~repro.util.errors.CapabilityError` — so a comparison can never
+silently measure a missing feature.  The same honesty applies to the
+data-durability extension (DESIGN.md, "Durability contract"):
+``build_async(..., replication=True)`` only works for entries advertising
+``replication`` and registered with a ``replicated_config`` factory —
+today that is BATON alone; Chord and the multiway baseline refuse rather
+than pretend.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.sim.latency import LatencyModel
 from repro.sim.runtime import AsyncOverlayRuntime
 from repro.sim.topology import Topology
+from repro.util.errors import CapabilityError
 
 
 @dataclass(frozen=True)
@@ -23,6 +38,10 @@ class OverlayEntry:
     description: str
     network_cls: type
     runtime_cls: type
+    #: Builds a network config with data replication turned on, for
+    #: overlays that advertise the ``replication`` capability (None
+    #: everywhere else — the capability check refuses first).
+    replicated_config: Optional[Callable[[], object]] = None
 
     @property
     def capabilities(self) -> frozenset:
@@ -40,13 +59,31 @@ class OverlayEntry:
         *,
         latency: Optional[LatencyModel] = None,
         topology: Optional[Topology] = None,
+        replication: bool = False,
         **kwargs,
     ) -> AsyncOverlayRuntime:
         """Grow a synchronous network and wrap it for concurrent traffic.
 
         ``topology`` selects the per-link transport model; ``latency`` is
         the historical spelling for the scalar (single-region) case.
+        ``replication=True`` turns on the data-durability extension and is
+        refused (:class:`CapabilityError`) by overlays that do not
+        advertise the capability.
         """
+        if replication:
+            if (
+                "replication" not in self.capabilities
+                or self.replicated_config is None
+            ):
+                raise CapabilityError(
+                    f"the {self.name} overlay does not support replication"
+                )
+            if kwargs.get("config") is not None:
+                raise ValueError(
+                    "pass either config= or replication=True, not both "
+                    "(set replication on your config instead)"
+                )
+            kwargs["config"] = self.replicated_config()
         return self.runtime_cls.build(
             n_peers, seed=seed, latency=latency, topology=topology, **kwargs
         )

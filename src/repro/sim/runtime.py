@@ -54,6 +54,7 @@ from typing import Callable, ClassVar, Generator, List, Optional, Set
 
 from repro.core import balance as balance_protocol
 from repro.core import data as data_protocol
+from repro.core import failure as failure_protocol
 from repro.core import join as join_protocol
 from repro.core import leave as leave_protocol
 from repro.core import search as search_protocol
@@ -243,6 +244,17 @@ class AsyncOverlayRuntime:
         """Whether this overlay implements an optional capability."""
         return capability in self.capabilities
 
+    @property
+    def replication_enabled(self) -> bool:
+        """Whether the wrapped network is actually mirroring data (the
+        ``replication`` capability says it *can*; this says the run's
+        config turned it on)."""
+        return False
+
+    def pending_repairs(self) -> List[Address]:
+        """Crashed peers awaiting repair (empty where unsupported)."""
+        return []
+
     def run(self, max_events: Optional[int] = None) -> int:
         """Advance the simulator; returns the number of events executed."""
         return self.sim.run(max_events)
@@ -255,7 +267,8 @@ class AsyncOverlayRuntime:
         return self.sim.run()
 
     def reconcile(self) -> int:
-        """Anti-entropy sweep; overlays without one return 0."""
+        """Anti-entropy sweep; returns the number of maintenance messages
+        spent (overlays without a sweep return 0)."""
         return 0
 
     def repair_all(self) -> List[RepairResult]:
@@ -321,6 +334,40 @@ class AsyncOverlayRuntime:
         self._launch(future, self._fail_steps(future, address))
         return future
 
+    def submit_repair(self, address: Address) -> OpFuture:
+        """Submit the repair of a crashed peer as a priced operation.
+
+        The structural surgery runs atomically in the operation's first
+        protocol segment; with replication enabled, the replica pull that
+        restores the dead peer's keys follows as sized hops, so the
+        future's latency is the crash's *data recovery* time.
+        """
+        if not self.supports("repair"):
+            raise CapabilityError(
+                f"the {self.overlay_name} overlay does not support repair"
+            )
+        future = self._new_future("repair")
+        self._launch(future, self._repair_steps(future, address))
+        return future
+
+    def submit_replica_refresh(self) -> List[OpFuture]:
+        """Submit one replica-refresh operation per live peer.
+
+        All refreshes are in flight at once (each is an independent
+        one-hop bulk transfer from a peer to its current adjacent), so a
+        sweep costs one round of sized messages, not a serial walk.
+        """
+        if not self.supports("replication"):
+            raise CapabilityError(
+                f"the {self.overlay_name} overlay does not support replication"
+            )
+        futures: List[OpFuture] = []
+        for address in self.net.addresses():
+            future = self._new_future("replica.refresh")
+            self._launch(future, self._replica_refresh_steps(future, address))
+            futures.append(future)
+        return futures
+
     def leave_candidates(self) -> List[Address]:
         """Live addresses with no leave currently in flight."""
         return [
@@ -384,6 +431,12 @@ class AsyncOverlayRuntime:
         raise NotImplementedError
 
     def _fail_steps(self, future: OpFuture, address: Address) -> OpSteps:
+        raise NotImplementedError
+
+    def _repair_steps(self, future: OpFuture, address: Address) -> OpSteps:
+        raise NotImplementedError
+
+    def _replica_refresh_steps(self, future: OpFuture, address: Address) -> OpSteps:
         raise NotImplementedError
 
     # -- bookkeeping ----------------------------------------------------------
@@ -501,6 +554,13 @@ class AsyncBatonNetwork(AsyncOverlayRuntime):
     def domain(self) -> Range:
         return self.net.config.domain
 
+    @property
+    def replication_enabled(self) -> bool:
+        return bool(self.net.config.replication)
+
+    def pending_repairs(self) -> List[Address]:
+        return sorted(self.net.ghosts)
+
     def reconcile(self) -> int:
         """One anti-entropy round: refresh every peer's links to ground truth.
 
@@ -509,25 +569,69 @@ class AsyncBatonNetwork(AsyncOverlayRuntime):
         entries) can be stale in ways the synchronous protocols never
         produce — a real deployment runs a periodic maintenance sweep for
         exactly this reason.  Like the restructuring link rebuild this
-        substitutes the position map for the peer-to-peer exchange (the
-        documented cost-model substitution; compare ``bulk_load``), so no
-        messages are counted.  Returns the number of peers refreshed.
+        substitutes the position map for the peer-to-peer exchange
+        (the documented cost-model substitution; compare ``bulk_load``),
+        but the traffic is no longer free: each refreshed peer is charged
+        one RECONCILE digest message to a live neighbour — the modeled
+        cost of the exchange (DESIGN.md, "Durability contract") — so
+        maintenance traffic is a first-class, sweepable metric.  Returns
+        the number of messages spent.
         """
         from repro.core import restructure as restructure_protocol
 
         cache: dict = {}
         include_ghosts = bool(self.net.ghosts)
-        for peer in self.net.peers.values():
+        messages = 0
+        for peer in list(self.net.peers.values()):
+            partner = self._reconcile_partner(peer)
+            if partner is not None:
+                self.net.count_message(peer.address, partner, MsgType.RECONCILE)
+                messages += 1
             restructure_protocol.refresh_links_from_map(
                 self.net, peer, cache, include_ghosts=include_ghosts
             )
-        return len(self.net.peers)
+        return messages
+
+    def _reconcile_partner(self, peer) -> Optional[Address]:
+        """A live neighbour to exchange the reconcile digest with."""
+        for info in (
+            peer.parent,
+            peer.left_adjacent,
+            peer.right_adjacent,
+            peer.left_child,
+            peer.right_child,
+        ):
+            if info is not None and info.address in self.net.peers:
+                return info.address
+        return None
 
     def repair_all(self) -> List[RepairResult]:
-        """Run the §III-C repair for every peer that crashed abruptly."""
-        if not self.net.ghosts:
-            return []
-        return self.net.repair_all()
+        """Run the §III-C repair for every outstanding crash, priced.
+
+        Mirrors the synchronous retry-in-passes logic
+        (:meth:`~repro.core.network.BatonNetwork.repair_all`), but each
+        repair goes through :meth:`submit_repair` and the simulator, so
+        replica pulls cross priced links as sized hops.  Drains the
+        simulator between repairs; callers invoke this at quiescence.
+        """
+        results: List[RepairResult] = []
+        passes = 0
+        while self.net.ghosts and passes < len(self.net.ghosts) + 8:
+            passes += 1
+            progress = False
+            for address in sorted(self.net.ghosts):
+                if address not in self.net.ghosts:
+                    continue
+                future = self.submit_repair(address)
+                self.drain()
+                if future.succeeded and future.result is not None:
+                    results.append(future.result)
+                    progress = True
+            if not progress:
+                raise ProtocolError(
+                    f"repairs deadlocked on ghosts {sorted(self.net.ghosts)}"
+                )
+        return results
 
     # -- update-sink plumbing -------------------------------------------------
 
@@ -682,15 +786,23 @@ class AsyncBatonNetwork(AsyncOverlayRuntime):
             if net.config.replication:
                 from repro.core import replication
 
-                replication.replicate_insert(net, owner, key)
+                # The write-through is a priced hop of its own: the insert
+                # future completes only once the mirror is confirmed.
+                yield from self._lift(
+                    replication.replicate_insert_steps(net, owner, key)
+                )
         else:
             applied = owner.store.delete(key)
             if applied and net.config.replication:
                 from repro.core import replication
 
-                replication.replicate_delete(net, owner, key)
+                yield from self._lift(
+                    replication.replicate_delete_steps(net, owner, key)
+                )
         result = DataOpResult(applied=applied, owner=owner_address, trace=future.trace)
-        if mtype is MsgType.INSERT:
+        if mtype is MsgType.INSERT and owner_address in net.peers:
+            # (The owner can vanish during the replicate hop; a dead peer
+            # has no load left to balance.)
             outcome = balance_protocol.maybe_balance(net, owner_address)
             if outcome is not None:
                 result.balance_trace = outcome.trace
@@ -869,3 +981,25 @@ class AsyncBatonNetwork(AsyncOverlayRuntime):
             self.net.fail(address)
             return address
         return None
+
+    def _repair_steps(self, future: OpFuture, address: Address) -> OpSteps:
+        net = self.net
+        yield Hop(None, address)  # the failure report reaches the coordinator
+        if address not in net.ghosts:
+            return None  # already repaired (or never actually crashed)
+        result = yield from self._lift(
+            failure_protocol.repair_steps(net, address, future.trace)
+        )
+        net.stats.repairs += 1
+        return result
+
+    def _replica_refresh_steps(self, future: OpFuture, address: Address) -> OpSteps:
+        from repro.core import replication
+
+        net = self.net
+        if not net.config.replication:
+            return 0
+        peer = net.peers.get(address)
+        if peer is None:
+            return 0  # vanished between submission rounds
+        return (yield from self._lift(replication.refresh_peer_steps(net, peer)))

@@ -13,15 +13,27 @@ The contract (see DESIGN.md, "Transport contract"):
 
 * Protocol walks declare every hop as a :class:`Hop` — which pair of peers
   the message travels between, and how big it is.  ``src=None`` marks a
-  client-ingress hop (the request entering the overlay from outside).
+  client-ingress hop (the request entering the overlay from outside);
+  ``src == dst`` marks a local beat, charged as the cheapest link and
+  never free.
 * ``sample(src, dst, size=...)`` is the **only** transport entry point; the
   old arg-less scalar draw is gone.  Scalar models
   (:class:`~repro.sim.latency.LatencyModel`) survive as degenerate
   single-region topologies whose delay ignores the link.
+* ``size`` is an honest payload measure: only hops that genuinely carry
+  bulk data are sized — a departing node's key handover, a replica
+  refresh or repair-time replica pull (DESIGN.md, "Durability contract")
+  — and topologies without a bandwidth term ignore it rather than invent
+  one.  Routing chatter is never sized to make a topology look busier.
 * Placements derive deterministically from ``(topology seed, address)``, so
   a peer's location never depends on the order links are first used, and
   two topologies built from the same seed produce identical delays for
   identical call sequences.
+
+Maintenance traffic crosses these links like everything else: table
+refreshes, reconcile digests and replication upkeep are all priced per
+link, which is what makes the staleness-vs-maintenance-traffic trade-off
+(`experiments/durability.py`) measurable instead of asserted.
 """
 
 from __future__ import annotations

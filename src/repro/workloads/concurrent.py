@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.ranges import Range
+from repro.net.message import MsgType
 from repro.sim.runtime import AsyncOverlayRuntime, OpFuture
 from repro.util.rng import SeededRng
 
@@ -58,8 +59,16 @@ class ConcurrentConfig:
     #: Run an anti-entropy ``reconcile()`` sweep every this many simulated
     #: time units *during* the window (0 disables; overlays without the
     #: ``reconcile`` capability never sweep).  Without it, staleness only
-    #: drains at the end of the run.
+    #: drains at the end of the run.  On runtimes with replication turned
+    #: on, every sweep also submits a replica-refresh round (one sized
+    #: message per peer), so the sweep interval is the durability
+    #: staleness bound the durability experiment measures.
     maintenance_interval: float = 0.0
+    #: Detection delay for in-window repair: each crash is followed by a
+    #: ``submit_repair`` this many time units later (0 keeps the
+    #: historical behaviour — crashes are repaired only after the run
+    #: drains).  Only on overlays with the ``repair`` capability.
+    repair_delay: float = 0.0
 
     def __post_init__(self) -> None:
         for name in ("churn_rate", "query_rate", "insert_rate"):
@@ -72,6 +81,8 @@ class ConcurrentConfig:
             raise ValueError("duration must be positive")
         if self.maintenance_interval < 0:
             raise ValueError("maintenance_interval cannot be negative")
+        if self.repair_delay < 0:
+            raise ValueError("repair_delay cannot be negative")
 
 
 @dataclass
@@ -108,6 +119,23 @@ class ConcurrentReport:
     skipped_departures: int = 0
     #: In-window anti-entropy sweeps run (``maintenance_interval`` knob).
     reconcile_sweeps: int = 0
+    #: Maintenance traffic: messages spent by every ``reconcile()`` call
+    #: (in-window sweeps plus the end-of-run pass) and by replication
+    #: upkeep (write-throughs, refresh rounds, repair-time pulls).
+    reconcile_messages: int = 0
+    replica_messages: int = 0
+    #: Replica-refresh rounds submitted by the maintenance sweep.
+    replica_refresh_sweeps: int = 0
+    #: In-window repairs (``repair_delay`` knob) and what they recovered.
+    repairs_applied: int = 0
+    keys_recovered: int = 0
+    #: Crash-to-repaired time for in-window repairs (includes the
+    #: detection delay and the priced replica-pull hops).
+    recovery_latency_p50: float = 0.0
+    recovery_latency_max: float = 0.0
+    #: Keys of inserts that were applied, so durability experiments can
+    #: compute the expected key population without re-deriving arrivals.
+    insert_keys_applied: List[int] = field(default_factory=list)
 
     @property
     def query_total(self) -> int:
@@ -146,10 +174,24 @@ class ConcurrentReport:
             f"messages: {self.messages_total} total, "
             f"{self.messages_per_query:.2f} per query",
         ]
-        if self.reconcile_sweeps:
+        if self.reconcile_sweeps or self.reconcile_messages:
             lines.append(
-                f"maintenance: {self.reconcile_sweeps} in-window reconcile sweep(s)"
+                f"maintenance: {self.reconcile_sweeps} in-window reconcile "
+                f"sweep(s), {self.reconcile_messages} reconcile msgs, "
+                f"{self.replica_refresh_sweeps} replica refresh round(s), "
+                f"{self.replica_messages} replica msgs"
             )
+        if self.repairs_applied or self.keys_recovered:
+            line = (
+                f"durability: {self.repairs_applied} in-window repair(s), "
+                f"{self.keys_recovered} keys recovered"
+            )
+            if self.repairs_applied:
+                line += (
+                    f", recovery p50/max {self.recovery_latency_p50:.2f}/"
+                    f"{self.recovery_latency_max:.2f}"
+                )
+            lines.append(line)
         if self.skipped_departures:
             lines.append(
                 f"note: {self.skipped_departures} departures skipped "
@@ -189,15 +231,52 @@ def run_concurrent_workload(
     report = ConcurrentReport(duration=config.duration)
     futures: List[OpFuture] = []
     query_futures: List[OpFuture] = []
+    recovery_latencies: List[float] = []
     start_messages = anet.bus.stats.total
+    start_replica_messages = anet.bus.stats.by_type[MsgType.REPLICATE]
     start_time = anet.sim.now
     horizon = start_time + config.duration  # the clock may not start at zero
+    repair_in_window = config.repair_delay > 0 and anet.supports("repair")
 
     def note(kind: str, future: Optional[OpFuture]) -> None:
         if future is None:
             return
         report.submitted[kind] = report.submitted.get(kind, 0) + 1
         futures.append(future)
+
+    def schedule_repair(fail_future: OpFuture) -> None:
+        """After a crash lands, detect and repair it ``repair_delay`` later."""
+        if not fail_future.succeeded or fail_future.result is None:
+            return
+        crashed = fail_future.result
+        crashed_at = anet.sim.now
+
+        def attempt(tries_left: int) -> None:
+            if crashed not in anet.pending_repairs():
+                return  # another repair already absorbed it
+            repair_future = anet.submit_repair(crashed)
+            note("repair", repair_future)
+
+            def settle(done: OpFuture) -> None:
+                if done.succeeded and done.result is not None:
+                    report.repairs_applied += 1
+                    report.keys_recovered += done.result.keys_recovered
+                    recovery_latencies.append(done.completed_at - crashed_at)
+                elif tries_left > 0:
+                    # Blocked (for example on another unrepaired ghost):
+                    # back off one detection delay and retry; anything
+                    # still broken is swept up by the end-of-run repair.
+                    anet.sim.schedule(
+                        config.repair_delay,
+                        lambda: attempt(tries_left - 1),
+                        label="repair-retry",
+                    )
+
+            repair_future.add_done_callback(settle)
+
+        anet.sim.schedule(
+            config.repair_delay, lambda: attempt(3), label="repair-detect"
+        )
 
     def submit_churn(stream: SeededRng) -> None:
         if stream.random() < config.join_fraction:
@@ -213,7 +292,10 @@ def run_concurrent_workload(
             and anet.supports("fail")
             and stream.random() < config.fail_fraction
         ):
-            note("fail", anet.submit_fail(victim))
+            fail_future = anet.submit_fail(victim)
+            note("fail", fail_future)
+            if repair_in_window:
+                fail_future.add_done_callback(schedule_repair)
         else:
             note("leave", anet.submit_leave(victim))
 
@@ -234,7 +316,15 @@ def run_concurrent_workload(
         query_futures.append(futures[-1])
 
     def submit_insert(stream: SeededRng) -> None:
-        note("insert", anet.submit_insert(stream.randint(domain.low, domain.high - 1)))
+        key = stream.randint(domain.low, domain.high - 1)
+        future = anet.submit_insert(key)
+        note("insert", future)
+
+        def record(done: OpFuture) -> None:
+            if done.succeeded and done.result.applied:
+                report.insert_keys_applied.append(key)
+
+        future.add_done_callback(record)
 
     def arrivals(label: str, rate: float, submit_one) -> None:
         """Schedule a Poisson stream of submissions until the horizon."""
@@ -258,10 +348,15 @@ def run_concurrent_workload(
 
     if config.maintenance_interval > 0 and anet.supports("reconcile"):
         # Periodic in-window anti-entropy: staleness is bounded by the
-        # sweep interval instead of accumulating until the drain.
+        # sweep interval instead of accumulating until the drain.  On
+        # replicated runtimes each sweep also re-anchors every peer's
+        # mirror (a round of sized, priced refresh messages).
         def sweep() -> None:
-            anet.reconcile()
+            report.reconcile_messages += anet.reconcile()
             report.reconcile_sweeps += 1
+            if anet.replication_enabled:
+                anet.submit_replica_refresh()
+                report.replica_refresh_sweeps += 1
             if anet.sim.now + config.maintenance_interval <= horizon:
                 anet.sim.schedule(
                     config.maintenance_interval, sweep, label="maintenance"
@@ -272,9 +367,10 @@ def run_concurrent_workload(
 
     anet.drain()
     if repair_at_end:
-        anet.repair_all()
+        for result in anet.repair_all():
+            report.keys_recovered += result.keys_recovered
     if reconcile_at_end:
-        anet.reconcile()
+        report.reconcile_messages += anet.reconcile()
 
     report.duration = anet.sim.now - start_time
     report.max_in_flight = anet.max_in_flight
@@ -295,6 +391,12 @@ def run_concurrent_workload(
             report.fails_applied += 1
 
     report.transit_time_total = sum(f.transit for f in futures)
+    report.replica_messages = (
+        anet.bus.stats.by_type[MsgType.REPLICATE] - start_replica_messages
+    )
+    if recovery_latencies:
+        report.recovery_latency_p50 = percentile(recovery_latencies, 0.50)
+        report.recovery_latency_max = max(recovery_latencies)
     latencies: List[float] = []
     transits: List[float] = []
     for future in query_futures:

@@ -66,3 +66,35 @@ class TestCommands:
         assert main(["concurrent", "--peers", "10", "--inter-delay", "9"]) == 2
         err = capsys.readouterr().err
         assert "--topology clustered" in err
+
+    def test_concurrent_replication_runs(self, capsys):
+        assert (
+            main(
+                [
+                    "concurrent",
+                    "--peers", "20",
+                    "--keys", "100",
+                    "--duration", "8",
+                    "--churn-rate", "0.4",
+                    "--query-rate", "2",
+                    "--fail-fraction", "1.0",
+                    "--replication",
+                    "--repair-delay", "2",
+                    "--maintenance-interval", "4",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "replica" in out
+
+    def test_replication_rejected_without_capability(self, capsys):
+        assert main(["concurrent", "--overlay", "chord", "--replication"]) == 2
+        err = capsys.readouterr().err
+        assert "replication" in err
+
+    def test_durability_subcommand_runs(self, capsys):
+        assert main(["durability", "--quick", "--peers", "24"]) == 0
+        out = capsys.readouterr().out
+        assert "Durability" in out
+        assert "keys_lost" in out

@@ -117,3 +117,67 @@ class TestDriver:
         text = "\n".join(report.summary_lines())
         assert "query success rate" in text
         assert "p50/p90/p99" in text
+
+
+class TestDurabilityReporting:
+    def replicated_run(self, seed: int = 7, **config_kwargs):
+        from repro.core.network import BatonConfig
+
+        anet = AsyncBatonNetwork(
+            BatonNetwork.build(
+                60, seed=1, config=BatonConfig(replication=True)
+            ),
+            latency=ExponentialLatency(1.0, SeededRng(seed).child("latency")),
+        )
+        keys = uniform_keys(600, seed=2)
+        anet.net.bulk_load(keys)
+        anet.net.refresh_replicas()
+        defaults = dict(
+            duration=30.0,
+            churn_rate=0.8,
+            query_rate=4.0,
+            insert_rate=0.5,
+            fail_fraction=1.0,
+            repair_delay=2.0,
+            maintenance_interval=5.0,
+            min_peers=30,
+        )
+        defaults.update(config_kwargs)
+        config = ConcurrentConfig(**defaults)
+        report = run_concurrent_workload(anet, keys, config, seed=seed)
+        return anet, report
+
+    def test_maintenance_traffic_is_counted(self):
+        _anet, report = self.replicated_run()
+        assert report.reconcile_sweeps > 0
+        assert report.reconcile_messages > 0
+        assert report.replica_refresh_sweeps == report.reconcile_sweeps
+        assert report.replica_messages > 0
+        assert "reconcile msgs" in "\n".join(report.summary_lines())
+
+    def test_in_window_repairs_report_recovery(self):
+        anet, report = self.replicated_run()
+        if report.fails_applied:
+            assert report.submitted.get("repair", 0) > 0
+            assert report.repairs_applied > 0
+            assert report.recovery_latency_max >= report.recovery_latency_p50
+            assert report.recovery_latency_p50 > 0
+        assert not anet.net.ghosts  # end-of-run repair swept any leftovers
+
+    def test_insert_keys_recorded_for_durability_accounting(self):
+        _anet, report = self.replicated_run()
+        applied = report.submitted.get("insert", 0)
+        assert len(report.insert_keys_applied) <= applied
+        if applied:
+            assert len(report.insert_keys_applied) > 0
+
+    def test_repair_delay_validated(self):
+        with pytest.raises(ValueError):
+            ConcurrentConfig(repair_delay=-0.5)
+
+    def test_deterministic_with_durability_features(self):
+        first_anet, first = self.replicated_run()
+        second_anet, second = self.replicated_run()
+        assert first_anet.event_log == second_anet.event_log
+        assert first.keys_recovered == second.keys_recovered
+        assert first.reconcile_messages == second.reconcile_messages

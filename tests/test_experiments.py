@@ -185,3 +185,26 @@ class TestHarness:
         default = harness.default_scale()
         assert max(quick.sizes) < max(default.sizes)
         assert "sizes" in default.label
+
+
+class TestDurability:
+    def test_replication_cuts_key_loss(self, scale):
+        from repro.experiments import durability
+
+        result = durability.run(
+            scale, churn_rates=(2.0,), maintenance_intervals=(0.0, 6.0)
+        )
+        replicated = [row for row in result.rows if row["replication"]]
+        bare = [row for row in result.rows if not row["replication"]]
+        assert len(replicated) == 2 and len(bare) == 1
+        # Replication never loses more than the bare network forfeits, and
+        # whatever it saved shows up as recovered keys.
+        for row in replicated:
+            assert row["keys_lost"] <= bare[0]["keys_lost"]
+        if bare[0]["crashes"]:
+            assert bare[0]["keys_lost"] > 0  # the gap the extension closes
+            assert sum(r["keys_recovered"] for r in replicated) > 0
+        # Maintenance traffic is priced and counted, never free.
+        assert all(r["replica_msgs"] > 0 for r in replicated)
+        assert all(r["replica_msgs"] == 0 for r in bare)
+        assert all(r["reconcile_msgs"] > 0 for r in result.rows)

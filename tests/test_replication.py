@@ -1,4 +1,11 @@
-"""Tests for the adjacent-replica durability extension."""
+"""Tests for the adjacent-replica durability extension.
+
+Covers the synchronous write-through/refresh/restore protocol and the
+async path the event-driven runtime lifts from the same step generators:
+serialized equivalence (same messages, same mirrors, same survivors as the
+synchronous network), sized refresh hops under a clustered topology, and
+the zero-key-loss guarantee for serialized crash+repair runs.
+"""
 
 from collections import Counter
 
@@ -6,6 +13,9 @@ import pytest
 
 from repro.core import BatonConfig, BatonNetwork, check_invariants
 from repro.core import replication
+from repro.sim.latency import ConstantLatency
+from repro.sim.runtime import AsyncBatonNetwork
+from repro.sim.topology import ClusteredTopology
 from repro.workloads.generators import uniform_keys
 
 
@@ -19,6 +29,23 @@ def stored_multiset(net: BatonNetwork) -> Counter:
     for peer in net.peers.values():
         counter.update(peer.store)
     return counter
+
+
+def mirrored_multiset(net: BatonNetwork) -> Counter:
+    counter: Counter = Counter()
+    for peer in net.peers.values():
+        for mirror in peer.replicas.values():
+            counter.update(mirror)
+    return counter
+
+
+def replicated_async(
+    n_peers=30, seed=3, topology=None
+) -> AsyncBatonNetwork:
+    net = replicated_net(n_peers=n_peers, seed=seed)
+    if topology is None:
+        topology = ConstantLatency(1.0)
+    return AsyncBatonNetwork(net, topology=topology)
 
 
 class TestWriteThrough:
@@ -125,3 +152,242 @@ class TestRecovery:
         net.repair(victim)
         for key in lost:
             assert net.search_exact(key).found, key
+
+
+class TestAsyncSerializedEquivalence:
+    """The async replication path vs. the synchronous network.
+
+    With constant latency and one operation in flight at a time, the
+    lifted step generators send exactly the messages the synchronous
+    protocol sends and leave identical stores and mirrors behind.
+    """
+
+    def test_insert_delete_match_sync(self):
+        sync = replicated_net(n_peers=40, seed=5)
+        anet = replicated_async(n_peers=40, seed=5)
+        keys = uniform_keys(30, seed=8)
+        for key in keys:
+            expected = sync.insert(key)
+            future = anet.submit_insert(key)
+            anet.drain()
+            assert future.succeeded
+            assert future.trace.total == expected.trace.total
+        for key in keys[::3]:
+            expected = sync.delete(key)
+            future = anet.submit_delete(key)
+            anet.drain()
+            assert future.succeeded
+            assert future.result.applied is expected.applied
+            assert future.trace.total == expected.trace.total
+        assert stored_multiset(anet.net) == stored_multiset(sync)
+        assert mirrored_multiset(anet.net) == mirrored_multiset(sync)
+        assert anet.bus.stats.total == sync.bus.stats.total
+
+    def test_refresh_matches_sync(self):
+        sync = replicated_net(n_peers=30, seed=9)
+        anet = replicated_async(n_peers=30, seed=9)
+        keys = uniform_keys(200, seed=4)
+        sync.bulk_load(keys)
+        anet.net.bulk_load(keys)
+        sync_messages = sync.refresh_replicas()
+        futures = anet.submit_replica_refresh()
+        anet.drain()
+        assert all(f.succeeded for f in futures)
+        assert sum(f.result for f in futures) == sync_messages
+        assert mirrored_multiset(anet.net) == mirrored_multiset(sync)
+        assert mirrored_multiset(anet.net) == stored_multiset(anet.net)
+
+    def test_crash_repair_loses_zero_keys(self):
+        """Acceptance: a serialized crash+repair run loses zero keys."""
+        anet = replicated_async(n_peers=40, seed=7)
+        for key in uniform_keys(300, seed=2):
+            future = anet.submit_insert(key)
+            anet.drain()
+            assert future.succeeded
+        before = stored_multiset(anet.net)
+        for seed_step, victim_rank in enumerate((0, 7, 3)):
+            victim = sorted(anet.net.peers)[victim_rank]
+            fail_future = anet.submit_fail(victim)
+            anet.drain()
+            assert fail_future.succeeded
+            results = anet.repair_all()
+            assert results and results[-1].failed == victim
+            check_invariants(anet.net)
+            assert stored_multiset(anet.net) == before, f"step {seed_step}"
+
+    def test_crash_repair_matches_sync_messages(self):
+        sync = replicated_net(n_peers=40, seed=11)
+        anet = replicated_async(n_peers=40, seed=11)
+        keys = uniform_keys(200, seed=3)
+        for key in keys:
+            sync.insert(key)
+            anet.submit_insert(key)
+            anet.drain()
+        victim = sorted(sync.peers)[5]
+        assert sorted(anet.net.peers)[5] == victim
+        sync.fail(victim)
+        fail_future = anet.submit_fail(victim)
+        anet.drain()
+        assert fail_future.succeeded
+        sync_base = sync.bus.stats.total
+        async_base = anet.bus.stats.total
+        sync_results = sync.repair_all()
+        async_results = anet.repair_all()
+        assert len(sync_results) == len(async_results) == 1
+        assert (
+            sync.bus.stats.total - sync_base
+            == anet.bus.stats.total - async_base
+        )
+        assert (
+            async_results[0].keys_recovered == sync_results[0].keys_recovered
+        )
+        assert stored_multiset(anet.net) == stored_multiset(sync)
+
+
+class TestAsyncRepairPricing:
+    def test_repair_future_reports_recovery_latency(self):
+        anet = replicated_async(n_peers=30, seed=13)
+        for key in uniform_keys(150, seed=5):
+            anet.submit_insert(key)
+            anet.drain()
+        victim = max(
+            anet.net.peers, key=lambda a: len(anet.net.peers[a].store)
+        )
+        assert len(anet.net.peers[victim].store) > 0
+        anet.submit_fail(victim)
+        anet.drain()
+        future = anet.submit_repair(victim)
+        anet.drain()
+        assert future.succeeded
+        assert future.result.keys_recovered > 0
+        assert future.latency is not None and future.latency > 0
+        assert future.transit > 0
+
+    def test_replica_pull_pays_for_size(self):
+        """The repair-time replica pull is a sized hop: more keys, more time."""
+        latencies = {}
+        for load in (4, 64):
+            topology = ClusteredTopology(
+                3, regions=1, intra_delay=1.0, jitter=0.0, intra_bandwidth=2.0
+            )
+            anet = replicated_async(n_peers=12, seed=17, topology=topology)
+            victim = sorted(anet.net.peers)[4]
+            peer = anet.net.peers[victim]
+            peer.store.extend(
+                key
+                for key in uniform_keys(5 * load, seed=6)
+                if peer.range.contains(key)
+            )
+            anet.net.refresh_replicas()
+            anet.submit_fail(victim)
+            anet.drain()
+            future = anet.submit_repair(victim)
+            anet.drain()
+            assert future.succeeded
+            latencies[load] = future.latency
+        assert latencies[64] > latencies[4]
+
+
+class TestClusteredRefresh:
+    def topology(self, seed=21, **kwargs):
+        params = dict(
+            regions=3,
+            intra_delay=0.5,
+            inter_delay=4.0,
+            jitter=0.0,
+            intra_bandwidth=4.0,
+            inter_bandwidth=2.0,
+        )
+        params.update(kwargs)
+        return ClusteredTopology(seed, **params)
+
+    def test_refresh_mirrors_every_store(self):
+        anet = replicated_async(n_peers=25, seed=19, topology=self.topology())
+        anet.net.bulk_load(uniform_keys(250, seed=9))
+        futures = anet.submit_replica_refresh()
+        anet.drain()
+        assert all(f.succeeded for f in futures)
+        assert mirrored_multiset(anet.net) == stored_multiset(anet.net)
+        for peer in anet.net.peers.values():
+            assert peer.replica_anchor in anet.net.peers
+
+    def test_refresh_hops_are_sized(self):
+        """A refresh carrying a big store pays the bandwidth term."""
+        anet = replicated_async(n_peers=25, seed=19, topology=self.topology())
+        anet.net.bulk_load(uniform_keys(250, seed=9))
+        sizes = {a: len(p.store) for a, p in anet.net.peers.items()}
+        futures = anet.submit_replica_refresh()
+        anet.drain()
+        by_address = dict(zip(sorted(anet.net.peers), futures))
+        topology = self.topology()  # same seed: identical placements
+        for address, future in by_address.items():
+            if not (future.succeeded and future.result):
+                continue
+            peer = anet.net.peers[address]
+            holder = peer.replica_anchor
+            same_region = topology.region_of(address) == topology.region_of(
+                holder
+            )
+            bandwidth = 4.0 if same_region else 2.0
+            base = 0.5 if same_region else 4.0 * topology._pair_factor(
+                topology.region_of(address), topology.region_of(holder)
+            )
+            expected = base + max(1, sizes[address]) / bandwidth
+            assert future.transit == pytest.approx(expected)
+
+    def test_refresh_deterministic_across_runs(self):
+        def one_run():
+            anet = replicated_async(
+                n_peers=25, seed=23, topology=self.topology(seed=5)
+            )
+            anet.net.bulk_load(uniform_keys(200, seed=3))
+            anet.submit_replica_refresh()
+            anet.drain()
+            return anet.event_log, mirrored_multiset(anet.net)
+
+        first_log, first_mirrors = one_run()
+        second_log, second_mirrors = one_run()
+        assert first_log == second_log
+        assert first_mirrors == second_mirrors
+
+
+class TestReconcileAccounting:
+    def test_reconcile_returns_message_count(self):
+        from repro.net.message import MsgType
+
+        anet = replicated_async(n_peers=20, seed=3)
+        before = anet.bus.stats.by_type[MsgType.RECONCILE]
+        messages = anet.reconcile()
+        assert messages == anet.net.size  # every peer has a live neighbour
+        assert anet.bus.stats.by_type[MsgType.RECONCILE] - before == messages
+
+    def test_single_peer_reconciles_for_free(self):
+        net = BatonNetwork(config=BatonConfig(replication=True), seed=0)
+        net.bootstrap()
+        anet = AsyncBatonNetwork(net, latency=ConstantLatency(1.0))
+        assert anet.reconcile() == 0
+
+
+class TestRegistryGating:
+    def test_baton_builds_replicated(self):
+        from repro import overlays
+
+        anet = overlays.get("baton").build_async(16, seed=1, replication=True)
+        assert anet.replication_enabled
+        assert anet.net.config.replication
+
+    @pytest.mark.parametrize("name", ["chord", "multiway"])
+    def test_baselines_refuse_replication(self, name):
+        from repro import overlays
+        from repro.util.errors import CapabilityError
+
+        with pytest.raises(CapabilityError):
+            overlays.get(name).build_async(16, seed=1, replication=True)
+
+    def test_replication_with_config_rejected(self):
+        from repro import overlays
+
+        with pytest.raises(ValueError):
+            overlays.get("baton").build_async(
+                16, seed=1, replication=True, config=BatonConfig()
+            )
