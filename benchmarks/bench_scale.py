@@ -1,0 +1,94 @@
+"""Benchmark: wall-clock scale profile of the event runtime.
+
+The measured object is the repository's own machinery — engine, hop
+pricing, workload driver — not the overlay: :func:`profile_run` times the
+build and the churn+query drive for one population (see
+``experiments/scale_profile.py``).  The N=1000 cell is the benchmark
+trajectory's anchor (``BENCH_scale.json`` at the repo root holds the
+checked-in point; ``python -m repro profile --out`` refreshes it), and the
+regression test fails when the driver gets more than
+``REPRO_BENCH_FACTOR``x (default 2x) slower than that baseline.
+
+The shortened N=10k cell — the paper's headline population — is gated
+behind ``REPRO_SCALE_SMOKE=1`` (CI's benchmark job sets it) so ordinary
+test runs stay fast.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import scale_profile
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_scale.json"
+
+
+def _baseline_row(n_peers: int):
+    """The checked-in trajectory point for one population, if present."""
+    if not BASELINE_PATH.exists():
+        return None
+    with open(BASELINE_PATH) as handle:
+        payload = json.load(handle)
+    if payload.get("schema") != scale_profile.BENCH_SCHEMA:
+        return None
+    for row in payload.get("rows", []):
+        if row.get("n_peers") == n_peers:
+            return row
+    return None
+
+
+def test_n1000_driver(benchmark):
+    """The acceptance driver: N=1000 build + concurrent churn/query drive.
+
+    Guards the refactor's speedup: the run must stay within
+    REPRO_BENCH_FACTOR (default 2x) of the committed baseline's wall
+    clock — a trajectory point that itself documents the >=2x speedup
+    over the pre-refactor driver.
+    """
+    row = benchmark.pedantic(
+        lambda: scale_profile.profile_run(1000, seed=0), iterations=1, rounds=1
+    )
+    benchmark.extra_info["row"] = row
+    assert row["queries"] > 0
+    assert row["success"] > 0.9
+    assert row["events"] > 0
+    # Cancellation tombstones must not balloon the heap: its high-water
+    # mark stays far below the total number of events pushed through it.
+    assert row["peak_heap"] < row["events"]
+
+    baseline = _baseline_row(1000)
+    if baseline is None:
+        pytest.skip("no BENCH_scale.json baseline committed for N=1000")
+    factor = float(os.environ.get("REPRO_BENCH_FACTOR", "2.0"))
+    budget = factor * float(baseline["total_s"])
+    assert row["total_s"] <= budget, (
+        f"scale regression: N=1000 build+drive took {row['total_s']:.2f}s, "
+        f"baseline {baseline['total_s']:.2f}s (budget {budget:.2f}s); "
+        f"if this is an intentional trade, refresh BENCH_scale.json via "
+        f"'python -m repro profile --out BENCH_scale.json'"
+    )
+
+
+@pytest.mark.skipif(
+    os.environ.get("REPRO_SCALE_SMOKE") != "1"
+    and os.environ.get("REPRO_FULL_SCALE") != "1",
+    reason="N=10k smoke runs in the CI benchmark job (REPRO_SCALE_SMOKE=1)",
+)
+def test_10k_churn_query_smoke(benchmark):
+    """The paper's headline N: a (shortened) 10k churn+query run completes."""
+    row = benchmark.pedantic(
+        lambda: scale_profile.profile_run(
+            10_000, seed=0, duration=scale_profile.DURATION / 2
+        ),
+        iterations=1,
+        rounds=1,
+    )
+    benchmark.extra_info["row"] = row
+    assert row["n_peers"] == 10_000
+    assert row["queries"] > 0
+    assert row["success"] > 0.8
+    assert row["peak_heap"] < row["events"]

@@ -12,6 +12,8 @@ Usage::
     python -m repro concurrent --overlay all --topology clustered
     python -m repro concurrent --replication --fail-fraction 0.5 --repair-delay 2
     python -m repro durability --quick
+    python -m repro profile                        # N=1000 + shortened N=10k
+    python -m repro profile --out BENCH_scale.json # dump the trajectory point
 """
 
 from __future__ import annotations
@@ -94,6 +96,36 @@ def cmd_durability(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Time build/churn/query phases; optionally dump BENCH_scale.json."""
+    from repro.experiments import scale_profile
+
+    if args.peers:
+        sizes = tuple(args.peers)
+    elif args.full:
+        sizes = (1000, 2500, 5000, 10000)
+    else:
+        sizes = scale_profile.BENCH_SIZES
+    if args.out:
+        payload = scale_profile.write_benchmark(args.out, sizes, seed=args.seed)
+        rows = payload["rows"]
+        print(f"wrote {args.out} ({len(rows)} population(s))")
+    else:
+        # Same measurement as the --out/benchmark path (including the
+        # shortened window for the big populations), just not persisted.
+        rows = scale_profile.collect_benchmark(sizes, seed=args.seed)["rows"]
+    for row in rows:
+        print(
+            f"N={row['n_peers']}: build {row['build_s']:.2f}s, "
+            f"drive {row['drive_s']:.2f}s "
+            f"({row['events']} events, {row['events_per_s']:.0f}/s, "
+            f"peak heap {row['peak_heap']}), "
+            f"success {row['success']:.3f}, p50 {row['p50']:.2f}, "
+            f"stretch p50 {row['stretch_p50']:.2f}"
+        )
+    return 0
+
+
 def cmd_concurrent(args: argparse.Namespace) -> int:
     """Drive interleaved churn + queries on the event-driven runtime."""
     from repro import overlays
@@ -160,7 +192,12 @@ def _run_concurrent_overlay(name: str, args: argparse.Namespace, config) -> None
         }
     topology = make_topology(args.topology, seed=args.seed, **topology_params)
     anet = entry.build_async(
-        args.peers, seed=args.seed, topology=topology, replication=args.replication
+        args.peers,
+        seed=args.seed,
+        topology=topology,
+        replication=args.replication,
+        record_events=False,
+        retain_ops=False,
     )
     keys = uniform_keys(args.keys or 10 * args.peers, seed=args.seed + 1)
     anet.net.bulk_load(keys)
@@ -231,6 +268,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--peers", type=int, default=None, help="override the population"
     )
     durability.set_defaults(func=cmd_durability)
+
+    profile = sub.add_parser(
+        "profile",
+        help="wall-clock build/churn/query phase timings "
+        "(the benchmark trajectory; see BENCH_scale.json)",
+    )
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument(
+        "--peers",
+        type=int,
+        nargs="*",
+        default=None,
+        help="population(s) to profile (default: 1000 and a shortened 10000)",
+    )
+    profile.add_argument(
+        "--full",
+        action="store_true",
+        help="profile the paper's full 1000/2500/5000/10000 grid",
+    )
+    profile.add_argument(
+        "--out",
+        default=None,
+        help="also write the machine-readable BENCH_scale.json payload here",
+    )
+    profile.set_defaults(func=cmd_profile)
 
     from repro import overlays
 

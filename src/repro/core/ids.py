@@ -13,10 +13,24 @@ restructuring, so identity of a peer is its address, never its position.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Iterator, Optional
 
 
-@dataclass(frozen=True, order=False)
+@lru_cache(maxsize=1 << 17)
+def _interned(level: int, number: int) -> "Position":
+    """Shared Position instances for the tree-geometry hot paths.
+
+    Parent/child/table-slot arithmetic creates the same handful of
+    positions over and over (every reconcile sweep walks the whole tree);
+    interning skips the validating constructor on repeats.  Positions are
+    immutable, so sharing is safe.  Only the geometry methods below go
+    through here — direct ``Position(...)`` construction still validates.
+    """
+    return Position(level, number)
+
+
+@dataclass(frozen=True, order=False, slots=True)
 class Position:
     """A slot in the (conceptually infinite) binary tree."""
 
@@ -50,20 +64,20 @@ class Position:
         """Position of the parent slot, or None for the root."""
         if self.level == 0:
             return None
-        return Position(self.level - 1, (self.number + 1) // 2)
+        return _interned(self.level - 1, (self.number + 1) // 2)
 
     def left_child(self) -> "Position":
-        return Position(self.level + 1, 2 * self.number - 1)
+        return _interned(self.level + 1, 2 * self.number - 1)
 
     def right_child(self) -> "Position":
-        return Position(self.level + 1, 2 * self.number)
+        return _interned(self.level + 1, 2 * self.number)
 
     def sibling(self) -> Optional["Position"]:
         """The other child of this node's parent, or None for the root."""
         if self.level == 0:
             return None
         offset = 1 if self.is_left_child else -1
-        return Position(self.level, self.number + offset)
+        return _interned(self.level, self.number + offset)
 
     def ancestor_at(self, level: int) -> "Position":
         """The ancestor slot at the given (shallower or equal) level."""
@@ -98,10 +112,14 @@ class Position:
         """The slot at distance ``2^index`` on ``side``, or None if invalid."""
         if side == "left":
             number = self.number - (1 << index)
-            return Position(self.level, number) if number >= 1 else None
+            return _interned(self.level, number) if number >= 1 else None
         if side == "right":
             number = self.number + (1 << index)
-            return Position(self.level, number) if number <= (1 << self.level) else None
+            return (
+                _interned(self.level, number)
+                if number <= (1 << self.level)
+                else None
+            )
         raise ValueError(f"side must be 'left' or 'right', got {side!r}")
 
     # -- in-order (key) order -------------------------------------------------

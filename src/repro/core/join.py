@@ -88,22 +88,47 @@ def can_accept_join(peer: BatonPeer) -> bool:
 
 
 def find_join_parent(net: "BatonNetwork", start: Address) -> Address:
-    """Algorithm 1: walk the overlay to a node that may accept a child."""
+    """Algorithm 1: walk the overlay to a node that may accept a child.
+
+    The request carries the set of peers it has already consulted and is
+    never re-forwarded to one of them (the natural implementation: the
+    walk's path history rides in the JOIN message).  Without this, the
+    purely local forwarding rules can trap the request in a cycle once a
+    neighbourhood saturates — a frontier leaf's "tables not full" rule
+    sends it to its parent, whose "descend via an adjacent" rule sends it
+    straight back — which at N≈10k reliably exceeded any hop limit.
+    Skipping visited peers costs nothing on the wire (no message is sent
+    to them) and turns the walk into an outward exploration that reaches
+    an open slot.
+    """
     limit = 8 * max(net.size.bit_length(), 1) + 2 * net.size + 64
     current = start
+    visited = {start}
     for _ in range(limit):
         peer = net.peer(current)
         if can_accept_join(peer):
             return current
         next_hop = None
+        revisit: Optional[Address] = None
         for candidate in forward_targets(net, peer):
+            if candidate in visited:
+                if revisit is None:
+                    revisit = candidate
+                continue
             if try_message(net, current, candidate, MsgType.JOIN_FIND):
                 next_hop = candidate
                 break
+        if next_hop is None and revisit is not None:
+            # Every unvisited direction was dead: fall back to the best
+            # already-visited one rather than strand the request (rare, and
+            # only reachable in degraded networks).
+            if try_message(net, current, revisit, MsgType.JOIN_FIND):
+                next_hop = revisit
         if next_hop is None:
             raise ProtocolError(
                 f"join request stuck at {peer.position}: no forwarding target"
             )
+        visited.add(next_hop)
         current = next_hop
     raise ProtocolError("join request did not terminate (routing state corrupt?)")
 

@@ -16,8 +16,9 @@ Theorem 1's balance guarantee.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, Iterator, List, Optional
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.core.ids import Position
 from repro.core.ranges import Range
@@ -25,6 +26,27 @@ from repro.net.address import Address
 
 LEFT = "left"
 RIGHT = "right"
+
+
+@lru_cache(maxsize=1 << 16)
+def _table_slots(level: int, number: int, side: str) -> Tuple[Position, ...]:
+    """The valid sideways slots of a table, nearest first.
+
+    Slot geometry depends only on the owner's (level, number) and the
+    side, and :class:`Position` is immutable — so the tuple is computed
+    once per distinct owner slot and shared by every table built there
+    (tables are rebuilt wholesale on refresh sweeps; at N=10k peers this
+    is one of the hottest constructors in the reconcile path).
+    """
+    owner = Position(level, number)
+    slots = []
+    i = 0
+    while True:
+        slot = owner.table_position(side, i)
+        if slot is None:
+            return tuple(slots)
+        slots.append(slot)
+        i += 1
 
 
 @dataclass
@@ -50,8 +72,18 @@ class NodeInfo:
         return self.left_child is not None or self.right_child is not None
 
     def copy(self) -> "NodeInfo":
-        """An independent snapshot (links must not be aliased across peers)."""
-        return replace(self)
+        """An independent snapshot (links must not be aliased across peers).
+
+        Built by direct construction — ``dataclasses.replace`` re-runs the
+        field machinery and dominated reconcile profiles at N=10k.
+        """
+        return NodeInfo(
+            self.address,
+            self.position,
+            self.range,
+            self.left_child,
+            self.right_child,
+        )
 
     def __str__(self) -> str:
         return f"peer@{self.address}{self.position}{self.range}"
@@ -73,17 +105,15 @@ class RoutingTable:
     def __post_init__(self) -> None:
         if self.side not in (LEFT, RIGHT):
             raise ValueError(f"side must be {LEFT!r} or {RIGHT!r}")
-        indices = []
-        i = 0
-        while self.owner.table_position(self.side, i) is not None:
-            indices.append(i)
-            i += 1
         # The owner position is frozen for the table's lifetime (peers get a
-        # fresh table when they move), so the slot geometry is cached.
-        self._valid_indices: List[int] = indices
-        for index in indices:
+        # fresh table when they move), so the slot geometry is shared via
+        # the module-level cache rather than recomputed per table.
+        slots = _table_slots(self.owner.level, self.owner.number, self.side)
+        self._slots: Tuple[Position, ...] = slots
+        self._valid_indices: List[int] = list(range(len(slots)))
+        for index in self._valid_indices:
             self.entries.setdefault(index, None)
-        extraneous = set(self.entries) - set(indices)
+        extraneous = set(self.entries) - set(self._valid_indices)
         if extraneous:
             raise ValueError(f"indices {extraneous} out of range for {self.owner}")
 
@@ -95,7 +125,8 @@ class RoutingTable:
 
     def position_at(self, index: int) -> Optional[Position]:
         """The slot at distance ``2^index``, or None when out of range."""
-        return self.owner.table_position(self.side, index)
+        slots = self._slots
+        return slots[index] if 0 <= index < len(slots) else None
 
     # -- access ---------------------------------------------------------------
 
@@ -115,9 +146,15 @@ class RoutingTable:
         self.entries[index] = info
 
     def occupied(self) -> Iterator[tuple[int, NodeInfo]]:
-        """(index, link) pairs for every non-null entry, nearest first."""
-        for index in sorted(self.entries):
-            info = self.entries[index]
+        """(index, link) pairs for every non-null entry, nearest first.
+
+        Iterates the cached slot geometry (0..k-1) rather than sorting the
+        entry dict's keys on every call — this is on the hot path of both
+        routing and reconcile sweeps.
+        """
+        entries = self.entries
+        for index in self._valid_indices:
+            info = entries[index]
             if info is not None:
                 yield index, info
 
@@ -129,12 +166,13 @@ class RoutingTable:
 
     def is_full(self) -> bool:
         """All in-range slots occupied (the Theorem 1 condition)."""
-        return all(self.entries[index] is not None for index in self.entries)
+        return all(self.entries[index] is not None for index in self._valid_indices)
 
     def first_missing_index(self) -> Optional[int]:
         """Smallest in-range index with a null entry, if any."""
-        for index in sorted(self.entries):
-            if self.entries[index] is None:
+        entries = self.entries
+        for index in self._valid_indices:
+            if entries[index] is None:
                 return index
         return None
 
@@ -154,15 +192,18 @@ class RoutingTable:
         "Farthest" is by table index, i.e. by distance ``2^i`` along the
         level, exactly the greedy step of the exact-match algorithm.
         """
-        for index in sorted(self.entries, reverse=True):
-            info = self.entries[index]
+        entries = self.entries
+        for index in reversed(self._valid_indices):
+            info = entries[index]
             if info is not None and predicate(info):
                 return info
         return None
 
     def entry_for_address(self, address: Address) -> Optional[tuple[int, NodeInfo]]:
         """Locate the entry linking to ``address``, if present."""
-        for index, info in self.occupied():
-            if info.address == address:
+        entries = self.entries
+        for index in self._valid_indices:
+            info = entries[index]
+            if info is not None and info.address == address:
                 return index, info
         return None

@@ -173,6 +173,12 @@ class BatonPeer:
         if self.parent is not None and self.parent.address == info.address:
             self.parent = info.copy()
             updated += 1
+        # Fast path for the tables: when the announcing peer sits exactly
+        # where my geometry expects it (the overwhelmingly common case),
+        # its entry can only live in that one slot — no scan needed.  The
+        # scan below still catches entries parked at a stale slot after a
+        # position move.
+        expected_slot = self.table_slot_for(info.position)
         for side in (LEFT, RIGHT):
             child = self.child_on(side)
             if child is not None and child.address == info.address:
@@ -183,6 +189,13 @@ class BatonPeer:
                 self.set_adjacent(side, info.copy())
                 updated += 1
             table = self.table_on(side)
+            if expected_slot is not None and expected_slot[0] == side:
+                index = expected_slot[1]
+                current = table.get(index)
+                if current is not None and current.address == info.address:
+                    table.set(index, info.copy())
+                    updated += 1
+                    continue
             found = table.entry_for_address(info.address)
             if found is not None:
                 index, _ = found

@@ -135,10 +135,13 @@ def refresh_links_from_map(
     peer.right_table = RoutingTable(owner=position, side=RIGHT)
     for side in (LEFT, RIGHT):
         table = peer.table_on(side)
+        entries = table.entries
         for index in table.valid_indices():
-            table.set(
-                index,
-                map_snapshot(net, table.position_at(index), cache, include_ghosts),
+            # Direct assignment: the snapshot is built *at* the slot's
+            # position, so RoutingTable.set's position check can never
+            # fire here, and this loop runs N·log N times per sweep.
+            entries[index] = map_snapshot(
+                net, table.position_at(index), cache, include_ghosts
             )
 
 

@@ -97,23 +97,22 @@ def hop_candidates(peer: BatonPeer, key: int) -> tuple[List[Address], List[Addre
             peer.right_child,
             peer.right_adjacent,
         )
-        entries = [
-            info
-            for _, info in sorted(table.entries.items(), reverse=True)
-            if info is not None and info.range.low <= key
-        ]
+        entries = table.entries
+        for index in reversed(table.valid_indices()):
+            info = entries[index]
+            if info is not None and info.range.low <= key:
+                primary.append(info.address)
     else:
         table, child, adjacent = (
             peer.left_table,
             peer.left_child,
             peer.left_adjacent,
         )
-        entries = [
-            info
-            for _, info in sorted(table.entries.items(), reverse=True)
-            if info is not None and info.range.high > key
-        ]
-    primary.extend(info.address for info in entries)
+        entries = table.entries
+        for index in reversed(table.valid_indices()):
+            info = entries[index]
+            if info is not None and info.range.high > key:
+                primary.append(info.address)
     if child is not None:
         primary.append(child.address)
     if adjacent is not None:

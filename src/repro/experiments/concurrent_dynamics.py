@@ -196,7 +196,10 @@ def _one_run(
     net = build_loaded(overlay, n_peers, seed, data_per_node)
     rng = SeededRng(derive_seed(seed, "concurrent-dynamics"))
     anet = overlays.get(overlay).wrap(
-        net, latency=ExponentialLatency(mean=1.0, rng=rng.child("latency"))
+        net,
+        latency=ExponentialLatency(mean=1.0, rng=rng.child("latency")),
+        record_events=False,
+        retain_ops=False,
     )
     keys = loaded_keys(n_peers, data_per_node, seed)
     config = ConcurrentConfig(

@@ -155,7 +155,10 @@ def _one_run(
         net.refresh_replicas()  # anchor every mirror before the storm
     rng = SeededRng(derive_seed(seed, "durability"))
     anet = overlays.get("baton").wrap(
-        net, latency=ExponentialLatency(mean=1.0, rng=rng.child("latency"))
+        net,
+        latency=ExponentialLatency(mean=1.0, rng=rng.child("latency")),
+        record_events=False,
+        retain_ops=False,
     )
     keys = loaded_keys(n_peers, data_per_node, seed)
     before = _stored_multiset(net)

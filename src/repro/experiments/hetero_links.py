@@ -38,7 +38,10 @@ EXPECTATION = (
     "number of links a walk crosses: BATON and Chord (O(log N) hops) climb "
     "gently, the multiway tree's link-by-link walks climb fastest; BATON "
     "answers ranges along the adjacent chain so it keeps complete answers "
-    "while paying tree-depth hops only once"
+    "while paying tree-depth hops only once; latency stretch (op transit "
+    "over the direct entry->owner link) exposes the same ordering "
+    "independently of the raw delay scale — topology-blind routing pays "
+    "the same multiple however expensive the links get"
 )
 
 INTER_DELAYS = (1.0, 2.0, 5.0, 10.0, 20.0)
@@ -74,6 +77,8 @@ def run(
             "p50",
             "p99",
             "transit_p99",
+            "stretch_p50",
+            "stretch_p99",
             "msgs_per_query",
         ],
         expectation=EXPECTATION,
@@ -81,6 +86,7 @@ def run(
     for name in names:
         for inter_delay in inter_delays:
             successes, p50s, p99s, transit_p99s, msgs = [], [], [], [], []
+            stretch_p50s, stretch_p99s = [], []
             queries = 0
             for seed in scale.seeds:
                 report = _one_run(
@@ -90,6 +96,8 @@ def run(
                 p50s.append(report.query_latency_p50)
                 p99s.append(report.query_latency_p99)
                 transit_p99s.append(report.query_transit_p99)
+                stretch_p50s.append(report.latency_stretch_p50)
+                stretch_p99s.append(report.latency_stretch_p99)
                 msgs.append(report.messages_per_query)
                 queries += report.query_total
             result.add_row(
@@ -100,6 +108,8 @@ def run(
                 p50=mean(p50s),
                 p99=mean(p99s),
                 transit_p99=mean(transit_p99s),
+                stretch_p50=mean(stretch_p50s),
+                stretch_p99=mean(stretch_p99s),
                 msgs_per_query=mean(msgs),
             )
     return result
@@ -123,7 +133,9 @@ def _one_run(
         jitter=0.2,
         asymmetry=0.1,
     )
-    anet = overlays.get(overlay).wrap(net, topology=topology)
+    anet = overlays.get(overlay).wrap(
+        net, topology=topology, record_events=False, retain_ops=False
+    )
     keys = loaded_keys(n_peers, data_per_node, seed)
     config = ConcurrentConfig(
         duration=duration,

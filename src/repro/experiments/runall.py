@@ -28,6 +28,7 @@ from repro.experiments import (
     fig8h_shift_sizes,
     fig8i_dynamics,
     hetero_links,
+    scale_profile,
 )
 from repro.experiments.balancing import run_balancing
 from repro.experiments.harness import ExperimentResult
@@ -78,6 +79,9 @@ def run_all(scale=None, quick: bool = False) -> List[ExperimentResult]:
             maintenance_intervals=durability_intervals,
         )
     )
+    # Wall-clock profile of the runtime itself; the full grid reaches the
+    # paper's N=10k under REPRO_FULL_SCALE=1 (sizes come from the scale).
+    results.append(scale_profile.run(scale))
     return results
 
 

@@ -1,0 +1,207 @@
+"""Scale profile: wall-clock cost of the runtime itself, N=1000 to N=10k.
+
+Every other experiment measures the *overlay* (messages, hops, latency in
+simulated units).  This one measures the *simulator*: how much real time
+and memory the event engine, hop pricing and workload driver burn to push
+a BATON churn-and-query run through, as the population grows to the
+paper's N=10k (§V evaluates up to 10,000 nodes; D²-Tree and ART argue
+their bounds at 10⁴–10⁵).  A reproduction that cannot execute the paper's
+own N cheaply leaves the headline scale claim unverified — this driver is
+the regression guard that keeps it cheap.
+
+Phases timed per population:
+
+* **build** — growing the loaded network join by join;
+* **drive** — the concurrent churn+query window on the event runtime
+  (event-log recording off, futures released as they complete: the
+  workload configuration of DESIGN.md's "Performance contract");
+
+plus the engine's own counters: events executed, events per wall-second,
+and the heap's high-water mark (which the cancellation tombstones keep
+near the live pending count).
+
+``run()`` sweeps the experiment scale's populations (the full
+1000/2500/5000/10000 grid under ``REPRO_FULL_SCALE=1``);
+:func:`collect_benchmark` produces the machine-readable ``BENCH_scale.json``
+payload behind ``python -m repro profile`` and ``benchmarks/bench_scale.py``
+— the repo's benchmark trajectory (compare trajectory points across
+commits to see the runtime getting faster or slower).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from typing import Dict, List, Optional
+
+from repro import overlays
+from repro.experiments.harness import (
+    ExperimentResult,
+    ExperimentScale,
+    build_loaded,
+    default_scale,
+    loaded_keys,
+)
+from repro.sim.latency import ExponentialLatency
+from repro.util.rng import SeededRng, derive_seed
+from repro.workloads.concurrent import ConcurrentConfig, run_concurrent_workload
+
+EXPECTATION = (
+    "build cost grows near-linearly in N (each join is O(log N) messages); "
+    "drive cost tracks executed events, not population, so events/sec stays "
+    "roughly flat across N; the heap high-water mark stays near the live "
+    "pending count (tombstone compaction) rather than growing with total "
+    "scheduled events"
+)
+
+#: The fixed workload window each population is driven through.  Rates are
+#: per simulated time unit; the arrival volume is independent of N, so the
+#: drive phase isolates per-event cost while build isolates per-peer cost.
+DURATION = 20.0
+CHURN_RATE = 1.0
+QUERY_RATE = 16.0
+DATA_PER_NODE = 20
+
+
+def profile_run(
+    n_peers: int,
+    seed: int = 0,
+    *,
+    overlay: str = "baton",
+    duration: float = DURATION,
+    churn_rate: float = CHURN_RATE,
+    query_rate: float = QUERY_RATE,
+    data_per_node: int = DATA_PER_NODE,
+) -> Dict[str, object]:
+    """One profiled build + drive; returns the phase timings and counters."""
+    started = time.perf_counter()
+    net = build_loaded(overlay, n_peers, seed, data_per_node)
+    build_s = time.perf_counter() - started
+
+    rng = SeededRng(derive_seed(seed, "scale-profile"))
+    anet = overlays.get(overlay).wrap(
+        net,
+        latency=ExponentialLatency(mean=1.0, rng=rng.child("latency")),
+        record_events=False,
+        retain_ops=False,
+    )
+    keys = loaded_keys(n_peers, data_per_node, seed)
+    config = ConcurrentConfig(
+        duration=duration,
+        churn_rate=churn_rate,
+        query_rate=query_rate,
+        range_fraction=0.2,
+        min_peers=max(8, n_peers // 2),
+    )
+    started = time.perf_counter()
+    report = run_concurrent_workload(
+        anet, keys, config, seed=derive_seed(seed, "driver")
+    )
+    drive_s = time.perf_counter() - started
+
+    events = anet.sim.executed_count
+    return {
+        "overlay": overlay,
+        "n_peers": n_peers,
+        "seed": seed,
+        "duration": duration,
+        "build_s": round(build_s, 4),
+        "drive_s": round(drive_s, 4),
+        "total_s": round(build_s + drive_s, 4),
+        "events": events,
+        "events_per_s": round(events / drive_s, 1) if drive_s > 0 else 0.0,
+        "peak_heap": anet.sim.peak_queue_len,
+        "pending_end": anet.sim.pending_count,
+        "queries": report.query_total,
+        "success": round(report.query_success_rate, 4),
+        "p50": round(report.query_latency_p50, 3),
+        "stretch_p50": round(report.latency_stretch_p50, 3),
+        "messages": report.messages_total,
+    }
+
+
+def run(
+    scale: Optional[ExperimentScale] = None,
+    sizes: Optional[tuple[int, ...]] = None,
+    overlay: str = "baton",
+) -> ExperimentResult:
+    """Sweep populations; one row per N (seed 0 — wall-clock, not stats)."""
+    scale = scale or default_scale()
+    if sizes is None:
+        sizes = tuple(scale.sizes)
+    result = ExperimentResult(
+        figure="Scale profile",
+        title=(
+            f"Runtime wall-clock vs population ({overlay}, "
+            f"window {DURATION} units, query rate {QUERY_RATE}/unit)"
+        ),
+        columns=[
+            "n_peers",
+            "build_s",
+            "drive_s",
+            "events",
+            "events_per_s",
+            "peak_heap",
+            "queries",
+            "success",
+            "p50",
+            "stretch_p50",
+        ],
+        expectation=EXPECTATION,
+    )
+    for n_peers in sizes:
+        row = profile_run(n_peers, seed=0, overlay=overlay)
+        result.add_row(**{col: row[col] for col in result.columns})
+    return result
+
+
+#: Format marker for BENCH_scale.json; bump on incompatible layout changes.
+BENCH_SCHEMA = 1
+
+#: The populations a benchmark point covers by default (the N=1000 cell is
+#: the acceptance driver; 10k is the paper's headline N, run shortened).
+BENCH_SIZES = (1000, 10000)
+
+
+def collect_benchmark(
+    sizes: tuple[int, ...] = BENCH_SIZES, seed: int = 0
+) -> Dict[str, object]:
+    """Measure one benchmark trajectory point (machine-readable)."""
+    rows: List[Dict[str, object]] = []
+    for n_peers in sizes:
+        # Only the 10k cell runs a shortened window (so a smoke job stays
+        # in smoke time); every other population uses the same window as
+        # the runall experiment path, keeping the rows comparable.
+        duration = DURATION if n_peers < 10_000 else DURATION / 2
+        rows.append(
+            profile_run(n_peers, seed=seed, duration=duration)
+        )
+    return {
+        "schema": BENCH_SCHEMA,
+        "benchmark": "bench_scale",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "rows": rows,
+    }
+
+
+def write_benchmark(
+    path: str, sizes: tuple[int, ...] = BENCH_SIZES, seed: int = 0
+) -> Dict[str, object]:
+    """Measure and dump one trajectory point to ``path`` (JSON)."""
+    payload = collect_benchmark(sizes, seed=seed)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    return payload
+
+
+def main() -> ExperimentResult:
+    result = run()
+    print(result.to_text())
+    return result
+
+
+if __name__ == "__main__":
+    main()

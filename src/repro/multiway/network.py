@@ -321,8 +321,11 @@ class MultiwayNetwork:
     def _find_replacement_leaf(self, node: MultiwayNode) -> Optional[Address]:
         return drive(self.replacement_steps(node))
 
-    def detach_leaf(self, leaf: MultiwayNode) -> None:
+    def detach_leaf(self, leaf: MultiwayNode) -> Address:
         """Unhook a leaf; its interval flows to its in-order predecessor.
+        Returns the absorber's address, so callers can price the bulk
+        store handover on the right link (a root leaf raises instead —
+        callers handle the single-node network before coming here).
 
         The parent's own range is always the *lowest* segment of its
         coverage, so the segment just below the leaf's interval exists
@@ -386,6 +389,7 @@ class MultiwayNetwork:
                 neighbor.left_neighbor = leaf.left_neighbor
         del self.nodes[leaf.address]
         self.bus.unregister(leaf.address)
+        return absorber.address
 
     # Historical private spelling.
     _detach_leaf = detach_leaf

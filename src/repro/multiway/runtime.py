@@ -98,7 +98,12 @@ class AsyncMultiwayNetwork(AsyncOverlayRuntime):
                 net.root = None
                 return self._leave_result(future, address, None)
             if departing.is_leaf:
-                net.detach_leaf(departing)
+                handover = len(departing.store)
+                absorber = net.detach_leaf(departing)
+                # The interval merge moves the leaf's whole store: a sized
+                # bulk transfer on the leaf->absorber link (the structural
+                # unhook above stays atomic).
+                yield Hop(address, absorber, size=float(max(1, handover)))
                 return self._leave_result(future, address, None)
             try:
                 replacement_address = yield from self._lift(
@@ -119,8 +124,19 @@ class AsyncMultiwayNetwork(AsyncOverlayRuntime):
             if replacement is None or not replacement.is_leaf:
                 yield Hop(address, address)  # lost the race; walk again
                 continue
-            net.detach_leaf(replacement)
+            repl_handover = len(replacement.store)
+            handover = len(departing.store)
+            repl_absorber = net.detach_leaf(replacement)
             net.transplant(departing, replacement)
+            # Price the two bulk transfers the merge + transplant moved:
+            # the replacement leaf's store into its absorber, then the
+            # departing node's store onto the replacement.
+            yield Hop(
+                replacement_address,
+                repl_absorber,
+                size=float(max(1, repl_handover)),
+            )
+            yield Hop(address, replacement_address, size=float(max(1, handover)))
             return self._leave_result(future, address, replacement_address)
         raise ProtocolError(f"multiway leave of address {address} kept losing races")
 

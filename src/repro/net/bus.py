@@ -136,7 +136,9 @@ class MessageBus:
         self, src: Address, dst: Address, mtype: MsgType, **payload: object
     ) -> Message:
         """Convenience wrapper building and sending a :class:`Message`."""
-        message = Message(src=src, dst=dst, mtype=mtype, payload=dict(payload))
+        # ``payload`` is already a fresh dict built from the keywords; no
+        # defensive copy needed.
+        message = Message(src=src, dst=dst, mtype=mtype, payload=payload)
         self.send(message)
         return message
 
@@ -166,3 +168,17 @@ class MessageBus:
             yield trace
         finally:
             self._trace_stack.pop()
+
+    def push_trace(self, trace: Trace) -> None:
+        """Plain (non-contextmanager) spelling of :meth:`activate` entry.
+
+        The runtime's per-hop scheduler calls this once per simulator
+        event; the generator machinery of a ``with`` block is measurable
+        overhead at that frequency, so the hot path pushes and pops
+        directly (always in a try/finally).
+        """
+        self._trace_stack.append(trace)
+
+    def pop_trace(self) -> None:
+        """Undo the matching :meth:`push_trace`."""
+        self._trace_stack.pop()

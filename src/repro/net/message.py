@@ -23,6 +23,12 @@ from repro.net.address import Address
 class MsgType(enum.Enum):
     """Semantic category of a message, used for traffic accounting."""
 
+    # Members are singletons, so identity hashing is sound; the default
+    # Enum hash goes through a Python-level __hash__ on every traffic
+    # counter update, which adds up to real time across millions of
+    # counted messages.
+    __hash__ = object.__hash__
+
     #: Forwarding a JOIN request while locating the accepting node
     #: (Algorithm 1), or a Chord ``find_successor`` during join.
     JOIN_FIND = "join_find"

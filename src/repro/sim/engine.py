@@ -1,25 +1,59 @@
-"""Event queue and clock for discrete-event simulation."""
+"""Event queue and clock for discrete-event simulation.
+
+The engine is the innermost loop of every concurrent experiment: at
+N=10k peers a single churn-and-query run executes millions of events, so
+the heap entry and the cancellation path are written for throughput (see
+DESIGN.md, "Performance contract"):
+
+* **Slotted handles, not dataclasses.**  :class:`Event` is a plain
+  ``__slots__`` class ordered by ``(time, seq)`` — the exact total order
+  the previous frozen-dataclass implementation used, so event execution
+  order is bit-for-bit unchanged (pinned by the equivalence property
+  test in ``tests/test_sim.py``).
+* **O(1) handle-based cancellation.**  Cancelling tombstones the handle
+  in place (``action = None``) instead of recording its sequence number
+  in a side set; schedule/pop never touch a membership structure.  Dead
+  entries are skipped lazily at the head of the heap and compacted away
+  when they come to dominate, so long churn runs don't hold cancelled
+  events — or their closed-over state — forever.
+"""
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 
-@dataclass(frozen=True, order=True)
 class Event:
-    """A scheduled callback.
+    """A scheduled callback, and the handle used to cancel it.
 
     Ordering is (time, sequence) so simultaneous events run in scheduling
-    order, which keeps runs deterministic.
+    order, which keeps runs deterministic.  A cancelled (or executed)
+    event has ``action`` tombstoned to ``None``.
     """
 
-    time: float
-    seq: int
-    action: Callable[[], None] = field(compare=False)
-    label: str = field(compare=False, default="")
+    __slots__ = ("time", "seq", "action", "label")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        action: Optional[Callable[[], None]],
+        label: str = "",
+    ):
+        self.time = time
+        self.seq = seq
+        self.action = action
+        self.label = label
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "dead" if self.action is None else "live"
+        return f"<Event t={self.time} seq={self.seq} {state} {self.label!r}>"
 
 
 class Simulator:
@@ -34,13 +68,18 @@ class Simulator:
     """
 
     def __init__(self) -> None:
-        self._queue: list[Event] = []
-        self._seq = itertools.count()
+        #: Heap of (time, seq, handle) tuples: the (time, seq) prefix gives
+        #: total order with C-level tuple comparisons — no Python ``__lt__``
+        #: per sift step, which is measurable at millions of events.
+        self._queue: list[tuple[float, int, Event]] = []
+        self._seq = 0
         self._now = 0.0
-        self._queued_seqs: set[int] = set()
-        self._cancelled: set[int] = set()
+        #: Cancelled entries still sitting in the heap (tombstones).
+        self._dead = 0
         self.executed_count = 0
         self.cancelled_count = 0
+        #: High-water mark of the heap length, for memory profiling.
+        self.peak_queue_len = 0
 
     @property
     def now(self) -> float:
@@ -50,7 +89,7 @@ class Simulator:
     @property
     def pending_count(self) -> int:
         """Number of events not yet executed (cancelled events excluded)."""
-        return len(self._queue) - len(self._cancelled)
+        return len(self._queue) - self._dead
 
     def schedule(
         self, delay: float, action: Callable[[], None], label: str = ""
@@ -58,11 +97,13 @@ class Simulator:
         """Schedule ``action`` to run ``delay`` time units from now."""
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
-        event = Event(
-            time=self._now + delay, seq=next(self._seq), action=action, label=label
-        )
-        heapq.heappush(self._queue, event)
-        self._queued_seqs.add(event.seq)
+        seq = self._seq
+        self._seq = seq + 1
+        time = self._now + delay
+        event = Event(time, seq, action, label)
+        heapq.heappush(self._queue, (time, seq, event))
+        if len(self._queue) > self.peak_queue_len:
+            self.peak_queue_len = len(self._queue)
         return event
 
     def schedule_at(
@@ -73,9 +114,12 @@ class Simulator:
             raise ValueError(
                 f"cannot schedule into the past (time={time}, now={self._now})"
             )
-        event = Event(time=time, seq=next(self._seq), action=action, label=label)
-        heapq.heappush(self._queue, event)
-        self._queued_seqs.add(event.seq)
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, seq, action, label)
+        heapq.heappush(self._queue, (time, seq, event))
+        if len(self._queue) > self.peak_queue_len:
+            self.peak_queue_len = len(self._queue)
         return event
 
     #: Below this queue size, compaction isn't worth the rebuild.
@@ -85,19 +129,21 @@ class Simulator:
         """Withdraw a scheduled event; its action will never run.
 
         Returns False when the event already executed or was already
-        cancelled.  Cancelled entries are dropped lazily as the queue pops
-        past them, so cancellation is O(1) — except when the dead entries
-        come to dominate: once they exceed half the heap it is compacted
-        (amortized O(1) per cancel), so long churn runs don't hold dead
-        events, and their closed-over state, forever.
+        cancelled.  Cancellation tombstones the handle in place — O(1),
+        no membership lookups — and dead entries are dropped lazily as
+        the queue pops past them, except when they come to dominate: once
+        they exceed half the heap it is compacted (amortized O(1) per
+        cancel), so long churn runs don't hold dead events, and their
+        closed-over state, forever.
         """
-        if event.seq not in self._queued_seqs or event.seq in self._cancelled:
+        if event.action is None:
             return False
-        self._cancelled.add(event.seq)
+        event.action = None
+        self._dead += 1
         self.cancelled_count += 1
         if (
             len(self._queue) >= self._COMPACT_MIN_QUEUE
-            and 2 * len(self._cancelled) > len(self._queue)
+            and 2 * self._dead > len(self._queue)
         ):
             self._compact()
         return True
@@ -109,28 +155,28 @@ class Simulator:
         exactly the order lazy skipping would have produced — no observable
         behaviour change, just reclaimed memory.
         """
-        self._queue = [e for e in self._queue if e.seq not in self._cancelled]
+        self._queue = [entry for entry in self._queue if entry[2].action is not None]
         heapq.heapify(self._queue)
-        self._queued_seqs.difference_update(self._cancelled)
-        self._cancelled.clear()
+        self._dead = 0
 
     def _next_live_event(self) -> Optional[Event]:
         """Drop cancelled heap heads; return the next real event unpopped."""
-        while self._queue and self._queue[0].seq in self._cancelled:
-            dropped = heapq.heappop(self._queue)
-            self._cancelled.discard(dropped.seq)
-            self._queued_seqs.discard(dropped.seq)
-        return self._queue[0] if self._queue else None
+        queue = self._queue
+        while queue and queue[0][2].action is None:
+            heapq.heappop(queue)
+            self._dead -= 1
+        return queue[0][2] if queue else None
 
     def step(self) -> Optional[Event]:
         """Execute the next event; return it, or None if the queue is empty."""
         if self._next_live_event() is None:
             return None
-        event = heapq.heappop(self._queue)
-        self._queued_seqs.discard(event.seq)
+        event = heapq.heappop(self._queue)[2]
         self._now = event.time
         self.executed_count += 1
-        event.action()
+        action = event.action
+        event.action = None  # executed: release the closure, refuse cancel
+        action()
         return event
 
     def run(self, max_events: Optional[int] = None) -> int:
@@ -146,8 +192,11 @@ class Simulator:
     def run_until(self, time: float) -> int:
         """Run every event with timestamp <= ``time``; return #executed.
 
-        The clock is left at ``time`` (or later if the last executed event
-        was later, which cannot happen given the guard).
+        Afterwards the clock reads exactly ``time``: executing the last
+        in-window event sets it to that event's (earlier or equal)
+        timestamp, and the final assignment advances it the rest of the
+        way so follow-up ``schedule`` calls measure delays from the
+        requested stopping point.
         """
         executed = 0
         while True:
@@ -156,5 +205,6 @@ class Simulator:
                 break
             self.step()
             executed += 1
-        self._now = max(self._now, time)
+        if self._now < time:
+            self._now = time
         return executed

@@ -31,8 +31,22 @@ class LatencyModel(Topology):
     def draw(self) -> float:
         """Return one delay, in arbitrary simulated time units (>= 0)."""
 
+    def expected_delay(self) -> float:
+        """The distribution's mean — :meth:`direct_delay` for every link."""
+        raise NotImplementedError
+
+    def sample(self, src, dst, *, size: float = 0.0) -> float:
+        # Link-blind fast path: scalar models have no bandwidth term, so a
+        # sample is exactly one draw (skips the generic normalization that
+        # every hop of a large run would otherwise pay).
+        return self.draw()
+
     def link_delay(self, src, dst) -> float:
         return self.draw()
+
+    def direct_delay(self, src, dst) -> float:
+        # Deterministic by contract (metrics must not consume the stream).
+        return self.expected_delay()
 
 
 class ConstantLatency(LatencyModel):
@@ -44,6 +58,9 @@ class ConstantLatency(LatencyModel):
         self.delay = delay
 
     def draw(self) -> float:
+        return self.delay
+
+    def expected_delay(self) -> float:
         return self.delay
 
 
@@ -60,6 +77,9 @@ class UniformLatency(LatencyModel):
     def draw(self) -> float:
         return self._rng.uniform(self.low, self.high)
 
+    def expected_delay(self) -> float:
+        return (self.low + self.high) / 2.0
+
 
 class ExponentialLatency(LatencyModel):
     """Memoryless delays with the given mean."""
@@ -72,3 +92,6 @@ class ExponentialLatency(LatencyModel):
 
     def draw(self) -> float:
         return self._rng.expovariate(1.0 / self.mean)
+
+    def expected_delay(self) -> float:
+        return self.mean

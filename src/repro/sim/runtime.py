@@ -95,6 +95,21 @@ FAILED = "failed"
 class OpFuture:
     """Completion handle for one in-flight operation."""
 
+    __slots__ = (
+        "op_id",
+        "kind",
+        "trace",
+        "submitted_at",
+        "completed_at",
+        "status",
+        "result",
+        "error",
+        "hops",
+        "transit",
+        "entry",
+        "_callbacks",
+    )
+
     def __init__(self, op_id: int, kind: str, trace: Trace, submitted_at: float):
         self.op_id = op_id
         self.kind = kind
@@ -109,6 +124,10 @@ class OpFuture:
         #: of its hops' per-link delays; equals `latency` while the runtime
         #: has no queueing, and diverges the day it does).
         self.transit = 0.0
+        #: The peer the operation entered the overlay at (queries and data
+        #: ops; None for membership changes).  The latency-stretch metric
+        #: compares accumulated transit against the direct entry->owner link.
+        self.entry: Optional[Address] = None
         self._callbacks: List[Callable[["OpFuture"], None]] = []
 
     @property
@@ -177,6 +196,8 @@ class AsyncOverlayRuntime:
         sim: Optional[Simulator] = None,
         latency: Optional[LatencyModel] = None,
         topology: Optional[Topology] = None,
+        record_events: bool = True,
+        retain_ops: bool = True,
     ):
         if latency is not None and topology is not None:
             raise ValueError("pass either topology or latency (its alias), not both")
@@ -187,6 +208,17 @@ class AsyncOverlayRuntime:
             transport if transport is not None else ConstantLatency(1.0)
         )
         self.ops: List[OpFuture] = []
+        #: Whether to append (time, op, kind, phase, msgs) tuples to
+        #: :attr:`event_log` for every submit/hop/completion.  Invaluable
+        #: for replay-equality tests, pure overhead for big workload runs —
+        #: the workload surfaces (experiments, benchmarks, CLI) construct
+        #: runtimes with ``record_events=False`` (DESIGN.md, "Performance
+        #: contract").
+        self.record_events = record_events
+        #: Whether completed futures stay reachable through :attr:`ops`.
+        #: Streaming drivers turn this off so a long run's futures (and
+        #: their traces) can be garbage-collected as they complete.
+        self.retain_ops = retain_ops
         self.event_log: List[tuple] = []
         self.max_in_flight = 0
         self._in_flight = 0
@@ -282,6 +314,7 @@ class AsyncOverlayRuntime:
     ) -> OpFuture:
         start = via if via is not None else self.net.random_peer_address()
         future = self._new_future("search.exact")
+        future.entry = start
         self._launch(future, self._search_exact_steps(future, start, key))
         return future
 
@@ -292,18 +325,21 @@ class AsyncOverlayRuntime:
             raise ValueError(f"empty query range [{low}, {high})")
         start = via if via is not None else self.net.random_peer_address()
         future = self._new_future("search.range")
+        future.entry = start
         self._launch(future, self._search_range_steps(future, start, low, high))
         return future
 
     def submit_insert(self, key: int, via: Optional[Address] = None) -> OpFuture:
         start = via if via is not None else self.net.random_peer_address()
         future = self._new_future("insert")
+        future.entry = start
         self._launch(future, self._data_op_steps(future, start, key, MsgType.INSERT))
         return future
 
     def submit_delete(self, key: int, via: Optional[Address] = None) -> OpFuture:
         start = via if via is not None else self.net.random_peer_address()
         future = self._new_future("delete")
+        future.entry = start
         self._launch(future, self._data_op_steps(future, start, key, MsgType.DELETE))
         return future
 
@@ -367,6 +403,81 @@ class AsyncOverlayRuntime:
             self._launch(future, self._replica_refresh_steps(future, address))
             futures.append(future)
         return futures
+
+    def submit_replica_refresh_sweep(self) -> OpFuture:
+        """Submit one refresh round as a *single* batched operation.
+
+        Semantically the same fan-out as :meth:`submit_replica_refresh` —
+        every live peer's sized transfer to its current adjacent is in
+        flight at once, each priced on its own link — but the whole round
+        shares one :class:`OpFuture`, one trace and one event-log entry
+        instead of allocating one of each per peer, which is the
+        difference between "a maintenance sweep" and "10k bookkeeping
+        objects per sweep" at full scale.  The future completes when the
+        last transfer lands; its result is the number of refresh messages
+        spent.
+        """
+        if not self.supports("replication"):
+            raise CapabilityError(
+                f"the {self.overlay_name} overlay does not support replication"
+            )
+        future = self._new_future("replica.refresh.sweep")
+        self._in_flight += 1
+        if self._in_flight > self.max_in_flight:
+            self.max_in_flight = self._in_flight
+        if self.record_events:
+            self._log(future, "submit")
+        bus = self.net.bus
+        state = {"pending": 0, "messages": 0}
+
+        def finish() -> None:
+            future.result = state["messages"]
+            self._in_flight -= 1
+            if self.record_events:
+                self._log(future, "done")
+            future._complete(SUCCEEDED, self.sim.now)
+
+        def advance(steps) -> None:
+            bus.push_trace(future.trace)
+            try:
+                try:
+                    hop = next(steps)
+                except StopIteration as stop:
+                    state["messages"] += stop.value or 0
+                    state["pending"] -= 1
+                    if state["pending"] == 0:
+                        finish()
+                    return
+                except ReproError:
+                    # Refresh is best-effort maintenance: one peer's
+                    # failure (its holder vanished mid-transfer, say)
+                    # drops that refresh — the next sweep heals it — and
+                    # must not abort the round, mirroring how the
+                    # per-peer API fails just that peer's future.
+                    state["pending"] -= 1
+                    if state["pending"] == 0:
+                        finish()
+                    return
+            finally:
+                bus.pop_trace()
+            delay = self.topology.sample(hop.src, hop.dst, size=hop.size)
+            future.hops += 1
+            future.transit += delay
+            self.sim.schedule(
+                delay, lambda: advance(steps), label="replica.refresh.sweep"
+            )
+
+        # The +1 sentinel keeps an all-synchronous round (or one whose
+        # early transfers land while later ones are still being submitted —
+        # impossible today, but cheap to guard) from finishing twice.
+        state["pending"] = 1
+        for address in self.net.addresses():
+            state["pending"] += 1
+            advance(self._replica_refresh_steps(future, address))
+        state["pending"] -= 1
+        if state["pending"] == 0:
+            finish()
+        return future
 
     def leave_candidates(self) -> List[Address]:
         """Live addresses with no leave currently in flight."""
@@ -448,38 +559,67 @@ class AsyncOverlayRuntime:
             trace=Trace(label=kind),
             submitted_at=self.sim.now,
         )
-        self.ops.append(future)
+        if self.retain_ops:
+            self.ops.append(future)
         return future
 
     def _launch(self, future: OpFuture, steps: OpSteps) -> None:
         self._in_flight += 1
-        self.max_in_flight = max(self.max_in_flight, self._in_flight)
-        self._log(future, "submit")
-        self._advance(future, steps)
+        if self._in_flight > self.max_in_flight:
+            self.max_in_flight = self._in_flight
+        if self.record_events:
+            self._log(future, "submit")
 
-    def _advance(self, future: OpFuture, steps: OpSteps) -> None:
-        """Execute one atomic protocol step; reschedule or complete."""
+        # One resumption closure and one label for the whole operation —
+        # allocating them per hop dominated the scheduler's own cost in
+        # N=10k profiles.
+        label = f"{future.kind}#{future.op_id}"
+
+        def advance() -> None:
+            self._advance(future, steps, advance, label)
+
+        self._advance(future, steps, advance, label)
+
+    def _advance(
+        self,
+        future: OpFuture,
+        steps: OpSteps,
+        advance: Callable[[], None],
+        label: str,
+    ) -> None:
+        """Execute one atomic protocol step; reschedule or complete.
+
+        ``advance`` is the operation's single reusable resumption callback
+        (created in :meth:`_launch`); scheduling it avoids a fresh closure
+        and label string per hop.
+        """
         finished = False
         failed: Optional[ReproError] = None
         value: object = None
         hop: Optional[Hop] = None
-        with self.net.bus.activate(future.trace):
+        bus = self.net.bus
+        bus.push_trace(future.trace)
+        try:
             try:
                 hop = next(steps)
             except StopIteration as stop:
                 finished, value = True, stop.value
             except ReproError as error:
                 failed = error
+        finally:
+            bus.pop_trace()
         if failed is not None:
             future.error = failed
             self._in_flight -= 1
-            self._log(future, "failed")
+            if self.record_events:
+                self._log(future, "failed")
             future._complete(FAILED, self.sim.now)
             return
         if finished:
             future.result = value
             self._in_flight -= 1
-            self._log(future, "done")
+            if self.record_events:
+                self._log(future, "done")
             future._complete(SUCCEEDED, self.sim.now)
             return
         if not isinstance(hop, Hop):
@@ -490,12 +630,9 @@ class AsyncOverlayRuntime:
         delay = self.topology.sample(hop.src, hop.dst, size=hop.size)
         future.hops += 1
         future.transit += delay
-        self._log(future, "hop")
-        self.sim.schedule(
-            delay,
-            lambda: self._advance(future, steps),
-            label=f"{future.kind}#{future.op_id}",
-        )
+        if self.record_events:
+            self._log(future, "hop")
+        self.sim.schedule(delay, advance, label)
 
     def _log(self, future: OpFuture, phase: str) -> None:
         self.event_log.append(
@@ -541,10 +678,19 @@ class AsyncBatonNetwork(AsyncOverlayRuntime):
         seed: int = 0,
         config: Optional[BatonConfig] = None,
         defer_updates: bool = True,
+        record_events: bool = True,
+        retain_ops: bool = True,
     ):
         if net is None:
             net = BatonNetwork(config=config, seed=seed)
-        super().__init__(net, sim=sim, latency=latency, topology=topology)
+        super().__init__(
+            net,
+            sim=sim,
+            latency=latency,
+            topology=topology,
+            record_events=record_events,
+            retain_ops=retain_ops,
+        )
         self._inflight_updates: dict[Address, List[tuple]] = {}
         self._last_update_arrival: dict[Address, float] = {}
         if defer_updates:
@@ -839,10 +985,17 @@ class AsyncBatonNetwork(AsyncOverlayRuntime):
         raise ProtocolError("join kept losing acceptance races")
 
     def _find_join_parent_steps(self, future: OpFuture, start: Address) -> OpSteps:
-        """Per-hop Algorithm 1 with mid-flight carrier-loss recovery."""
+        """Per-hop Algorithm 1 with mid-flight carrier-loss recovery.
+
+        Mirrors :func:`repro.core.join.find_join_parent` decision for
+        decision — including the visited set the request carries so it is
+        never re-forwarded into a cycle — with hops yielded to the
+        simulator in between.
+        """
         net = self.net
         limit = 8 * max(net.size.bit_length(), 1) + 2 * net.size + 64
         current = start
+        visited = {start}
         for _ in range(limit):
             try:
                 peer = net.peer(current)
@@ -850,17 +1003,28 @@ class AsyncBatonNetwork(AsyncOverlayRuntime):
                 # The walk's carrier vanished; re-enter somewhere live, as a
                 # real joining host would retry through another contact.
                 current = net.random_peer_address()
+                visited.add(current)
                 yield Hop(None, current)  # fresh client ingress
                 continue
             if join_protocol.can_accept_join(peer):
                 return current
             next_hop = None
+            revisit: Optional[Address] = None
             for candidate in join_protocol.forward_targets(net, peer):
+                if candidate in visited:
+                    if revisit is None:
+                        revisit = candidate
+                    continue
                 if join_protocol.try_message(
                     net, current, candidate, MsgType.JOIN_FIND
                 ):
                     next_hop = candidate
                     break
+            if next_hop is None and revisit is not None:
+                if join_protocol.try_message(
+                    net, current, revisit, MsgType.JOIN_FIND
+                ):
+                    next_hop = revisit
             if next_hop is None:
                 if not self._routing_degraded():
                     raise ProtocolError(
@@ -868,8 +1032,10 @@ class AsyncBatonNetwork(AsyncOverlayRuntime):
                         "no forwarding target"
                     )
                 current = net.random_peer_address()
+                visited.add(current)
                 yield Hop(None, current)  # marooned: retry via a new contact
             else:
+                visited.add(next_hop)
                 yield Hop(current, next_hop)
                 current = next_hop
         raise ProtocolError("join request did not terminate (routing state corrupt?)")
@@ -885,8 +1051,20 @@ class AsyncBatonNetwork(AsyncOverlayRuntime):
                 return self._leave_result(future, address, None)
             self._flush_updates_to(address)
             if leave_protocol.can_depart_simply(departing):
+                absorber = departing.parent
+                handover = len(departing.store)
                 leave_protocol.depart_leaf(net, departing, content_target="parent")
                 net.stats.leaves += 1
+                if absorber is not None:
+                    # The key handover is a bulk transfer: the departure is
+                    # only complete once the keys land at the parent, and a
+                    # bandwidth-limited link charges for every one of them
+                    # (the structural splice above stays atomic).
+                    yield Hop(
+                        address,
+                        absorber.address,
+                        size=float(max(1, handover)),
+                    )
                 return self._leave_result(future, address, None)
             replacement_address = yield from self._find_replacement_steps(
                 future, departing
@@ -909,12 +1087,25 @@ class AsyncBatonNetwork(AsyncOverlayRuntime):
             if not leave_protocol.can_depart_simply(replacement):
                 yield Hop(address, address)  # lost the race; walk again
                 continue
+            repl_parent = replacement.parent
+            repl_handover = len(replacement.store)
+            handover = len(departing.store)
             leave_protocol.depart_leaf(net, replacement, content_target="parent")
             # Refreshes emitted by the departure itself can target the
             # departing peer; they must land before its state is handed over.
             self._flush_updates_to(address)
             leave_protocol.transplant(net, departing, replacement)
             net.stats.leaves += 1
+            # Two bulk transfers priced after the (atomic) surgeries: the
+            # replacement leaf's own keys to its parent, and the departing
+            # peer's store to the replacement that now owns its slot.
+            if repl_parent is not None:
+                yield Hop(
+                    replacement_address,
+                    repl_parent.address,
+                    size=float(max(1, repl_handover)),
+                )
+            yield Hop(address, replacement_address, size=float(max(1, handover)))
             return self._leave_result(future, address, replacement_address)
         raise ProtocolError(f"leave of address {address} kept losing races")
 

@@ -104,6 +104,26 @@ class Topology(abc.ABC):
         """Payload units per time unit on this link; None = unconstrained."""
         return None
 
+    def direct_delay(
+        self, src: Optional[Address], dst: Optional[Address]
+    ) -> float:
+        """The *expected* one-message cost of the direct (src, dst) link.
+
+        This is the denominator of the latency-stretch metric (an
+        operation's accumulated transit divided by what one direct hop to
+        the owner would have cost): deterministic — it must never consume
+        the jitter stream, or computing a metric would perturb the run it
+        measures — and un-jittered, so stretch 1.0 means "as good as a
+        direct link on average".  Stochastic topologies override this with
+        a closed-form expectation; the base implementation is only correct
+        for deterministic ``link_delay``.
+        """
+        if src is None:
+            src = dst
+        if dst is None:
+            dst = src
+        return self.link_delay(src, dst)
+
 
 class PlacementTopology(Topology):
     """Base for topologies that assign every address a placement.
@@ -127,6 +147,8 @@ class PlacementTopology(Topology):
         self.jitter = jitter
         self._placements: Dict[object, object] = {}
         self._jitter_rng = SeededRng(derive_seed(seed, "jitter"))
+        #: Bound draw, so the per-sample hot path skips attribute lookups.
+        self._jitter_draw = self._jitter_rng.random
 
     def placement(self, address: Optional[Address]):
         """The (deterministic) placement of ``address``."""
@@ -145,7 +167,7 @@ class PlacementTopology(Topology):
         """Multiply ``base`` by (1 + jitter * U[0,1))."""
         if self.jitter == 0:
             return base
-        return base * (1.0 + self.jitter * self._jitter_rng.random())
+        return base * (1.0 + self.jitter * self._jitter_draw())
 
 
 class ClusteredTopology(PlacementTopology):
@@ -192,6 +214,25 @@ class ClusteredTopology(PlacementTopology):
         self.intra_bandwidth = intra_bandwidth
         self.inter_bandwidth = inter_bandwidth
         self._pair_factors: Dict[Tuple[int, int], float] = {}
+        # Per-ordered-pair cost matrices, materialized eagerly (factors are
+        # seeded per pair, so eager vs. lazy draws are identical).  The hot
+        # :meth:`sample` below is then region lookups + list indexing — no
+        # dict or method dispatch per call, which matters when every hop of
+        # an N=10k run prices a link.
+        self._pair_base: List[List[float]] = [
+            [
+                intra_delay if i == j else inter_delay * self._pair_factor(i, j)
+                for j in range(regions)
+            ]
+            for i in range(regions)
+        ]
+        self._pair_bandwidth: List[List[Optional[float]]] = [
+            [
+                intra_bandwidth if i == j else inter_bandwidth
+                for j in range(regions)
+            ]
+            for i in range(regions)
+        ]
 
     def region_of(self, address: Optional[Address]) -> int:
         return self.placement(address)
@@ -208,18 +249,43 @@ class ClusteredTopology(PlacementTopology):
             self._pair_factors[key] = factor
         return factor
 
+    def sample(
+        self, src: Optional[Address], dst: Optional[Address], *, size: float = 0.0
+    ) -> float:
+        # Inlined fast path of Topology.sample + link_delay: one draw per
+        # call (identical to the generic path, so replays are unchanged),
+        # zero per-call Position/dict churn.
+        if src is None:
+            src = dst if dst is not None else "client"
+        if dst is None:
+            dst = src
+        placements = self._placements
+        src_region = placements.get(src, -1)
+        if src_region < 0:
+            src_region = self.placement(src if src != "client" else None)
+        dst_region = placements.get(dst, -1)
+        if dst_region < 0:
+            dst_region = self.placement(dst if dst != "client" else None)
+        delay = self._pair_base[src_region][dst_region]
+        if self.jitter:
+            delay *= 1.0 + self.jitter * self._jitter_draw()
+        if size > 0:
+            bandwidth = self._pair_bandwidth[src_region][dst_region]
+            if bandwidth is not None:
+                delay += size / bandwidth
+        return delay
+
     def link_delay(self, src, dst) -> float:
         src_region = self.placement(src)
         dst_region = self.placement(dst)
-        if src_region == dst_region:
-            return self._jittered(self.intra_delay)
-        base = self.inter_delay * self._pair_factor(src_region, dst_region)
-        return self._jittered(base)
+        return self._jittered(self._pair_base[src_region][dst_region])
 
     def link_bandwidth(self, src, dst) -> Optional[float]:
-        if self.placement(src) == self.placement(dst):
-            return self.intra_bandwidth
-        return self.inter_bandwidth
+        return self._pair_bandwidth[self.placement(src)][self.placement(dst)]
+
+    def direct_delay(self, src, dst) -> float:
+        """Un-jittered expected cost of the direct link (stretch metric)."""
+        return self._pair_base[self.placement(src)][self.placement(dst)]
 
 
 class CoordinateTopology(PlacementTopology):
@@ -262,6 +328,12 @@ class CoordinateTopology(PlacementTopology):
 
     def link_bandwidth(self, src, dst) -> Optional[float]:
         return self.bandwidth
+
+    def direct_delay(self, src, dst) -> float:
+        """Un-jittered distance-proportional cost (stretch metric)."""
+        x1, y1 = self.placement(src)
+        x2, y2 = self.placement(dst)
+        return self.base_delay + self.unit_delay * math.hypot(x1 - x2, y1 - y2)
 
 
 #: Names `make_topology` accepts (the CLI's --topology choices).

@@ -1,0 +1,102 @@
+"""Bounded-memory streaming statistics for large workload runs.
+
+The concurrent workload driver used to keep every operation's latency in a
+list and sort it at the end — fine at N=1000, a real memory tax at the
+paper's N=10k with long windows (hundreds of thousands of floats held for
+the whole run, plus their futures pinned by the lists).  This module
+provides the replacement: :class:`StreamingQuantiles` accumulates samples
+into logarithmically spaced bins, so memory is O(bins) regardless of run
+length and every percentile query is a single bin walk.
+
+Accuracy: with the default 64 bins per decade the relative bin width is
+``10^(1/64) - 1 ≈ 3.7%`` — far below the run-to-run noise of the
+experiments that consume these numbers — and the estimator is exact for
+the minimum, maximum, count and mean.  Determinism: the accumulator is
+pure arithmetic over the sample stream, so two identical runs report
+identical percentiles (the property the workload replay tests pin).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+
+class StreamingQuantiles:
+    """Log-binned percentile accumulator with O(bins) memory.
+
+    ``lo`` and ``hi`` bound the binned resolution range: samples below
+    ``lo`` (including zeros and negatives) land in the first bin and
+    samples above ``hi`` in the last, both still clamped exactly by the
+    tracked min/max.  Quantiles use the nearest-rank convention, matching
+    :func:`repro.workloads.concurrent.percentile` on list inputs.
+    """
+
+    __slots__ = ("_lo", "_scale", "_counts", "count", "total", "min", "max")
+
+    def __init__(
+        self,
+        lo: float = 1e-3,
+        hi: float = 1e6,
+        bins_per_decade: int = 64,
+    ):
+        if lo <= 0 or hi <= lo:
+            raise ValueError("need 0 < lo < hi")
+        if bins_per_decade < 1:
+            raise ValueError("need at least one bin per decade")
+        self._lo = lo
+        self._scale = bins_per_decade / math.log(10.0)
+        n_bins = int(math.log(hi / lo) * self._scale) + 2
+        self._counts: List[int] = [0] * n_bins
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def add(self, value: float) -> None:
+        """Accumulate one sample."""
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if value <= self._lo:
+            index = 0
+        else:
+            index = int(math.log(value / self._lo) * self._scale) + 1
+            last = len(self._counts) - 1
+            if index > last:
+                index = last
+        self._counts[index] += 1
+
+    @property
+    def mean(self) -> float:
+        """Exact arithmetic mean (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Nearest-rank quantile estimate (0.0 when empty).
+
+        Returns the geometric midpoint of the bin holding the ``ceil(q*n)``-th
+        order statistic, clamped to the exact observed [min, max].
+        """
+        if self.count == 0:
+            return 0.0
+        if not 0.0 < q <= 1.0:
+            raise ValueError("q must be in (0, 1]")
+        rank = min(self.count, max(1, math.ceil(q * self.count)))
+        seen = 0
+        for index, bin_count in enumerate(self._counts):
+            seen += bin_count
+            if seen >= rank:
+                if index == 0:
+                    # The underflow bin covers (-inf, lo]; its only exact
+                    # representative is the observed minimum.
+                    return self.min
+                if index == len(self._counts) - 1:
+                    # Overflow bin, [hi, inf): represent by the maximum.
+                    return self.max
+                value = self._lo * math.exp((index - 0.5) / self._scale)
+                return min(self.max, max(self.min, value))
+        return self.max  # pragma: no cover - rank <= count guarantees a hit

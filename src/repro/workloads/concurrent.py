@@ -29,6 +29,7 @@ from repro.core.ranges import Range
 from repro.net.message import MsgType
 from repro.sim.runtime import AsyncOverlayRuntime, OpFuture
 from repro.util.rng import SeededRng
+from repro.util.stats import StreamingQuantiles
 
 
 @dataclass(frozen=True)
@@ -109,6 +110,13 @@ class ConcurrentReport:
     query_transit_p50: float = 0.0
     query_transit_p99: float = 0.0
     query_transit_mean: float = 0.0
+    #: Latency stretch: a query's accumulated transit divided by the
+    #: expected cost of a *direct* entry->owner link
+    #: (:meth:`~repro.sim.topology.Topology.direct_delay`).  Stretch 3
+    #: means the overlay route spent 3x what a direct connection would
+    #: have; topology-blind routing shows up here first (ROADMAP).
+    latency_stretch_p50: float = 0.0
+    latency_stretch_p99: float = 0.0
     messages_total: int = 0
     messages_per_query: float = 0.0
     max_in_flight: int = 0
@@ -171,6 +179,8 @@ class ConcurrentReport:
             f"transit time: {self.transit_time_total:.1f} total on the wire, "
             f"query p50/p99 {self.query_transit_p50:.2f}/"
             f"{self.query_transit_p99:.2f}",
+            f"latency stretch (vs direct link) p50/p99: "
+            f"{self.latency_stretch_p50:.2f}/{self.latency_stretch_p99:.2f}",
             f"messages: {self.messages_total} total, "
             f"{self.messages_per_query:.2f} per query",
         ]
@@ -229,8 +239,6 @@ def run_concurrent_workload(
     rng = SeededRng(seed)
     domain: Range = anet.domain
     report = ConcurrentReport(duration=config.duration)
-    futures: List[OpFuture] = []
-    query_futures: List[OpFuture] = []
     recovery_latencies: List[float] = []
     start_messages = anet.bus.stats.total
     start_replica_messages = anet.bus.stats.by_type[MsgType.REPLICATE]
@@ -238,11 +246,65 @@ def run_concurrent_workload(
     horizon = start_time + config.duration  # the clock may not start at zero
     repair_in_window = config.repair_delay > 0 and anet.supports("repair")
 
+    # Streaming accumulation: every metric is folded in by the operation's
+    # completion callback, so no list of futures (or samples) grows with
+    # the run — the memory contract that makes N=10k x long windows
+    # routine (DESIGN.md, "Performance contract").  Percentiles come from
+    # bounded log-binned accumulators; counts, sums, min/max stay exact.
+    latency_q = StreamingQuantiles()
+    transit_q = StreamingQuantiles()
+    stretch_q = StreamingQuantiles()
+    totals = {"transit": 0.0, "query_msgs": 0}
+    topology = anet.topology
+
+    def settle(future: OpFuture) -> None:
+        """Fold one completed operation into the report (any kind)."""
+        totals["transit"] += future.transit
+        kind = future.kind
+        succeeded = future.succeeded
+        if succeeded:
+            report.completed += 1
+        else:
+            report.failed += 1
+        if kind == "search.exact":
+            report.exact_total += 1
+            totals["query_msgs"] += future.trace.total
+            if succeeded and future.result.found:
+                report.exact_hits += 1
+        elif kind == "search.range":
+            report.range_total += 1
+            totals["query_msgs"] += future.trace.total
+            if succeeded and future.result.complete:
+                report.range_complete += 1
+        elif succeeded:
+            if kind == "join":
+                report.joins_applied += 1
+            elif kind == "leave":
+                report.leaves_applied += 1
+            elif kind == "fail" and future.result is not None:
+                report.fails_applied += 1
+            return
+        else:
+            return
+        if not succeeded or future.latency is None:
+            return
+        latency_q.add(future.latency)
+        transit_q.add(future.transit)
+        owner = None
+        if kind == "search.exact":
+            owner = future.result.owner
+        elif future.result.owners:
+            owner = future.result.owners[0]
+        if owner is not None and future.entry is not None:
+            direct = topology.direct_delay(future.entry, owner)
+            if direct > 0:
+                stretch_q.add(future.transit / direct)
+
     def note(kind: str, future: Optional[OpFuture]) -> None:
         if future is None:
             return
         report.submitted[kind] = report.submitted.get(kind, 0) + 1
-        futures.append(future)
+        future.add_done_callback(settle)
 
     def schedule_repair(fail_future: OpFuture) -> None:
         """After a crash lands, detect and repair it ``repair_delay`` later."""
@@ -257,7 +319,7 @@ def run_concurrent_workload(
             repair_future = anet.submit_repair(crashed)
             note("repair", repair_future)
 
-            def settle(done: OpFuture) -> None:
+            def settle_repair(done: OpFuture) -> None:
                 if done.succeeded and done.result is not None:
                     report.repairs_applied += 1
                     report.keys_recovered += done.result.keys_recovered
@@ -272,7 +334,7 @@ def run_concurrent_workload(
                         label="repair-retry",
                     )
 
-            repair_future.add_done_callback(settle)
+            repair_future.add_done_callback(settle_repair)
 
         anet.sim.schedule(
             config.repair_delay, lambda: attempt(3), label="repair-detect"
@@ -303,17 +365,14 @@ def run_concurrent_workload(
         if config.range_fraction and stream.random() < config.range_fraction:
             span = min(config.range_span, domain.width - 1)
             low = stream.randint(domain.low, domain.high - span - 1)
-            future = anet.submit_search_range(low, low + span)
-            note("search.range", future)
+            note("search.range", anet.submit_search_range(low, low + span))
         else:
             key = (
                 stream.choice(keys)
                 if keys
                 else stream.randint(domain.low, domain.high - 1)
             )
-            future = anet.submit_search_exact(key)
-            note("search.exact", future)
-        query_futures.append(futures[-1])
+            note("search.exact", anet.submit_search_exact(key))
 
     def submit_insert(stream: SeededRng) -> None:
         key = stream.randint(domain.low, domain.high - 1)
@@ -325,6 +384,8 @@ def run_concurrent_workload(
                 report.insert_keys_applied.append(key)
 
         future.add_done_callback(record)
+        # (The kept keys are the durability experiments' ground truth; the
+        # list is bounded by applied inserts, not by samples.)
 
     def arrivals(label: str, rate: float, submit_one) -> None:
         """Schedule a Poisson stream of submissions until the horizon."""
@@ -355,7 +416,10 @@ def run_concurrent_workload(
             report.reconcile_messages += anet.reconcile()
             report.reconcile_sweeps += 1
             if anet.replication_enabled:
-                anet.submit_replica_refresh()
+                # The batched sweep: one future for the whole per-peer
+                # fan-out instead of one per peer (same transfers, same
+                # per-link sized pricing).
+                anet.submit_replica_refresh_sweep()
                 report.replica_refresh_sweeps += 1
             if anet.sim.now + config.maintenance_interval <= horizon:
                 anet.sim.schedule(
@@ -376,51 +440,25 @@ def run_concurrent_workload(
     report.max_in_flight = anet.max_in_flight
     report.final_size = anet.size
     report.messages_total = anet.bus.stats.total - start_messages
-    for future in futures:
-        if future.succeeded:
-            report.completed += 1
-        else:
-            report.failed += 1
-        if not future.succeeded:
-            continue
-        if future.kind == "join":
-            report.joins_applied += 1
-        elif future.kind == "leave":
-            report.leaves_applied += 1
-        elif future.kind == "fail" and future.result is not None:
-            report.fails_applied += 1
-
-    report.transit_time_total = sum(f.transit for f in futures)
+    report.transit_time_total = totals["transit"]
     report.replica_messages = (
         anet.bus.stats.by_type[MsgType.REPLICATE] - start_replica_messages
     )
     if recovery_latencies:
         report.recovery_latency_p50 = percentile(recovery_latencies, 0.50)
         report.recovery_latency_max = max(recovery_latencies)
-    latencies: List[float] = []
-    transits: List[float] = []
-    for future in query_futures:
-        if future.kind == "search.exact":
-            report.exact_total += 1
-            if future.succeeded and future.result.found:
-                report.exact_hits += 1
-        else:
-            report.range_total += 1
-            if future.succeeded and future.result.complete:
-                report.range_complete += 1
-        if future.succeeded and future.latency is not None:
-            latencies.append(future.latency)
-            transits.append(future.transit)
-    if latencies:
-        report.query_latency_p50 = percentile(latencies, 0.50)
-        report.query_latency_p90 = percentile(latencies, 0.90)
-        report.query_latency_p99 = percentile(latencies, 0.99)
-        report.query_latency_mean = sum(latencies) / len(latencies)
-    if transits:
-        report.query_transit_p50 = percentile(transits, 0.50)
-        report.query_transit_p99 = percentile(transits, 0.99)
-        report.query_transit_mean = sum(transits) / len(transits)
+    if latency_q.count:
+        report.query_latency_p50 = latency_q.quantile(0.50)
+        report.query_latency_p90 = latency_q.quantile(0.90)
+        report.query_latency_p99 = latency_q.quantile(0.99)
+        report.query_latency_mean = latency_q.mean
+    if transit_q.count:
+        report.query_transit_p50 = transit_q.quantile(0.50)
+        report.query_transit_p99 = transit_q.quantile(0.99)
+        report.query_transit_mean = transit_q.mean
+    if stretch_q.count:
+        report.latency_stretch_p50 = stretch_q.quantile(0.50)
+        report.latency_stretch_p99 = stretch_q.quantile(0.99)
     if report.query_total:
-        query_messages = sum(f.trace.total for f in query_futures)
-        report.messages_per_query = query_messages / report.query_total
+        report.messages_per_query = totals["query_msgs"] / report.query_total
     return report

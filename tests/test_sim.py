@@ -171,8 +171,8 @@ class TestHeapCompaction:
         for event in events[:24]:  # 24 of 40 -> exceeds half the heap
             sim.cancel(event)
         assert len(sim._queue) < 40  # dead entries were dropped eagerly
-        # whatever is still marked cancelled is below the half-heap bound
-        assert 2 * len(sim._cancelled) <= len(sim._queue)
+        # whatever is still tombstoned is below the half-heap bound
+        assert 2 * sim._dead <= len(sim._queue)
         assert sim.pending_count == 16
         assert sim.cancelled_count == 24
 
@@ -212,4 +212,154 @@ class TestHeapCompaction:
         assert len(sim._queue) == 2  # below the compaction floor
         sim.run()
         assert sim.executed_count == 1
-        assert keep.seq not in sim._queued_seqs
+        assert keep.action is None  # executed handles are tombstoned too
+
+
+class _ReferenceEvent:
+    """The engine's original heap entry: a frozen, ordered dataclass.
+
+    Kept here (not in the library) as the ordering oracle: the slotted
+    :class:`~repro.sim.engine.Event` handles must pop in exactly the
+    (time, seq) order this implementation produced.
+    """
+
+    def __init__(self, time, seq):
+        self.time = time
+        self.seq = seq
+
+    def __lt__(self, other):
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class TestOrderEquivalence:
+    """The refactored heap entries replay the old dataclass order exactly."""
+
+    def _random_interleaving(self, seed: int):
+        """One random schedule/cancel script; returns (script, n_events)."""
+        import random
+
+        rng = random.Random(seed)
+        script = []
+        n_events = 0
+        for _ in range(rng.randint(20, 120)):
+            if n_events and rng.random() < 0.35:
+                script.append(("cancel", rng.randrange(n_events)))
+            else:
+                # Coarse times force (time, seq) ties; negative delays are
+                # invalid so times are drawn absolute from a fixed clock.
+                script.append(("schedule", float(rng.randint(0, 12))))
+                n_events += 1
+        return script
+
+    def _reference_order(self, script):
+        """Drive the old implementation: heap of (time, seq) dataclass-like
+        entries plus the historical _cancelled side set, popped lazily."""
+        import heapq as hq
+
+        heap, cancelled, events, order = [], set(), [], []
+        for op, arg in script:
+            if op == "schedule":
+                event = _ReferenceEvent(arg, len(events))
+                events.append(event)
+                hq.heappush(heap, event)
+            else:
+                event = events[arg]
+                cancelled.add(event.seq)
+        while heap:
+            event = hq.heappop(heap)
+            if event.seq not in cancelled:
+                order.append((event.time, event.seq))
+        return order
+
+    def _engine_order(self, script):
+        sim = Simulator()
+        order = []
+        events = []
+        for op, arg in script:
+            if op == "schedule":
+                seq = len(events)
+                time = arg
+
+                def record(time=time, seq=seq):
+                    order.append((time, seq))
+
+                events.append(sim.schedule_at(arg, record))
+            else:
+                sim.cancel(events[arg])
+        sim.run()
+        return order
+
+    def test_pop_order_matches_old_event_dataclass(self):
+        for seed in range(40):
+            script = self._random_interleaving(seed)
+            assert self._engine_order(script) == self._reference_order(script), (
+                f"divergence for script seed {seed}"
+            )
+
+    def test_cancel_interleaved_with_execution(self):
+        # Cancels issued *during* the run follow the same lazy semantics:
+        # each executing event cancels the one scheduled two slots later.
+        sim = Simulator()
+        executed = []
+        handles = {}
+
+        def fire(t):
+            executed.append(t)
+            later = handles.get(t + 2)
+            if later is not None:
+                sim.cancel(later)
+
+        for t in range(1, 20):
+            handles[t] = sim.schedule(float(t), lambda t=t: fire(t))
+        sim.run()
+        # 1 runs and kills 3; 2 runs and kills 4; 5 (first survivor after
+        # the cascade restarts) runs and kills 7 ... i.e. survivors come in
+        # leading pairs of each {4k+1, ...} block.
+        assert executed == [t for t in range(1, 20) if t % 4 in (1, 2)]
+
+
+class TestCancelHeavyScale:
+    """Regression: pending_count and compaction stay consistent through a
+    cancel-heavy 10k-event run, and the heap never balloons with tombstones."""
+
+    def test_10k_event_churn_keeps_heap_compact(self):
+        sim = Simulator()
+        executed = []
+        live = []
+        n_events = 10_000
+        for i in range(n_events):
+            live.append(
+                sim.schedule(float(i % 97) + i * 1e-4, lambda i=i: executed.append(i))
+            )
+            # Cancel in bursts, as churned operations do: every third event
+            # retires the oldest outstanding handle.
+            if i % 3 == 2:
+                victim = live.pop(0)
+                assert sim.cancel(victim)
+                # The books always balance: heap length minus tombstones
+                # equals the live pending count.
+                assert sim.pending_count == len(sim._queue) - sim._dead
+                assert sim.pending_count == len(live)
+        cancelled = n_events - len(live)
+        assert sim.cancelled_count == cancelled
+        # Compaction bounds the heap: never more than the schedule highwater,
+        # and tombstones never exceed half of it (plus the pre-threshold
+        # residue on small queues).
+        assert sim.peak_queue_len <= n_events
+        assert 2 * sim._dead <= max(len(sim._queue), sim._COMPACT_MIN_QUEUE)
+        total = sim.run()
+        assert total == len(live)
+        assert sim.executed_count == len(live)
+        assert len(executed) == len(live)
+        assert sim.pending_count == 0
+        # The run popped everything: no tombstones survive the drain.
+        assert not sim._queue and sim._dead == 0
+
+    def test_peak_queue_len_tracks_highwater(self):
+        sim = Simulator()
+        for t in range(50):
+            sim.schedule(float(t), lambda: None)
+        assert sim.peak_queue_len == 50
+        sim.run(max_events=30)
+        sim.schedule(1.0, lambda: None)
+        assert sim.peak_queue_len == 50  # highwater, not current length

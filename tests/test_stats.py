@@ -1,0 +1,91 @@
+"""Tests for the streaming statistics accumulators (repro.util.stats)."""
+
+import random
+
+import pytest
+
+from repro.util.stats import StreamingQuantiles
+from repro.workloads.concurrent import percentile
+
+
+class TestStreamingQuantiles:
+    def test_empty(self):
+        q = StreamingQuantiles()
+        assert q.count == 0
+        assert q.mean == 0.0
+        assert q.quantile(0.5) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StreamingQuantiles(lo=0.0)
+        with pytest.raises(ValueError):
+            StreamingQuantiles(lo=2.0, hi=1.0)
+        with pytest.raises(ValueError):
+            StreamingQuantiles(bins_per_decade=0)
+        q = StreamingQuantiles()
+        q.add(1.0)
+        with pytest.raises(ValueError):
+            q.quantile(0.0)
+        with pytest.raises(ValueError):
+            q.quantile(1.5)
+
+    def test_exact_aggregates(self):
+        q = StreamingQuantiles()
+        values = [0.5, 2.0, 8.0, 1.0, 4.0]
+        for value in values:
+            q.add(value)
+        assert q.count == len(values)
+        assert q.min == 0.5
+        assert q.max == 8.0
+        assert q.mean == pytest.approx(sum(values) / len(values))
+
+    def test_single_value_every_quantile(self):
+        q = StreamingQuantiles()
+        q.add(42.0)
+        for quant in (0.01, 0.5, 0.99, 1.0):
+            assert q.quantile(quant) == pytest.approx(42.0)
+
+    def test_quantiles_monotone_in_q(self):
+        rng = random.Random(7)
+        q = StreamingQuantiles()
+        for _ in range(5000):
+            q.add(rng.expovariate(0.2))
+        estimates = [q.quantile(x / 100) for x in range(1, 101)]
+        assert estimates == sorted(estimates)
+
+    def test_tracks_nearest_rank_percentile_closely(self):
+        """Log-binned estimates stay within the bin's relative width."""
+        rng = random.Random(3)
+        values = [rng.expovariate(1.0) + 0.01 for _ in range(20000)]
+        q = StreamingQuantiles()
+        for value in values:
+            q.add(value)
+        for quant in (0.5, 0.9, 0.99):
+            exact = percentile(values, quant)
+            assert q.quantile(quant) == pytest.approx(exact, rel=0.05)
+
+    def test_out_of_range_samples_clamped_by_min_max(self):
+        q = StreamingQuantiles(lo=1e-3, hi=1e3)
+        q.add(1e-9)  # below resolution: first bin, clamped to exact min
+        q.add(1e9)  # above resolution: last bin, clamped to exact max
+        assert q.quantile(0.5) == pytest.approx(1e-9)
+        assert q.quantile(1.0) == pytest.approx(1e9)
+
+    def test_zero_and_negative_land_in_first_bin(self):
+        q = StreamingQuantiles()
+        q.add(0.0)
+        q.add(-1.0)
+        q.add(5.0)
+        assert q.count == 3
+        assert q.quantile(0.34) == pytest.approx(-1.0)  # clamped to min
+
+    def test_deterministic_across_identical_streams(self):
+        def one(seed):
+            rng = random.Random(seed)
+            q = StreamingQuantiles()
+            for _ in range(1000):
+                q.add(rng.random() * 100)
+            return [q.quantile(x / 10) for x in range(1, 11)], q.mean
+
+        assert one(11) == one(11)
+        assert one(11) != one(12)
