@@ -9,9 +9,10 @@ checked-in point; ``python -m repro profile --out`` refreshes it), and the
 regression test fails when the driver gets more than
 ``REPRO_BENCH_FACTOR``x (default 2x) slower than that baseline.
 
-The shortened N=10k cell — the paper's headline population — is gated
-behind ``REPRO_SCALE_SMOKE=1`` (CI's benchmark job sets it) so ordinary
-test runs stay fast.
+The shortened N=10k cell — the paper's headline population — and the
+N=30k bulk-build stand-in are gated behind ``REPRO_SCALE_SMOKE=1`` (CI's
+benchmark job sets it) so ordinary test runs stay fast; the full N=100k
+cell — bulk build plus a ~10⁶-event drive — needs ``REPRO_FULL_SCALE=1``.
 """
 
 from __future__ import annotations
@@ -71,6 +72,15 @@ def test_n1000_driver(benchmark):
         f"if this is an intentional trade, refresh BENCH_scale.json via "
         f"'python -m repro profile --out BENCH_scale.json'"
     )
+    # The throughput gate: events/sec through the engine must stay within
+    # the same factor of the committed row (wall-clock alone would let a
+    # slower engine hide behind a cheaper build).
+    floor = float(baseline["events_per_s"]) / factor
+    assert row["events_per_s"] >= floor, (
+        f"engine regression: N=1000 drive ran {row['events_per_s']:.0f} "
+        f"events/s, baseline {baseline['events_per_s']:.0f} "
+        f"(floor {floor:.0f}); refresh BENCH_scale.json if intentional"
+    )
 
 
 @pytest.mark.skipif(
@@ -92,3 +102,58 @@ def test_10k_churn_query_smoke(benchmark):
     assert row["queries"] > 0
     assert row["success"] > 0.8
     assert row["peak_heap"] < row["events"]
+
+
+@pytest.mark.skipif(
+    os.environ.get("REPRO_SCALE_SMOKE") != "1"
+    and os.environ.get("REPRO_FULL_SCALE") != "1",
+    reason="N=30k bulk-build smoke runs in the CI benchmark job",
+)
+def test_30k_bulk_smoke(benchmark):
+    """PR-CI stand-in for the 100k cell: bulk build + a shortened drive."""
+    row = benchmark.pedantic(
+        lambda: scale_profile.profile_run(
+            30_000, seed=0, duration=scale_profile.DURATION / 2
+        ),
+        iterations=1,
+        rounds=1,
+    )
+    benchmark.extra_info["row"] = row
+    assert row["build"] == "bulk"
+    assert row["build_s"] < 10.0
+    assert row["queries"] > 0
+    assert row["success"] > 0.8
+
+
+@pytest.mark.skipif(
+    os.environ.get("REPRO_FULL_SCALE") != "1",
+    reason="the N=100k heavy cell only runs under REPRO_FULL_SCALE=1",
+)
+def test_100k_bulk_million_event_drive(benchmark):
+    """The 100k scale claim: bulk build in seconds, then a ~10⁶-event
+    window, gated against the committed trajectory's throughput."""
+    row = benchmark.pedantic(
+        lambda: scale_profile.profile_run(
+            100_000, seed=0, **scale_profile.bench_window(100_000)
+        ),
+        iterations=1,
+        rounds=1,
+    )
+    benchmark.extra_info["row"] = row
+    assert row["build"] == "bulk"
+    assert row["build_s"] < 10.0
+    assert row["events"] >= 1_000_000
+    assert row["success"] > 0.8
+    assert row["peak_heap"] < row["events"]
+
+    baseline = _baseline_row(100_000)
+    if baseline is None:
+        pytest.skip("no BENCH_scale.json baseline committed for N=100000")
+    factor = float(os.environ.get("REPRO_BENCH_FACTOR", "2.0"))
+    floor = float(baseline["events_per_s"]) / factor
+    assert row["events_per_s"] >= floor, (
+        f"engine regression at scale: N=100k drive ran "
+        f"{row['events_per_s']:.0f} events/s, baseline "
+        f"{baseline['events_per_s']:.0f} (floor {floor:.0f}); refresh "
+        f"BENCH_scale.json if intentional"
+    )

@@ -39,7 +39,7 @@ from repro.core.results import (
     RangeSearchResult,
     SearchResult,
 )
-from repro.net.address import Address, AddressAllocator
+from repro.net.address import Address, AddressAllocator, AddressPoolDict
 from repro.net.bus import MessageBus, Trace
 from repro.net.message import MsgType
 from repro.sim.topology import Hop
@@ -69,7 +69,7 @@ class ChordNetwork:
         self.rng = SeededRng(seed)
         self.bus = MessageBus()
         self.alloc = AddressAllocator()
-        self.nodes: dict[Address, ChordNode] = {}
+        self.nodes: dict[Address, ChordNode] = AddressPoolDict()
         self._used_ids: set[int] = set()
 
     # -- bookkeeping ---------------------------------------------------------
@@ -96,7 +96,7 @@ class ChordNetwork:
         """A uniformly random live node (query/join entry points)."""
         if not self.nodes:
             raise NetworkEmptyError("ring has no nodes")
-        return self.rng.choice(sorted(self.nodes))
+        return self.nodes.random_address(self.rng)
 
     # Historical spelling, kept for callers written against the old API.
     random_node_address = random_peer_address

@@ -12,7 +12,7 @@ Usage::
     python -m repro concurrent --overlay all --topology clustered
     python -m repro concurrent --replication --fail-fraction 0.5 --repair-delay 2
     python -m repro durability --quick
-    python -m repro profile                        # N=1000 + shortened N=10k
+    python -m repro profile                        # N=1000/10k/100k cells
     python -m repro profile --out BENCH_scale.json # dump the trajectory point
 """
 
@@ -106,22 +106,28 @@ def cmd_profile(args: argparse.Namespace) -> int:
         sizes = (1000, 2500, 5000, 10000)
     else:
         sizes = scale_profile.BENCH_SIZES
+    bulk = not args.no_bulk_build
     if args.out:
-        payload = scale_profile.write_benchmark(args.out, sizes, seed=args.seed)
+        payload = scale_profile.write_benchmark(
+            args.out, sizes, seed=args.seed, bulk=bulk
+        )
         rows = payload["rows"]
         print(f"wrote {args.out} ({len(rows)} population(s))")
     else:
         # Same measurement as the --out/benchmark path (including the
         # shortened window for the big populations), just not persisted.
-        rows = scale_profile.collect_benchmark(sizes, seed=args.seed)["rows"]
+        rows = scale_profile.collect_benchmark(sizes, seed=args.seed, bulk=bulk)[
+            "rows"
+        ]
     for row in rows:
         print(
-            f"N={row['n_peers']}: build {row['build_s']:.2f}s, "
-            f"drive {row['drive_s']:.2f}s "
+            f"N={row['n_peers']}: build {row['build_s']:.2f}s "
+            f"({row['build']}), drive {row['drive_s']:.2f}s "
             f"({row['events']} events, {row['events_per_s']:.0f}/s, "
             f"peak heap {row['peak_heap']}), "
             f"success {row['success']:.3f}, p50 {row['p50']:.2f}, "
-            f"stretch p50 {row['stretch_p50']:.2f}"
+            f"stretch p50 {row['stretch_p50']:.2f}, "
+            f"rss {row['peak_rss_mb']:.0f}MB"
         )
     return 0
 
@@ -280,7 +286,14 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         nargs="*",
         default=None,
-        help="population(s) to profile (default: 1000 and a shortened 10000)",
+        help="population(s) to profile (default: 1000, a shortened 10000, "
+        "and the heavy-window 100000 cell)",
+    )
+    profile.add_argument(
+        "--no-bulk-build",
+        action="store_true",
+        help="grow BATON join by join instead of the direct bulk "
+        "construction (the pre-refactor behaviour; very slow beyond 10k)",
     )
     profile.add_argument(
         "--full",

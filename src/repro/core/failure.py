@@ -53,6 +53,7 @@ def fail(net: "BatonNetwork", address: Address) -> None:
     peer = net.peers.pop(address, None)
     if peer is None:
         raise PeerNotFoundError(address)
+    net.pool_discard(address)
     net.bus.unregister(address)
     net.ghosts[address] = peer
 

@@ -23,6 +23,7 @@ The checker validates everything the paper's theorems promise:
 
 from __future__ import annotations
 
+import time
 from typing import List, Optional, TYPE_CHECKING
 
 from repro.core.ids import Position
@@ -61,6 +62,171 @@ def collect_violations(net: "BatonNetwork") -> List[str]:
     errors.extend(_check_table_completeness(net))
     errors.extend(_check_parent_child(net))
     errors.extend(_check_store_containment(net))
+    return errors
+
+
+def collect_violations_sampled(
+    net: "BatonNetwork",
+    sample_size: int = 1024,
+    seed: int = 0,
+    budget_s: Optional[float] = None,
+) -> List[str]:
+    """Invariant violations visible from a random peer sample.
+
+    The full checker is O(N log N) and walks every peer several times —
+    half a minute at N=100k, which no test or post-build sanity hook can
+    afford.  This variant draws ``sample_size`` peers (all of them when the
+    network is smaller) and verifies every *locally checkable* invariant at
+    each: map consistency, parent-slot closure, Theorem 1 table fullness,
+    link accuracy, table completeness against the position map, parent and
+    child mutuality, store containment, and the adjacency splice including
+    range continuity (``left.high == own.low == …``) — so a gap, overlap or
+    stale link anywhere in the sampled neighbourhoods is caught.  Global
+    aggregates that need the whole tree at once (height balance, the full
+    in-order walk) stay with :func:`collect_violations`.
+
+    ``budget_s`` optionally stops after a wall-clock budget; at sample 1024
+    a check costs ~10ms at N=100k, so the budget only bites when something
+    is pathologically wrong (which the partial result will already show).
+    """
+    errors: List[str] = []
+    if net.ghosts:
+        errors.append(f"unrepaired ghosts present: {sorted(net.ghosts)}")
+    if not net.peers:
+        return errors
+    if Position(0, 1) not in net._positions:
+        errors.append("root slot unoccupied")
+    addresses = list(net.peers)
+    if sample_size >= len(addresses):
+        chosen = addresses
+    else:
+        from repro.util.rng import SeededRng
+
+        chosen = SeededRng(seed).sample(addresses, sample_size)
+    deadline = time.perf_counter() + budget_s if budget_s else None
+    for address in chosen:
+        errors.extend(_check_peer_locally(net, net.peers[address]))
+        if deadline is not None and time.perf_counter() > deadline:
+            break
+    return errors
+
+
+def _check_peer_locally(net: "BatonNetwork", peer: BatonPeer) -> List[str]:
+    """Every invariant checkable from one peer and its direct links."""
+    errors: List[str] = []
+    position = peer.position
+
+    # Map consistency and tree closure.
+    if net._positions.get(position) != peer.address:
+        errors.append(f"peer {peer.address} at {position} missing from map")
+    parent_position = position.parent()
+    if parent_position is not None and parent_position not in net._positions:
+        errors.append(
+            f"occupied slot {position} has unoccupied parent {parent_position}"
+        )
+
+    # Theorem 1 and the link snapshots.
+    if not peer.is_leaf and not peer.tables_full():
+        errors.append(f"{position} has children but incomplete routing tables")
+    for kind, info in peer.iter_links():
+        problem = _info_matches(net, info)
+        if problem is not None:
+            errors.append(f"{position} {kind} link: {problem}")
+
+    # Table completeness against the position map.
+    for side in (LEFT, RIGHT):
+        table = peer.table_on(side)
+        for index in table.valid_indices():
+            slot = table.position_at(index)
+            occupant = net._positions.get(slot)
+            entry = table.get(index)
+            if occupant is not None and entry is None:
+                errors.append(
+                    f"{position} {side} table misses occupied slot {slot}"
+                )
+            elif occupant is None and entry is not None:
+                errors.append(
+                    f"{position} {side} table has entry for empty slot {slot}"
+                )
+            elif entry is not None and entry.address != occupant:
+                errors.append(
+                    f"{position} {side} table entry for {slot} points at "
+                    f"{entry.address}, occupant is {occupant}"
+                )
+
+    # Parent/child mutuality.
+    if peer.parent is None and position.level != 0:
+        errors.append(f"non-root {position} has no parent link")
+    for side, expected_pos in (
+        (LEFT, position.left_child()),
+        (RIGHT, position.right_child()),
+    ):
+        child_info = peer.child_on(side)
+        if child_info is None:
+            continue
+        child = net.peers.get(child_info.address)
+        if child is None:
+            errors.append(f"{position} {side} child link is dead")
+        elif child.position != expected_pos:
+            errors.append(
+                f"{position} {side} child at {child.position}, "
+                f"expected {expected_pos}"
+            )
+        elif child.parent is None or child.parent.address != peer.address:
+            errors.append(
+                f"{child.position} does not point back at parent {position}"
+            )
+
+    # Adjacency splice and range continuity.  A boundary peer (no adjacent
+    # on a side) must own out to the corresponding domain edge, so checking
+    # every peer this way is exactly the global partition check.
+    domain = net.config.domain
+    left_info = peer.left_adjacent
+    if left_info is None:
+        if peer.range.low != domain.low:
+            errors.append(
+                f"{position} has no left adjacent but starts at "
+                f"{peer.range.low}, not {domain.low}"
+            )
+    else:
+        left = net.peers.get(left_info.address)
+        if left is None:
+            errors.append(f"{position} left adjacent link is dead")
+        else:
+            if left.range.high != peer.range.low:
+                errors.append(
+                    f"range gap/overlap before {position}: {left.range} "
+                    f"then {peer.range}"
+                )
+            if not left.position.inorder_lt(position):
+                errors.append(
+                    f"{position} left adjacent {left.position} is not "
+                    f"earlier in in-order"
+                )
+            right_back = left.right_adjacent
+            if right_back is None or right_back.address != peer.address:
+                errors.append(
+                    f"{left.position} does not point back at right "
+                    f"adjacent {position}"
+                )
+    right_info = peer.right_adjacent
+    if right_info is None and peer.range.high != domain.high:
+        errors.append(
+            f"{position} has no right adjacent but ends at "
+            f"{peer.range.high}, not {domain.high}"
+        )
+
+    # Store containment.
+    minimum, maximum = peer.store.min(), peer.store.max()
+    if minimum is not None and (
+        minimum < peer.range.low or maximum >= peer.range.high
+    ):
+        errors.append(
+            f"{position} stores keys [{minimum}, {maximum}] outside "
+            f"{peer.range}"
+        )
+    if peer.range.is_empty:
+        errors.append(f"empty range at {position}")
     return errors
 
 

@@ -15,7 +15,7 @@ assertions.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.core.ids import ROOT, Position
 from repro.core.links import LEFT, RIGHT, NodeInfo
@@ -175,6 +175,12 @@ class BatonNetwork:
         self.updates = UpdateChannel(self.bus)
         self.alloc = AddressAllocator()
         self.peers: Dict[Address, BatonPeer] = {}
+        #: Live addresses as a flat pool with swap-remove bookkeeping, so a
+        #: uniform entry-point draw is O(1).  The old implementation sorted
+        #: the peer dict on every draw — O(N log N) per submitted query,
+        #: the dominant cost of the workload driver beyond N≈10k.
+        self._address_pool: List[Address] = []
+        self._pool_index: Dict[Address, int] = {}
         #: Peers that failed abruptly; state retained for the repair
         #: coordinator's reconstruction and for test assertions.
         self.ghosts: Dict[Address, BatonPeer] = {}
@@ -210,22 +216,42 @@ class BatonNetwork:
         return list(self.peers)
 
     def random_peer_address(self) -> Address:
-        """A uniformly random live peer (query/join entry points)."""
-        if not self.peers:
+        """A uniformly random live peer (query/join entry points), O(1)."""
+        pool = self._address_pool
+        if not pool:
             raise NetworkEmptyError("network has no peers")
-        return self.rng.choice(sorted(self.peers))
+        return pool[self.rng.randint(0, len(pool) - 1)]
 
     def register_peer(self, peer: BatonPeer) -> None:
         self.peers[peer.address] = peer
         self._positions[peer.position] = peer.address
+        if peer.address not in self._pool_index:
+            self._pool_index[peer.address] = len(self._address_pool)
+            self._address_pool.append(peer.address)
         self.bus.register(peer.address)
 
     def unregister_peer(self, address: Address) -> BatonPeer:
         peer = self.peers.pop(address)
         if self._positions.get(peer.position) == address:
             del self._positions[peer.position]
+        self.pool_discard(address)
         self.bus.unregister(address)
         return peer
+
+    def pool_discard(self, address: Address) -> None:
+        """Swap-remove ``address`` from the O(1) entry-point pool.
+
+        Pool order is irrelevant to a uniform draw; the draw itself is what
+        must stay O(1).  Called by :meth:`unregister_peer` and by the abrupt
+        failure path, which removes a peer without the leave protocol.
+        """
+        index = self._pool_index.pop(address, None)
+        if index is None:
+            return
+        last = self._address_pool.pop()
+        if last != address:
+            self._address_pool[index] = last
+            self._pool_index[last] = index
 
     def record_move(self, peer: BatonPeer, old_position: Position) -> None:
         """Update the position map after a restructuring move."""
@@ -250,10 +276,29 @@ class BatonNetwork:
         n_peers: int,
         seed: int = 0,
         config: Optional[BatonConfig] = None,
+        bulk: bool = False,
+        keys: Optional[Iterable[int]] = None,
     ) -> "BatonNetwork":
-        """Convenience constructor: bootstrap and join ``n_peers - 1`` peers."""
+        """Convenience constructor: bootstrap and join ``n_peers - 1`` peers.
+
+        ``bulk=True`` computes the final balanced tree directly instead of
+        simulating N joins (see :mod:`repro.core.bulk_build` and DESIGN.md's
+        "Construction contract") — same shape, same links, zero messages;
+        entry-point placement differs only in that joins are random-entry.
+        ``keys`` (bulk only) is the dataset to load while building.  Scale
+        surfaces (``scale_profile``, the ``profile`` CLI) default to the
+        bulk path; protocol tests that pin message traces keep joins.
+        """
         if n_peers < 1:
             raise ValueError("need at least one peer")
+        if keys is not None and not bulk:
+            raise ValueError("keys= requires bulk=True (joins load via insert)")
+        if bulk:
+            from repro.core.bulk_build import populate_balanced
+
+            net = cls(config=config, seed=seed)
+            populate_balanced(net, n_peers, keys=keys)
+            return net
         net = cls(config=config, seed=seed)
         net.bootstrap()
         for _ in range(n_peers - 1):

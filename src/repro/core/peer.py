@@ -19,7 +19,29 @@ from repro.net.address import Address
 
 
 class BatonPeer:
-    """A peer occupying one tree position."""
+    """A peer occupying one tree position.
+
+    Slotted: peers are the unit of population, and at N=100k the
+    per-instance ``__dict__`` of an open class costs more than the links
+    it holds.  The slot list **is** the public attribute API — every field
+    below is read and written by the protocol modules and tests.
+    """
+
+    __slots__ = (
+        "address",
+        "position",
+        "range",
+        "store",
+        "replicas",
+        "replica_anchor",
+        "parent",
+        "left_child",
+        "right_child",
+        "left_adjacent",
+        "right_adjacent",
+        "left_table",
+        "right_table",
+    )
 
     def __init__(self, address: Address, position: Position, range_: Range):
         self.address = address

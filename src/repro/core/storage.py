@@ -16,6 +16,8 @@ from typing import Iterable, Iterator, List, Optional
 class LocalStore:
     """Sorted multiset of integer keys owned by one peer."""
 
+    __slots__ = ("_keys",)
+
     def __init__(self, keys: Optional[Iterable[int]] = None):
         self._keys: List[int] = sorted(keys) if keys else []
 

@@ -139,6 +139,7 @@ def build_baton(
     balance_enabled: bool = False,
     capacity: Optional[int] = None,
     replication: bool = False,
+    bulk: bool = False,
 ) -> BatonNetwork:
     """A BATON overlay grown around its data.
 
@@ -147,6 +148,10 @@ def build_baton(
     by load — that is what keeps the root from owning a fat slice of the
     domain (Figure 8(f)).  We reproduce that by seeding the bootstrap peer
     with the whole dataset before the joins run.
+
+    ``bulk=True`` skips the simulated joins and computes the same loaded,
+    balanced end state directly (:mod:`repro.core.bulk_build`) — the only
+    way to reach N=100k in seconds, and the default on scale surfaces.
     """
     config = BatonConfig(
         balance=LoadBalanceConfig(
@@ -155,6 +160,13 @@ def build_baton(
         ),
         replication=replication,
     )
+    if bulk:
+        keys = (
+            loaded_keys(n_peers, data_per_node, seed) if data_per_node else None
+        )
+        return BatonNetwork.build(
+            n_peers, seed=seed, config=config, bulk=True, keys=keys
+        )
     net = BatonNetwork(config=config, seed=seed)
     root = net.bootstrap()
     if data_per_node:
@@ -204,15 +216,25 @@ def build_multiway(n_peers: int, seed: int, data_per_node: int) -> MultiwayNetwo
     return net
 
 
-def build_loaded(overlay: str, n_peers: int, seed: int, data_per_node: int):
+def build_loaded(
+    overlay: str,
+    n_peers: int,
+    seed: int,
+    data_per_node: int,
+    bulk: bool = False,
+):
     """A loaded network of any registered overlay, by name.
 
     The three known overlays keep their historical construction regimes
     (BATON and multiway grow around their data so median splits see real
     content; Chord hashes, so bulk placement is equivalent).  An overlay
-    registered later falls back to build-then-bulk-load.
+    registered later falls back to build-then-bulk-load.  ``bulk=True``
+    selects BATON's direct construction path (ignored by overlays that
+    have no such path).
     """
-    builders = {"baton": build_baton, "chord": build_chord, "multiway": build_multiway}
+    if overlay == "baton":
+        return build_baton(n_peers, seed, data_per_node, bulk=bulk)
+    builders = {"chord": build_chord, "multiway": build_multiway}
     builder = builders.get(overlay)
     if builder is not None:
         return builder(n_peers, seed, data_per_node)

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import json
 import platform
+import resource
 import time
 from typing import Dict, List, Optional
 
@@ -64,6 +65,16 @@ QUERY_RATE = 16.0
 DATA_PER_NODE = 20
 
 
+def peak_rss_mb() -> float:
+    """The process's resident high-water mark, in MiB.
+
+    ``ru_maxrss`` is kernel-reported (KiB on Linux), costs one syscall, and
+    never decreases — within a sweep it reflects the largest population
+    profiled so far, so read it per row and compare rows at equal N.
+    """
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024
+
+
 def profile_run(
     n_peers: int,
     seed: int = 0,
@@ -73,10 +84,16 @@ def profile_run(
     churn_rate: float = CHURN_RATE,
     query_rate: float = QUERY_RATE,
     data_per_node: int = DATA_PER_NODE,
+    bulk: bool = True,
 ) -> Dict[str, object]:
-    """One profiled build + drive; returns the phase timings and counters."""
+    """One profiled build + drive; returns the phase timings and counters.
+
+    ``bulk`` (default on — this is a scale surface) builds BATON through
+    the direct construction path; pass ``bulk=False`` to time the
+    join-by-join protocol build instead.
+    """
     started = time.perf_counter()
-    net = build_loaded(overlay, n_peers, seed, data_per_node)
+    net = build_loaded(overlay, n_peers, seed, data_per_node, bulk=bulk)
     build_s = time.perf_counter() - started
 
     rng = SeededRng(derive_seed(seed, "scale-profile"))
@@ -106,6 +123,7 @@ def profile_run(
         "n_peers": n_peers,
         "seed": seed,
         "duration": duration,
+        "build": "bulk" if bulk and overlay == "baton" else "join",
         "build_s": round(build_s, 4),
         "drive_s": round(drive_s, 4),
         "total_s": round(build_s + drive_s, 4),
@@ -118,6 +136,7 @@ def profile_run(
         "p50": round(report.query_latency_p50, 3),
         "stretch_p50": round(report.latency_stretch_p50, 3),
         "messages": report.messages_total,
+        "peak_rss_mb": round(peak_rss_mb(), 1),
     }
 
 
@@ -147,6 +166,7 @@ def run(
             "success",
             "p50",
             "stretch_p50",
+            "peak_rss_mb",
         ],
         expectation=EXPECTATION,
     )
@@ -157,25 +177,39 @@ def run(
 
 
 #: Format marker for BENCH_scale.json; bump on incompatible layout changes.
-BENCH_SCHEMA = 1
+#: Schema 2: builds are bulk by default (``build`` marks the path), rows
+#: carry ``peak_rss_mb``, and the trajectory includes the N=100k cell.
+BENCH_SCHEMA = 2
 
 #: The populations a benchmark point covers by default (the N=1000 cell is
-#: the acceptance driver; 10k is the paper's headline N, run shortened).
-BENCH_SIZES = (1000, 10000)
+#: the acceptance driver; 10k is the paper's headline N, run shortened;
+#: 100k is the bulk-build scale cell driven through a ~10⁶-event window).
+BENCH_SIZES = (1000, 10000, 100000)
+
+
+def bench_window(n_peers: int) -> Dict[str, float]:
+    """The workload window for one benchmark cell.
+
+    The N=100k cell runs a deliberately heavy window — about a million
+    executed events — because that is the scale claim the trajectory
+    guards; the 10k cell is shortened so smoke jobs stay in smoke time;
+    everything else uses the runall experiment window for comparability.
+    """
+    if n_peers >= 100_000:
+        return {"duration": 50.0, "query_rate": 1000.0}
+    if n_peers >= 10_000:
+        return {"duration": DURATION / 2}
+    return {}
 
 
 def collect_benchmark(
-    sizes: tuple[int, ...] = BENCH_SIZES, seed: int = 0
+    sizes: tuple[int, ...] = BENCH_SIZES, seed: int = 0, bulk: bool = True
 ) -> Dict[str, object]:
     """Measure one benchmark trajectory point (machine-readable)."""
     rows: List[Dict[str, object]] = []
     for n_peers in sizes:
-        # Only the 10k cell runs a shortened window (so a smoke job stays
-        # in smoke time); every other population uses the same window as
-        # the runall experiment path, keeping the rows comparable.
-        duration = DURATION if n_peers < 10_000 else DURATION / 2
         rows.append(
-            profile_run(n_peers, seed=seed, duration=duration)
+            profile_run(n_peers, seed=seed, bulk=bulk, **bench_window(n_peers))
         )
     return {
         "schema": BENCH_SCHEMA,
@@ -187,10 +221,13 @@ def collect_benchmark(
 
 
 def write_benchmark(
-    path: str, sizes: tuple[int, ...] = BENCH_SIZES, seed: int = 0
+    path: str,
+    sizes: tuple[int, ...] = BENCH_SIZES,
+    seed: int = 0,
+    bulk: bool = True,
 ) -> Dict[str, object]:
     """Measure and dump one trajectory point to ``path`` (JSON)."""
-    payload = collect_benchmark(sizes, seed=seed)
+    payload = collect_benchmark(sizes, seed=seed, bulk=bulk)
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=2)
         handle.write("\n")

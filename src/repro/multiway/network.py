@@ -31,7 +31,7 @@ from repro.core.results import (
     SearchResult,
 )
 from repro.multiway.node import ChildLink, MultiwayNode
-from repro.net.address import Address, AddressAllocator
+from repro.net.address import Address, AddressAllocator, AddressPoolDict
 from repro.net.bus import MessageBus, Trace
 from repro.net.message import MsgType
 from repro.sim.topology import Hop
@@ -75,7 +75,7 @@ class MultiwayNetwork:
         self.rng = SeededRng(seed)
         self.bus = MessageBus()
         self.alloc = AddressAllocator()
-        self.nodes: Dict[Address, MultiwayNode] = {}
+        self.nodes: Dict[Address, MultiwayNode] = AddressPoolDict()
         self.root: Optional[Address] = None
 
     # -- bookkeeping ---------------------------------------------------------
@@ -98,7 +98,7 @@ class MultiwayNetwork:
         """A uniformly random live node (query/join entry points)."""
         if not self.nodes:
             raise NetworkEmptyError("tree has no nodes")
-        return self.rng.choice(sorted(self.nodes))
+        return self.nodes.random_address(self.rng)
 
     # Historical spelling, kept for callers written against the old API.
     random_node_address = random_peer_address

@@ -106,6 +106,7 @@ class OpFuture:
         "error",
         "hops",
         "transit",
+        "ingress",
         "entry",
         "_callbacks",
     )
@@ -124,6 +125,12 @@ class OpFuture:
         #: of its hops' per-link delays; equals `latency` while the runtime
         #: has no queueing, and diverges the day it does).
         self.transit = 0.0
+        #: The share of ``transit`` spent on client legs (hops with no
+        #: source peer — the client handing the request to its entry
+        #: point).  Overlay routing metrics must exclude it: the
+        #: latency-stretch denominator is the direct entry->owner link,
+        #: which no client leg is part of.
+        self.ingress = 0.0
         #: The peer the operation entered the overlay at (queries and data
         #: ops; None for membership changes).  The latency-stretch metric
         #: compares accumulated transit against the direct entry->owner link.
@@ -234,12 +241,22 @@ class AsyncOverlayRuntime:
         config=None,
         latency=None,
         topology=None,
+        bulk=False,
+        keys=None,
         **kwargs,
     ):
-        """Grow a synchronous network, then wrap it for concurrent traffic."""
+        """Grow a synchronous network, then wrap it for concurrent traffic.
+
+        ``bulk=True`` (overlays with a direct construction path, i.e.
+        BATON) computes the final tree instead of simulating joins;
+        ``keys`` optionally loads a dataset during that construction.
+        """
         if cls.network_cls is None:
             raise TypeError(f"{cls.__name__} has no network_cls to build")
-        net = cls.network_cls.build(n_peers, seed=seed, config=config)
+        build_kwargs = {"bulk": True, "keys": keys} if bulk else {}
+        net = cls.network_cls.build(
+            n_peers, seed=seed, config=config, **build_kwargs
+        )
         return cls(net, latency=latency, topology=topology, **kwargs)
 
     @property
@@ -463,6 +480,8 @@ class AsyncOverlayRuntime:
             delay = self.topology.sample(hop.src, hop.dst, size=hop.size)
             future.hops += 1
             future.transit += delay
+            if hop.src is None:
+                future.ingress += delay
             self.sim.schedule(
                 delay, lambda: advance(steps), label="replica.refresh.sweep"
             )
@@ -630,6 +649,8 @@ class AsyncOverlayRuntime:
         delay = self.topology.sample(hop.src, hop.dst, size=hop.size)
         future.hops += 1
         future.transit += delay
+        if hop.src is None:
+            future.ingress += delay
         if self.record_events:
             self._log(future, "hop")
         self.sim.schedule(delay, advance, label)

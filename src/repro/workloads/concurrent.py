@@ -298,7 +298,11 @@ def run_concurrent_workload(
         if owner is not None and future.entry is not None:
             direct = topology.direct_delay(future.entry, owner)
             if direct > 0:
-                stretch_q.add(future.transit / direct)
+                # Routing stretch is an overlay metric: the client's
+                # ingress leg is not part of the entry->owner path the
+                # denominator prices, so it must not inflate the numerator
+                # (with it, stretch_p50 degenerated into a copy of p50).
+                stretch_q.add((future.transit - future.ingress) / direct)
 
     def note(kind: str, future: Optional[OpFuture]) -> None:
         if future is None:
