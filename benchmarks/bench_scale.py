@@ -83,6 +83,56 @@ def test_n1000_driver(benchmark):
     )
 
 
+def test_n1000_inert_faultplan_zero_overhead(benchmark):
+    """The chaos wrapper must be free when unused.
+
+    An inert :class:`~repro.sim.faults.FaultPlan` (no rates, no windows)
+    routes every hop through the chaos transmit path, but with nothing to
+    inject it must behave like the plain transport: the very same events
+    execute (the inert plan consumes no randomness, so the run is
+    event-for-event identical), and the engine's throughput stays within
+    5% of the fast path.  The drive window is short, so wall clock is
+    noisy: both variants run several *interleaved* rounds over a doubled
+    window (frequency drift and warm-up then hit both sides alike) and
+    the best (highest events/s) of each side is compared.
+    """
+    rounds = 5
+    window = scale_profile.DURATION * 2
+    plain, inert = [], []
+    for _ in range(rounds):
+        plain.append(
+            scale_profile.profile_run(1000, seed=0, duration=window)
+        )
+        inert.append(
+            scale_profile.profile_run(
+                1000, seed=0, duration=window, wrap_faults=True
+            )
+        )
+    row = benchmark.pedantic(
+        lambda: scale_profile.profile_run(
+            1000, seed=0, duration=window, wrap_faults=True
+        ),
+        iterations=1,
+        rounds=1,
+    )
+    benchmark.extra_info["row"] = row
+
+    # Identical work: the inert plan changes nothing about the run itself.
+    assert {r["events"] for r in plain} == {row["events"]}
+    assert {r["events"] for r in inert} == {row["events"]}
+    assert plain[0]["queries"] == row["queries"]
+    assert plain[0]["success"] == row["success"]
+    assert plain[0]["messages"] == row["messages"]
+    assert plain[0]["p50"] == row["p50"]
+
+    best_plain = max(float(r["events_per_s"]) for r in plain)
+    best_inert = max(float(r["events_per_s"]) for r in inert + [row])
+    assert best_inert >= 0.95 * best_plain, (
+        f"inert FaultPlan costs more than 5%: best fast path "
+        f"{best_plain:.0f} events/s vs best wrapped {best_inert:.0f}"
+    )
+
+
 @pytest.mark.skipif(
     os.environ.get("REPRO_SCALE_SMOKE") != "1"
     and os.environ.get("REPRO_FULL_SCALE") != "1",

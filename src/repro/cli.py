@@ -12,6 +12,8 @@ Usage::
     python -m repro concurrent --overlay all --topology clustered
     python -m repro concurrent --replication --fail-fraction 0.5 --repair-delay 2
     python -m repro durability --quick
+    python -m repro chaos --quick                  # all four scenarios
+    python -m repro chaos --scenario lossy_links --overlay baton
     python -m repro profile                        # N=1000/10k/100k cells
     python -m repro profile --out BENCH_scale.json # dump the trajectory point
 """
@@ -92,6 +94,25 @@ def cmd_durability(args: argparse.Namespace) -> int:
 
     scale = harness.quick_scale() if args.quick else harness.default_scale()
     result = durability.run(scale, n_peers=args.peers)
+    print(result.to_text())
+    return 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Run the chaos suite (correlated disaster across overlays)."""
+    from repro.experiments import chaos, harness
+
+    scale = harness.quick_scale() if args.quick else harness.default_scale()
+    scenarios = (
+        chaos.SCENARIO_NAMES if args.scenario == "all" else (args.scenario,)
+    )
+    overlay_names = None if args.overlay == "all" else [args.overlay]
+    result = chaos.run(
+        scale,
+        scenarios=scenarios,
+        overlay_names=overlay_names,
+        n_peers=args.peers,
+    )
     print(result.to_text())
     return 0
 
@@ -274,6 +295,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--peers", type=int, default=None, help="override the population"
     )
     durability.set_defaults(func=cmd_durability)
+
+    from repro import overlays
+    from repro.workloads.chaos import SCENARIO_NAMES
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="correlated-disaster scenarios (region outage, partition, "
+        "flash crowd, lossy links) with availability/recovery metrics",
+    )
+    chaos.add_argument("--quick", action="store_true")
+    chaos.add_argument(
+        "--scenario",
+        default="all",
+        choices=list(SCENARIO_NAMES) + ["all"],
+        help="which scenario to run ('all' runs the full suite)",
+    )
+    chaos.add_argument(
+        "--overlay",
+        default="all",
+        choices=overlays.available() + ["all"],
+        help="which overlay to stress (scenarios needing capabilities the "
+        "overlay lacks are skipped with a note)",
+    )
+    chaos.add_argument(
+        "--peers", type=int, default=None, help="override the population"
+    )
+    chaos.set_defaults(func=cmd_chaos)
 
     profile = sub.add_parser(
         "profile",

@@ -1,0 +1,205 @@
+"""Chaos suite: the four correlated-disaster scenarios across overlays.
+
+Each cell runs one :mod:`repro.workloads.chaos` scenario on one overlay
+over a :class:`~repro.sim.topology.ClusteredTopology` (wrapped in the
+scenario's :class:`~repro.sim.faults.FaultPlan` where it has one), with
+light background churn/insert traffic and the standard query stream, and
+reports the four chaos metrics:
+
+* ``avail_during`` — fraction of queries submitted inside the fault
+  window that were fully answered;
+* ``recover_t`` — heal/strike point to the first sustained streak of
+  successful probes (-1: never within the run);
+* ``amplification`` — wire traffic over protocol messages
+  (retransmissions + duplicate deliveries make it exceed 1);
+* ``retries`` / ``timeouts`` / ``gave_up`` — the at-least-once runtime's
+  reaction counters (summed over seeds).
+
+Overlays are filtered by capability honestly: the region-outage scenario
+needs ``fail`` + ``repair`` (BATON only today); the others run on every
+registered overlay, so the table is a three-way comparison under
+adversity.  ``unresolved`` must read 0 in every row — an op that
+exhausts its retry budget fails its future, it never hangs — and the
+suite asserts it.
+
+Expected shape: lossy links keep availability above 90% at the default
+loss rate (the retry budget absorbs ~5% per-hop loss easily) at a few
+percent amplification; the partition dents availability only for ops
+spanning the cut and heals within a probe interval or two of the
+reconcile storm; the region outage is the hardest cell — availability
+drops while the monitor accumulates suspicion, and recovery tracks
+detection latency (monitor interval x threshold) plus repair time; the
+flash crowd stresses routing freshness rather than the channel, so its
+interesting column is availability under join-churn racing a hot-range
+spike.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro import overlays
+from repro.experiments.harness import (
+    ExperimentResult,
+    ExperimentScale,
+    default_scale,
+    loaded_keys,
+    mean,
+)
+from repro.sim.topology import ClusteredTopology
+from repro.util.rng import derive_seed
+from repro.workloads.chaos import SCENARIO_NAMES, build_scenario
+from repro.workloads.concurrent import ConcurrentConfig, run_concurrent_workload
+
+EXPECTATION = (
+    "zero unresolved ops everywhere (budget exhaustion fails, never hangs); "
+    "lossy links hold >0.9 availability at the default loss rate with a few "
+    "percent amplification; partition availability dips only for cross-cut "
+    "ops and recovery follows the heal-time reconcile storm; region-outage "
+    "recovery tracks monitor detection latency plus repair; the flash crowd "
+    "separates overlays by routing freshness under join churn"
+)
+
+QUERY_RATE = 4.0
+CHURN_RATE = 0.2
+INSERT_RATE = 0.2
+REGIONS = 4
+
+
+def run(
+    scale: Optional[ExperimentScale] = None,
+    scenarios: Sequence[str] = SCENARIO_NAMES,
+    overlay_names: Optional[Sequence[str]] = None,
+    n_peers: Optional[int] = None,
+) -> ExperimentResult:
+    """One row per (scenario, overlay), averaged over the scale's seeds."""
+    scale = scale or default_scale()
+    if n_peers is None:
+        n_peers = scale.sizes[0]
+    duration = max(24.0, scale.n_queries / QUERY_RATE)
+    names = list(overlay_names) if overlay_names else overlays.available()
+    result = ExperimentResult(
+        figure="Chaos",
+        title=(
+            f"Availability and recovery under correlated disaster "
+            f"(N={n_peers}, clustered topology, {REGIONS} regions, "
+            f"window {duration:.0f} units)"
+        ),
+        columns=[
+            "scenario",
+            "overlay",
+            "avail_during",
+            "recover_t",
+            "amplification",
+            "drops",
+            "dups",
+            "refusals",
+            "retries",
+            "timeouts",
+            "gave_up",
+            "unresolved",
+            "repairs",
+            "success",
+        ],
+        expectation=EXPECTATION,
+    )
+    for scenario_name in scenarios:
+        probe = build_scenario(scenario_name, duration=duration, n_peers=n_peers)
+        for name in names:
+            entry = overlays.get(name)
+            if not probe.requires <= entry.capabilities:
+                result.notes.append(
+                    f"{scenario_name} skipped on {name} (needs "
+                    f"{'+'.join(sorted(probe.requires))})"
+                )
+                continue
+            cells = [
+                one_cell(name, scenario_name, n_peers, seed, duration, scale)
+                for seed in scale.seeds
+            ]
+            recoveries = [
+                c.recover_time
+                for c in cells
+                if c.recover_time is not None and c.recover_time >= 0
+            ]
+            result.add_row(
+                scenario=scenario_name,
+                overlay=name,
+                avail_during=mean(
+                    [
+                        c.availability_during
+                        for c in cells
+                        if c.availability_during is not None
+                    ]
+                ),
+                recover_t=mean(recoveries) if recoveries else -1.0,
+                amplification=mean([c.message_amplification for c in cells]),
+                drops=sum(c.drops for c in cells),
+                dups=sum(c.duplicates for c in cells),
+                refusals=sum(c.partition_refusals for c in cells),
+                retries=sum(c.retries for c in cells),
+                timeouts=sum(c.timeouts for c in cells),
+                gave_up=sum(c.ops_gave_up for c in cells),
+                unresolved=sum(c.unresolved_ops for c in cells),
+                repairs=sum(c.repairs_applied for c in cells),
+                success=mean([c.query_success_rate for c in cells]),
+            )
+    return result
+
+
+def one_cell(
+    overlay: str,
+    scenario_name: str,
+    n_peers: int,
+    seed: int,
+    duration: float,
+    scale: ExperimentScale,
+):
+    """One (overlay, scenario, seed) run; returns the ConcurrentReport."""
+    entry = overlays.get(overlay)
+    scenario = build_scenario(scenario_name, duration=duration, n_peers=n_peers)
+    inner = ClusteredTopology(
+        seed=derive_seed(seed, "chaos-topology"), regions=REGIONS
+    )
+    topology = scenario.fault_plan(inner, seed) or inner
+    anet = entry.build_async(
+        n_peers,
+        seed=seed,
+        topology=topology,
+        record_events=False,
+        retain_ops=False,
+    )
+    keys = loaded_keys(n_peers, scale.data_per_node, seed)
+    anet.net.bulk_load(keys)
+    config = ConcurrentConfig(
+        duration=duration,
+        churn_rate=CHURN_RATE,
+        query_rate=QUERY_RATE,
+        insert_rate=INSERT_RATE,
+        range_fraction=0.2,
+        min_peers=8,
+    )
+    report = run_concurrent_workload(
+        anet,
+        keys,
+        config,
+        seed=derive_seed(seed, "chaos-driver"),
+        scenario=scenario,
+    )
+    if report.unresolved_ops:
+        raise AssertionError(
+            f"{report.unresolved_ops} op(s) left hanging in "
+            f"{scenario_name}/{overlay} seed {seed} — every OpFuture must "
+            f"resolve (the at-least-once contract)"
+        )
+    return report
+
+
+def main() -> ExperimentResult:
+    result = run()
+    print(result.to_text())
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -29,6 +29,15 @@ race the refresh interval (a mirror dies with its holder before
 re-anchoring, or a stale mirror is filtered at restore), so ``keys_lost``
 falls as the maintenance interval shrinks — while ``replica_msgs`` rises.
 That staleness-vs-maintenance-traffic trade-off is the measurement.
+
+The ``mode`` column separates failure regimes.  ``independent`` rows crash
+peers one at a time (Poisson churn, oracle detection after
+``repair_delay``).  The ``region_outage`` row is the correlated case: every
+peer in one :class:`~repro.sim.topology.ClusteredTopology` region dies at
+once and the only detection path is the heartbeat liveness monitor — no
+oracle — so its recovery columns report the probe-measured outage (strike
+to the first sustained streak of answered queries, detection latency
+included) rather than per-crash repair latency.
 """
 
 from __future__ import annotations
@@ -46,7 +55,9 @@ from repro.experiments.harness import (
     mean,
 )
 from repro.sim.latency import ExponentialLatency
+from repro.sim.topology import ClusteredTopology
 from repro.util.rng import SeededRng, derive_seed
+from repro.workloads.chaos import RegionOutage
 from repro.workloads.concurrent import ConcurrentConfig, run_concurrent_workload
 
 EXPECTATION = (
@@ -54,7 +65,9 @@ EXPECTATION = (
     "zero keys when crashes are repaired without racing churn and only a "
     "small residue under concurrency (crashes racing the refresh window); "
     "shrinking the maintenance interval trades replica/reconcile messages "
-    "for fewer lost keys and lower recovery latency"
+    "for fewer lost keys and lower recovery latency; the correlated "
+    "region_outage row survives on replication plus monitor-driven repair "
+    "alone, paying its recovery time in heartbeat detection latency"
 )
 
 CHURN_RATES = (0.5, 2.0)
@@ -63,6 +76,7 @@ QUERY_RATE = 4.0
 INSERT_RATE = 0.5
 REPAIR_DELAY = 2.0
 FAIL_FRACTION = 1.0
+OUTAGE_REGIONS = 4
 
 
 def run(
@@ -71,6 +85,7 @@ def run(
     maintenance_intervals: tuple[float, ...] = MAINTENANCE_INTERVALS,
     n_peers: Optional[int] = None,
     include_baseline: bool = True,
+    include_correlated: bool = True,
 ) -> ExperimentResult:
     """One row per (replication, churn rate, maintenance interval)."""
     scale = scale or default_scale()
@@ -85,6 +100,7 @@ def run(
             f"repair delay {REPAIR_DELAY})"
         ),
         columns=[
+            "mode",
             "replication",
             "churn_rate",
             "interval",
@@ -118,6 +134,7 @@ def run(
                     for seed in scale.seeds
                 ]
                 result.add_row(
+                    mode="independent",
                     replication=int(replication),
                     churn_rate=churn_rate,
                     interval=interval,
@@ -131,6 +148,31 @@ def run(
                     replica_msgs=sum(c["replica_msgs"] for c in cells),
                     success=mean([c["success"] for c in cells]),
                 )
+    if include_correlated:
+        interval = next(
+            (i for i in maintenance_intervals if i > 0),
+            MAINTENANCE_INTERVALS[1],
+        )
+        cells = [
+            _correlated_run(n_peers, seed, scale.data_per_node, interval)
+            for seed in scale.seeds
+        ]
+        recoveries = [c["recover"] for c in cells if c["recover"] >= 0]
+        result.add_row(
+            mode="region_outage",
+            replication=1,
+            churn_rate=0.0,
+            interval=interval,
+            crashes=sum(c["crashes"] for c in cells),
+            repairs=sum(c["repairs"] for c in cells),
+            keys_lost=sum(c["keys_lost"] for c in cells),
+            keys_recovered=sum(c["keys_recovered"] for c in cells),
+            recovery_p50=mean(recoveries) if recoveries else -1.0,
+            recovery_max=max(recoveries) if recoveries else -1.0,
+            reconcile_msgs=sum(c["reconcile_msgs"] for c in cells),
+            replica_msgs=sum(c["replica_msgs"] for c in cells),
+            success=mean([c["success"] for c in cells]),
+        )
     return result
 
 
@@ -184,6 +226,64 @@ def _one_run(
         "keys_recovered": report.keys_recovered,
         "recovery_p50": report.recovery_latency_p50,
         "recovery_max": report.recovery_latency_max,
+        "reconcile_msgs": report.reconcile_messages,
+        "replica_msgs": report.replica_messages,
+        "success": report.query_success_rate,
+    }
+
+
+def _correlated_run(
+    n_peers: int,
+    seed: int,
+    data_per_node: int,
+    maintenance_interval: float,
+) -> dict:
+    """One region dies at once; only the liveness monitor notices.
+
+    No background churn, so every lost key is attributable to the outage;
+    no ``repair_delay`` oracle, so every in-window repair was earned by
+    heartbeat suspicion.  ``recover`` is the scenario's probe-measured
+    strike-to-service time (-1: never within the run).
+    """
+    net = build_baton(n_peers, seed, data_per_node, replication=True)
+    net.refresh_replicas()
+    topology = ClusteredTopology(
+        seed=derive_seed(seed, "durability-regions"), regions=OUTAGE_REGIONS
+    )
+    anet = overlays.get("baton").wrap(
+        net, topology=topology, record_events=False, retain_ops=False
+    )
+    duration = 30.0  # long enough for strike + detection + probe streak
+    scenario = RegionOutage(
+        strike_at=duration * 0.25, window_len=duration * 0.5
+    )
+    keys = loaded_keys(n_peers, data_per_node, seed)
+    before = _stored_multiset(net)
+    config = ConcurrentConfig(
+        duration=duration,
+        churn_rate=0.0,
+        query_rate=QUERY_RATE,
+        insert_rate=INSERT_RATE,
+        maintenance_interval=maintenance_interval,
+        min_peers=8,
+    )
+    report = run_concurrent_workload(
+        anet,
+        keys,
+        config,
+        seed=derive_seed(seed, "durability-outage"),
+        scenario=scenario,
+    )
+    expected = before + Counter(report.insert_keys_applied)
+    keys_lost = sum((expected - _stored_multiset(net)).values())
+    return {
+        "crashes": report.fails_applied,
+        "repairs": report.repairs_applied,
+        "keys_lost": keys_lost,
+        "keys_recovered": report.keys_recovered,
+        "recover": (
+            report.recover_time if report.recover_time is not None else -1.0
+        ),
         "reconcile_msgs": report.reconcile_messages,
         "replica_msgs": report.replica_messages,
         "success": report.query_success_rate,

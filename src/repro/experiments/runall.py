@@ -16,6 +16,7 @@ from typing import List
 
 from repro.experiments import harness
 from repro.experiments import (
+    chaos,
     concurrent_dynamics,
     durability,
     fig8a_join_leave_find,
@@ -79,6 +80,13 @@ def run_all(scale=None, quick: bool = False) -> List[ExperimentResult]:
             maintenance_intervals=durability_intervals,
         )
     )
+    # The chaos suite: correlated disaster (region outage, partition,
+    # flash crowd, lossy links) across every capable overlay.  Quick mode
+    # keeps one cheap channel scenario and one correlated one.
+    chaos_scenarios = (
+        ("lossy_links", "partition_heal") if quick else chaos.SCENARIO_NAMES
+    )
+    results.append(chaos.run(scale, scenarios=chaos_scenarios))
     # Wall-clock profile of the runtime itself; the full grid reaches the
     # paper's N=10k under REPRO_FULL_SCALE=1 (sizes come from the scale).
     results.append(scale_profile.run(scale))

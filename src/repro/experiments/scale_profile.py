@@ -44,6 +44,7 @@ from repro.experiments.harness import (
     default_scale,
     loaded_keys,
 )
+from repro.sim.faults import FaultPlan
 from repro.sim.latency import ExponentialLatency
 from repro.util.rng import SeededRng, derive_seed
 from repro.workloads.concurrent import ConcurrentConfig, run_concurrent_workload
@@ -85,21 +86,29 @@ def profile_run(
     query_rate: float = QUERY_RATE,
     data_per_node: int = DATA_PER_NODE,
     bulk: bool = True,
+    wrap_faults: bool = False,
 ) -> Dict[str, object]:
     """One profiled build + drive; returns the phase timings and counters.
 
     ``bulk`` (default on — this is a scale surface) builds BATON through
     the direct construction path; pass ``bulk=False`` to time the
-    join-by-join protocol build instead.
+    join-by-join protocol build instead.  ``wrap_faults`` wraps the
+    transport in an *inert* :class:`~repro.sim.faults.FaultPlan` (no
+    rates, no windows) — the same workload then runs through the chaos
+    transmit path, which is how the zero-overhead guard in
+    ``benchmarks/bench_scale.py`` measures the price of the wrapper.
     """
     started = time.perf_counter()
     net = build_loaded(overlay, n_peers, seed, data_per_node, bulk=bulk)
     build_s = time.perf_counter() - started
 
     rng = SeededRng(derive_seed(seed, "scale-profile"))
+    transport = ExponentialLatency(mean=1.0, rng=rng.child("latency"))
+    if wrap_faults:
+        transport = FaultPlan(transport, seed=derive_seed(seed, "inert"))
     anet = overlays.get(overlay).wrap(
         net,
-        latency=ExponentialLatency(mean=1.0, rng=rng.child("latency")),
+        topology=transport,
         record_events=False,
         retain_ops=False,
     )

@@ -64,6 +64,11 @@ class MsgType(enum.Enum):
     #: sweep (one message per peer per round — the modeled cost of the
     #: map-based link rebuild; see DESIGN.md "Durability contract").
     RECONCILE = "reconcile"
+    #: Liveness-monitor probe to an adjacency neighbour (the chaos
+    #: subsystem's failure detector; see DESIGN.md "Delivery contract").
+    #: Probes to dead peers are counted before the bus raises, like any
+    #: other send — detection traffic is real traffic.
+    HEARTBEAT = "heartbeat"
 
 
 _message_ids = itertools.count(1)

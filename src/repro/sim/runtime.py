@@ -73,10 +73,12 @@ from repro.net.address import Address
 from repro.net.bus import MessageBus, Trace
 from repro.net.message import MsgType
 from repro.sim.engine import Simulator
+from repro.sim.faults import FaultPlan, FaultStats
 from repro.sim.latency import ConstantLatency, LatencyModel
 from repro.sim.topology import Hop, Topology
 from repro.util.errors import (
     CapabilityError,
+    DeliveryError,
     PeerNotFoundError,
     ProtocolError,
     ReproError,
@@ -105,6 +107,7 @@ class OpFuture:
         "result",
         "error",
         "hops",
+        "retries",
         "transit",
         "ingress",
         "entry",
@@ -121,6 +124,9 @@ class OpFuture:
         self.result: object = None
         self.error: Optional[ReproError] = None
         self.hops = 0
+        #: Retransmissions this operation's hops needed (always 0 on the
+        #: exactly-once fast path; only the chaos runtime retries).
+        self.retries = 0
         #: Total sampled link time this operation spent on the wire (the sum
         #: of its hops' per-link delays; equals `latency` while the runtime
         #: has no queueing, and diverges the day it does).
@@ -213,6 +219,14 @@ class AsyncOverlayRuntime:
         transport = topology if topology is not None else latency
         self.topology: Topology = (
             transport if transport is not None else ConstantLatency(1.0)
+        )
+        #: Installed chaos layer, if the transport is a FaultPlan.  With
+        #: None (every pre-chaos call site), operations take the
+        #: exactly-once fast path below, bit-for-bit as before; with a
+        #: plan, they go through the at-least-once transmit path
+        #: (judge/timeout/retry — see :meth:`_transmit`).
+        self.faults: Optional[FaultPlan] = (
+            self.topology if isinstance(self.topology, FaultPlan) else None
         )
         self.ops: List[OpFuture] = []
         #: Whether to append (time, op, kind, phase, msgs) tuples to
@@ -594,10 +608,18 @@ class AsyncOverlayRuntime:
         # N=10k profiles.
         label = f"{future.kind}#{future.op_id}"
 
-        def advance() -> None:
-            self._advance(future, steps, advance, label)
+        if self.faults is None:
 
-        self._advance(future, steps, advance, label)
+            def advance() -> None:
+                self._advance(future, steps, advance, label)
+
+            self._advance(future, steps, advance, label)
+        else:
+
+            def advance() -> None:
+                self._advance_chaos(future, steps, advance, label)
+
+            self._advance_chaos(future, steps, advance, label)
 
     def _advance(
         self,
@@ -654,6 +676,136 @@ class AsyncOverlayRuntime:
         if self.record_events:
             self._log(future, "hop")
         self.sim.schedule(delay, advance, label)
+
+    def _advance_chaos(
+        self,
+        future: OpFuture,
+        steps: OpSteps,
+        advance: Callable[[], None],
+        label: str,
+        throw: Optional[ReproError] = None,
+    ) -> None:
+        """Chaos-path twin of :meth:`_advance` (a FaultPlan is installed).
+
+        Identical protocol semantics — one atomic step, then reschedule or
+        complete — with two seams: hops are handed to :meth:`_transmit`
+        (judge, timeout, retry with backoff), and a hop that exhausted its
+        retry budget is *thrown into* the generator as ``throw``
+        (:class:`~repro.util.errors.DeliveryError`) so protocol code can
+        clean up partial state before the future fails.  With an inert
+        plan every attempt delivers first try at the inner topology's
+        sampled delay, making the run event-for-event identical to the
+        fast path (pinned in tests/test_chaos.py).
+        """
+        finished = False
+        failed: Optional[ReproError] = None
+        value: object = None
+        hop: Optional[Hop] = None
+        bus = self.net.bus
+        bus.push_trace(future.trace)
+        try:
+            try:
+                hop = steps.throw(throw) if throw is not None else next(steps)
+            except StopIteration as stop:
+                finished, value = True, stop.value
+            except ReproError as error:
+                failed = error
+        finally:
+            bus.pop_trace()
+        if failed is not None:
+            future.error = failed
+            self._in_flight -= 1
+            if self.record_events:
+                self._log(future, "failed")
+            future._complete(FAILED, self.sim.now)
+            return
+        if finished:
+            future.result = value
+            self._in_flight -= 1
+            if self.record_events:
+                self._log(future, "done")
+            future._complete(SUCCEEDED, self.sim.now)
+            return
+        if not isinstance(hop, Hop):
+            raise TypeError(
+                f"hop generators must yield Hop(src, dst), got {hop!r} "
+                f"(transport costs are per-link now; see repro.sim.topology)"
+            )
+        self._transmit(future, hop, steps, advance, label, 0)
+
+    def _transmit(
+        self,
+        future: OpFuture,
+        hop: Hop,
+        steps: OpSteps,
+        advance: Callable[[], None],
+        label: str,
+        attempt: int,
+    ) -> None:
+        """One at-least-once delivery attempt for ``hop``.
+
+        ``attempt`` 0 is the first transmission; each undelivered attempt
+        costs the sender a timeout, then the retransmission waits
+        ``retry.wait(attempt+1)`` (exponential backoff), re-judged at send
+        time so a healed partition lets later attempts through.  Budget
+        exhaustion throws :class:`~repro.util.errors.DeliveryError` into
+        the step generator — the op fails distinguishably, never hangs.
+        Retransmissions and duplicate deliveries are wire-level copies of
+        protocol messages the bus already counted once, so they live in
+        :class:`~repro.sim.faults.FaultStats` (the amplification metric),
+        not in the per-type message counters.
+        """
+        faults = self.faults
+        delivered, delay, _duplicate = faults.judge(
+            hop.src, hop.dst, self.sim.now, size=hop.size
+        )
+        if delivered:
+            # A duplicate arrival re-executes an idempotent receiver step
+            # as a no-op; it is counted (FaultStats.duplicates) but not
+            # re-scheduled — the op advanced on the first arrival.
+            future.hops += 1
+            future.transit += delay
+            if hop.src is None:
+                future.ingress += delay
+            if self.record_events:
+                self._log(future, "hop")
+            self.sim.schedule(delay, advance, label)
+            return
+        stats = faults.stats
+        stats.timeouts += 1
+        policy = faults.retry
+        if attempt >= policy.budget:
+            stats.gave_up += 1
+            self._advance_chaos(
+                future,
+                steps,
+                advance,
+                label,
+                throw=DeliveryError(hop.src, hop.dst, attempt + 1),
+            )
+            return
+        stats.retries += 1
+        future.retries += 1
+        self.sim.schedule(
+            policy.wait(attempt + 1),
+            lambda: self._transmit(future, hop, steps, advance, label, attempt + 1),
+            label,
+        )
+
+    @property
+    def fault_stats(self) -> FaultStats:
+        """The chaos layer's counters (all zeros without a FaultPlan)."""
+        return self.faults.stats if self.faults is not None else FaultStats()
+
+    def liveness_targets(self, address: Address) -> List[Address]:
+        """Peers ``address`` heartbeats in a liveness-monitor round.
+
+        The overlay's failure-detection neighbours (for BATON, the
+        in-order adjacents: together they cover every peer, so a crash is
+        always *somebody's* dead neighbour).  Empty where the overlay
+        exposes no monitorable adjacency.
+        """
+        return []
 
     def _log(self, future: OpFuture, phase: str) -> None:
         self.event_log.append(
@@ -727,6 +879,17 @@ class AsyncBatonNetwork(AsyncOverlayRuntime):
 
     def pending_repairs(self) -> List[Address]:
         return sorted(self.net.ghosts)
+
+    def liveness_targets(self, address: Address) -> List[Address]:
+        peer = self.net.peers.get(address)
+        if peer is None:
+            return []
+        targets = []
+        if peer.left_adjacent is not None:
+            targets.append(peer.left_adjacent.address)
+        if peer.right_adjacent is not None:
+            targets.append(peer.right_adjacent.address)
+        return targets
 
     def reconcile(self) -> int:
         """One anti-entropy round: refresh every peer's links to ground truth.

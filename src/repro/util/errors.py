@@ -36,6 +36,27 @@ class ProtocolError(ReproError):
     """
 
 
+class DeliveryError(ReproError):
+    """At-least-once delivery gave up on a hop.
+
+    Raised *into* an operation's step generator by the chaos-aware runtime
+    when one hop exhausts its retry budget (every retransmission dropped,
+    or the destination unreachable across a partition for the whole backoff
+    schedule).  Generators may catch it to clean up partial state (a Chord
+    join aborts its half-registered node, say) and must then re-raise: the
+    operation's :class:`~repro.sim.runtime.OpFuture` reports FAILED with
+    this error — a distinguishable outcome, never a hang.
+    """
+
+    def __init__(self, src, dst, attempts: int):
+        super().__init__(
+            f"delivery {src}->{dst} gave up after {attempts} attempt(s)"
+        )
+        self.src = src
+        self.dst = dst
+        self.attempts = attempts
+
+
 class CapabilityError(ReproError):
     """An overlay was asked for an operation it does not implement.
 

@@ -18,8 +18,18 @@ from repro.workloads.churn import ChurnEvent, churn_schedule
 from repro.workloads.concurrent import (
     ConcurrentConfig,
     ConcurrentReport,
+    ScenarioContext,
     percentile,
     run_concurrent_workload,
+)
+from repro.workloads.chaos import (
+    SCENARIO_NAMES,
+    ChaosScenario,
+    FlashCrowd,
+    LossyLinks,
+    PartitionHeal,
+    RegionOutage,
+    build_scenario,
 )
 
 __all__ = [
@@ -33,6 +43,14 @@ __all__ = [
     "churn_schedule",
     "ConcurrentConfig",
     "ConcurrentReport",
+    "ScenarioContext",
     "percentile",
     "run_concurrent_workload",
+    "SCENARIO_NAMES",
+    "ChaosScenario",
+    "FlashCrowd",
+    "LossyLinks",
+    "PartitionHeal",
+    "RegionOutage",
+    "build_scenario",
 ]

@@ -1,0 +1,494 @@
+"""Chaos scenarios: correlated disaster scripted over the concurrent driver.
+
+The concurrent workload models *independent* adversity — Poisson churn,
+one peer at a time.  Real outages are correlated: a region goes dark, a
+backbone cut partitions the overlay, a viral key draws a flash crowd.
+The D3-Tree line of work (PAPERS.md) argues overlays should be measured
+under sustained adversity; ROADMAP item 5 names these four scenarios:
+
+* :class:`RegionOutage` — every peer in one region crashes at once; the
+  liveness monitor (no oracle) must notice and drive repair.
+* :class:`PartitionHeal` — a :class:`~repro.sim.faults.PartitionWindow`
+  refuses cross-cut hops for a while; on heal, a reconcile storm
+  restores routing state.
+* :class:`FlashCrowd` — a join burst plus a many-fold query spike aimed
+  at one hot key range.
+* :class:`LossyLinks` — ambient message loss/duplication/delay-spikes at
+  the default rates for the whole run (the at-least-once runtime's
+  bread-and-butter regime).
+
+A scenario is a small script over one
+:func:`~repro.workloads.concurrent.run_concurrent_workload` run: it may
+wrap the run's topology in a :class:`~repro.sim.faults.FaultPlan`
+(``fault_plan``), schedule extra events before the drain (``install``),
+and compute recovery after it (``finalize``).  Each reports four metrics
+into the shared :class:`~repro.workloads.concurrent.ConcurrentReport`:
+
+* **availability-during** — fraction of queries submitted inside the
+  fault window that were fully answered;
+* **time-to-recover-after** — from the scenario's heal/strike point to
+  the first sustained streak of successful probe queries;
+* **message amplification** — wire traffic (retransmissions + duplicate
+  deliveries) over protocol messages;
+* **retry/timeout counts** — the at-least-once runtime's reactions.
+
+Scenario windows are expressed relative to the run start and assume the
+run begins at simulator time 0 (true for every build surface); the fault
+plan's windows are absolute for the same reason.  Everything is seeded:
+the same (scenario, overlay, seed) replays event-for-event.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.sim.faults import (
+    DEFAULT_LOSS_RATE,
+    FaultPlan,
+    PartitionWindow,
+    RetryPolicy,
+)
+from repro.sim.liveness import LivenessMonitor
+from repro.sim.runtime import OpFuture
+from repro.sim.topology import Topology
+from repro.util.rng import derive_seed
+from repro.workloads.concurrent import ScenarioContext
+
+SCENARIO_NAMES = (
+    "region_outage",
+    "partition_heal",
+    "flash_crowd",
+    "lossy_links",
+)
+
+
+class ChaosScenario:
+    """Base scenario: fault window, probe machinery, monitor plumbing.
+
+    Subclasses set :attr:`name`, :attr:`requires` (overlay capabilities
+    the scenario needs — the experiment skips overlays that lack them),
+    assign :attr:`window` in ``__init__``, and override ``fault_plan`` /
+    ``install`` / ``finalize`` as needed.
+    """
+
+    name: str = "?"
+    #: Overlay capabilities the scenario needs (checked against the
+    #: registry entry's ``capabilities`` before running).
+    requires: frozenset = frozenset()
+    #: Post-heal probe cadence and the consecutive-success streak that
+    #: counts as recovered.
+    probe_interval: float = 1.0
+    probe_run: int = 3
+
+    def __init__(self) -> None:
+        #: (start, end) of the fault window, relative to the run start;
+        #: queries submitted inside it feed availability-during.
+        self.window: Optional[Tuple[float, float]] = None
+        self._probes: List[Tuple[float, bool]] = []
+        self._monitor: Optional[LivenessMonitor] = None
+
+    def fault_plan(self, inner: Topology, seed: int) -> Optional[FaultPlan]:
+        """The transport wrapper this scenario needs (None: run unwrapped)."""
+        return None
+
+    def install(self, ctx: ScenarioContext) -> None:
+        """Schedule the scenario's events (called before the drain)."""
+
+    def finalize(self, ctx: ScenarioContext) -> None:
+        """Fold scenario metrics into the report (called after the drain)."""
+        self._fold_monitor(ctx)
+
+    # -- shared machinery -----------------------------------------------------
+
+    def _install_monitor(
+        self,
+        ctx: ScenarioContext,
+        interval: float = 2.0,
+        suspicion_threshold: int = 2,
+    ) -> None:
+        """Start a liveness monitor whose repairs count like the driver's."""
+
+        def on_repair(future: OpFuture) -> None:
+            ctx.note("repair", future)
+
+            def settle_repair(done: OpFuture) -> None:
+                if done.succeeded and done.result is not None:
+                    ctx.report.repairs_applied += 1
+                    ctx.report.keys_recovered += done.result.keys_recovered
+
+            future.add_done_callback(settle_repair)
+
+        monitor = LivenessMonitor(
+            ctx.anet,
+            interval=interval,
+            suspicion_threshold=suspicion_threshold,
+            horizon=ctx.horizon,
+            on_repair=on_repair,
+        )
+        monitor.start()
+        self._monitor = monitor
+
+    def _fold_monitor(self, ctx: ScenarioContext) -> None:
+        monitor = self._monitor
+        if monitor is None:
+            return
+        report = ctx.report
+        report.heartbeats += monitor.heartbeats
+        report.failed_heartbeats += monitor.failed_heartbeats
+        report.suspicions += monitor.suspicions
+        report.monitor_repairs += monitor.repairs_submitted
+
+    def _schedule_probes(self, ctx: ScenarioContext, start_rel: float) -> None:
+        """Periodic exact-match probe queries from ``start_rel`` to the
+        horizon; their (time, answered) records feed the recovery metric."""
+        keys = list(ctx.keys)
+        if not keys:
+            return
+        rng = ctx.rng.child("probes")
+        anet = ctx.anet
+        records = self._probes
+        at = ctx.start_time + start_rel
+        while at <= ctx.horizon:
+
+            def fire(when: float = at) -> None:
+                future = anet.submit_search_exact(rng.choice(keys))
+                ctx.note("probe", future)
+                future.add_done_callback(
+                    lambda done: records.append(
+                        (when, done.succeeded and done.result.found)
+                    )
+                )
+
+            anet.sim.schedule_at(at, fire, label="chaos.probe")
+            at += self.probe_interval
+
+    def _finalize_recovery(self, ctx: ScenarioContext, heal_rel: float) -> None:
+        """Recovery = heal point to the first ``probe_run``-long streak of
+        answered probes (-1.0 when no such streak happened in the run)."""
+        heal_at = ctx.start_time + heal_rel
+        recovered = -1.0
+        streak = 0
+        streak_start = 0.0
+        for when, answered in sorted(self._probes):
+            if answered:
+                if streak == 0:
+                    streak_start = when
+                streak += 1
+                if streak >= self.probe_run:
+                    recovered = max(0.0, streak_start - heal_at)
+                    break
+            else:
+                streak = 0
+        ctx.report.recover_time = recovered
+
+
+class RegionOutage(ChaosScenario):
+    """Every peer in one region crashes simultaneously.
+
+    No oracle: the run's only in-window repair path is the liveness
+    monitor noticing dead adjacents (heartbeat + suspicion) and feeding
+    the ghosts to ``submit_repair`` — the correlated-failure regime the
+    icsw-style health-check pattern exists for.  On topologies without a
+    region map a seeded quarter of the population is struck instead, so
+    the scenario still exercises every overlay surface.
+    """
+
+    name = "region_outage"
+    requires = frozenset({"fail", "repair"})
+
+    def __init__(
+        self,
+        *,
+        strike_at: float = 10.0,
+        window_len: float = 15.0,
+        region: int = 0,
+        monitor_interval: float = 2.0,
+        suspicion_threshold: int = 2,
+    ):
+        super().__init__()
+        self.window = (strike_at, strike_at + window_len)
+        self.region = region
+        self.monitor_interval = monitor_interval
+        self.suspicion_threshold = suspicion_threshold
+        #: Peers the strike actually took down (set when it fires).
+        self.struck = 0
+
+    def install(self, ctx: ScenarioContext) -> None:
+        self._install_monitor(
+            ctx, self.monitor_interval, self.suspicion_threshold
+        )
+        strike_abs = ctx.start_time + self.window[0]
+
+        def strike() -> None:
+            victims = self._victims(ctx)
+            self.struck = len(victims)
+            for address in victims:
+                ctx.note("fail", ctx.anet.submit_fail(address))
+
+        ctx.anet.sim.schedule_at(strike_abs, strike, label="chaos.region-outage")
+        self._schedule_probes(ctx, self.window[0] + self.probe_interval)
+
+    def finalize(self, ctx: ScenarioContext) -> None:
+        self._fold_monitor(ctx)
+        self._finalize_recovery(ctx, self.window[0])
+
+    def _victims(self, ctx: ScenarioContext) -> List:
+        addresses = list(ctx.anet.net.addresses())
+        region_of = getattr(ctx.anet.topology, "region_of", None)
+        if region_of is not None:
+            try:
+                return [a for a in addresses if region_of(a) == self.region]
+            except AttributeError:
+                pass  # a FaultPlan over a region-less inner topology
+        rng = ctx.rng.child("victims")
+        count = max(1, len(addresses) // 4)
+        return rng.sample(addresses, count)
+
+
+class PartitionHeal(ChaosScenario):
+    """A network cut for a window, then a reconcile storm on heal.
+
+    During the window the fault plan refuses every cross-cut hop; ops
+    spanning the cut retry with backoff and either outlive the partition
+    or exhaust their budget (a failed, not hung, future).  At heal, one
+    immediate ``reconcile()`` sweep (where the overlay supports it)
+    restores routing state at once — the storm whose cost the report's
+    reconcile counters expose.
+    """
+
+    name = "partition_heal"
+    requires = frozenset()
+
+    def __init__(
+        self,
+        *,
+        start: float = 8.0,
+        end: float = 20.0,
+        regions: frozenset = frozenset({0}),
+        fraction: float = 0.5,
+    ):
+        super().__init__()
+        self.window = (start, end)
+        self.regions = regions
+        self.fraction = fraction
+
+    def fault_plan(self, inner: Topology, seed: int) -> FaultPlan:
+        regions = self.regions if hasattr(inner, "region_of") else None
+        return FaultPlan(
+            inner,
+            seed=derive_seed(seed, "chaos", self.name),
+            partitions=(
+                PartitionWindow(
+                    self.window[0],
+                    self.window[1],
+                    regions=regions,
+                    fraction=self.fraction,
+                ),
+            ),
+        )
+
+    def install(self, ctx: ScenarioContext) -> None:
+        anet = ctx.anet
+        heal_abs = ctx.start_time + self.window[1]
+
+        def heal_storm() -> None:
+            if anet.supports("reconcile"):
+                ctx.report.reconcile_messages += anet.reconcile()
+                ctx.report.reconcile_sweeps += 1
+
+        anet.sim.schedule_at(heal_abs, heal_storm, label="chaos.heal")
+        self._schedule_probes(ctx, self.window[1])
+
+    def finalize(self, ctx: ScenarioContext) -> None:
+        self._fold_monitor(ctx)
+        self._finalize_recovery(ctx, self.window[1])
+
+
+class FlashCrowd(ChaosScenario):
+    """A join burst plus a many-fold query spike on one hot key range.
+
+    The hot range is a contiguous slice of the *loaded* keys (so exact
+    queries can hit), and the spike mixes exact lookups with range scans
+    over it — the viral-content regime.  No fault plan: the adversity is
+    load, and the metric of interest is whether availability inside the
+    window survives the churn+skew combination with invariants intact.
+    """
+
+    name = "flash_crowd"
+    requires = frozenset()
+
+    def __init__(
+        self,
+        *,
+        start: float = 8.0,
+        spike_len: float = 6.0,
+        joins: int = 1000,
+        query_multiplier: float = 100.0,
+        hot_fraction: float = 1.0 / 64.0,
+        range_share: float = 0.2,
+    ):
+        super().__init__()
+        if spike_len <= 0:
+            raise ValueError("spike_len must be positive")
+        self.window = (start, start + spike_len)
+        self.joins = joins
+        self.query_multiplier = query_multiplier
+        self.hot_fraction = hot_fraction
+        self.range_share = range_share
+        #: The struck key interval (set at install).
+        self.hot_range: Tuple[int, int] = (0, 0)
+
+    def install(self, ctx: ScenarioContext) -> None:
+        anet = ctx.anet
+        rng = ctx.rng
+        keys = sorted(ctx.keys)
+        if keys:
+            count = max(2, int(len(keys) * self.hot_fraction))
+            count = min(count, len(keys))
+            first = rng.child("hot").randint(0, max(0, len(keys) - count))
+            hot_keys = keys[first : first + count]
+        else:
+            domain = anet.domain
+            hot_keys = [domain.low]
+        self.hot_range = (hot_keys[0], hot_keys[-1] + 1)
+        start_abs = ctx.start_time + self.window[0]
+        end_abs = ctx.start_time + self.window[1]
+        spike_len = self.window[1] - self.window[0]
+
+        def burst(label: str, rate: float, submit_one) -> None:
+            """A Poisson stream confined to the spike window."""
+            if rate <= 0:
+                return
+            stream = rng.child("burst", label)
+
+            def fire() -> None:
+                submit_one(stream)
+                gap = stream.expovariate(rate)
+                if anet.sim.now + gap <= end_abs:
+                    anet.sim.schedule(gap, fire, label=label)
+
+            first_gap = stream.expovariate(rate)
+            if start_abs + first_gap <= end_abs:
+                anet.sim.schedule_at(start_abs + first_gap, fire, label=label)
+
+        def submit_join(stream) -> None:
+            ctx.note("join", anet.submit_join())
+
+        def submit_hot(stream) -> None:
+            low, high = self.hot_range
+            if self.range_share and stream.random() < self.range_share:
+                ctx.note("search.range", anet.submit_search_range(low, high))
+            else:
+                ctx.note("search.exact", anet.submit_search_exact(stream.choice(hot_keys)))
+
+        burst("chaos.join-burst", self.joins / spike_len, submit_join)
+        burst(
+            "chaos.query-spike",
+            ctx.config.query_rate * self.query_multiplier,
+            submit_hot,
+        )
+        self._schedule_probes(ctx, self.window[1])
+
+    def finalize(self, ctx: ScenarioContext) -> None:
+        self._fold_monitor(ctx)
+        self._finalize_recovery(ctx, self.window[1])
+
+
+class LossyLinks(ChaosScenario):
+    """Ambient loss, duplication and delay spikes for the whole run.
+
+    The at-least-once acceptance regime: at the default loss rate, query
+    availability must stay above 90% with retries enabled and every
+    future must resolve.  There is no heal point — recovery is 0 by
+    definition; the interesting columns are availability, amplification
+    and the retry/timeout counters.
+    """
+
+    name = "lossy_links"
+    requires = frozenset()
+
+    def __init__(
+        self,
+        *,
+        duration: float = 50.0,
+        drop_rate: float = DEFAULT_LOSS_RATE,
+        duplicate_rate: float = 0.02,
+        delay_spike_rate: float = 0.02,
+        delay_spike_factor: float = 8.0,
+        retry: RetryPolicy = RetryPolicy(),
+    ):
+        super().__init__()
+        self.window = (0.0, duration)
+        self.drop_rate = drop_rate
+        self.duplicate_rate = duplicate_rate
+        self.delay_spike_rate = delay_spike_rate
+        self.delay_spike_factor = delay_spike_factor
+        self.retry = retry
+
+    def fault_plan(self, inner: Topology, seed: int) -> FaultPlan:
+        return FaultPlan(
+            inner,
+            seed=derive_seed(seed, "chaos", self.name),
+            drop_rate=self.drop_rate,
+            duplicate_rate=self.duplicate_rate,
+            delay_spike_rate=self.delay_spike_rate,
+            delay_spike_factor=self.delay_spike_factor,
+            retry=self.retry,
+        )
+
+    def finalize(self, ctx: ScenarioContext) -> None:
+        self._fold_monitor(ctx)
+        ctx.report.recover_time = 0.0
+
+
+def build_scenario(
+    name: str,
+    *,
+    duration: float,
+    n_peers: int = 0,
+    **overrides,
+) -> ChaosScenario:
+    """A scenario scaled to one run's window.
+
+    Timings are fractions of ``duration`` so the same scenario shape runs
+    at smoke scale and at the paper's scale; ``n_peers`` sizes the flash
+    crowd's join burst (capped at the headline 1000 joins).  ``overrides``
+    pass through to the scenario's constructor.
+    """
+    if name == "region_outage":
+        params = {
+            "strike_at": duration * 0.2,
+            "window_len": duration * 0.35,
+        }
+        params.update(overrides)
+        return RegionOutage(**params)
+    if name == "partition_heal":
+        params = {"start": duration * 0.15, "end": duration * 0.45}
+        params.update(overrides)
+        return PartitionHeal(**params)
+    if name == "flash_crowd":
+        params = {
+            "start": duration * 0.15,
+            "spike_len": duration * 0.3,
+            "joins": min(1000, max(10, n_peers)),
+        }
+        params.update(overrides)
+        return FlashCrowd(**params)
+    if name == "lossy_links":
+        params = {"duration": duration}
+        params.update(overrides)
+        return LossyLinks(**params)
+    raise ValueError(
+        f"unknown chaos scenario {name!r} (choose from {SCENARIO_NAMES})"
+    )
+
+
+__all__ = [
+    "SCENARIO_NAMES",
+    "ChaosScenario",
+    "FlashCrowd",
+    "LossyLinks",
+    "PartitionHeal",
+    "RegionOutage",
+    "build_scenario",
+]

@@ -23,7 +23,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (chaos imports us)
+    from repro.workloads.chaos import ChaosScenario
 
 from repro.core.ranges import Range
 from repro.net.message import MsgType
@@ -144,6 +147,37 @@ class ConcurrentReport:
     #: Keys of inserts that were applied, so durability experiments can
     #: compute the expected key population without re-deriving arrivals.
     insert_keys_applied: List[int] = field(default_factory=list)
+    #: -- chaos metrics (non-zero only when the runtime's transport is a
+    #: :class:`~repro.sim.faults.FaultPlan` and/or a scenario is active;
+    #: see :mod:`repro.workloads.chaos`) --
+    drops: int = 0
+    duplicates: int = 0
+    delay_spikes: int = 0
+    partition_refusals: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    ops_gave_up: int = 0
+    #: Wire traffic over protocol messages: (messages + retransmissions +
+    #: duplicate deliveries) / messages.  1.0 on a clean channel.
+    message_amplification: float = 1.0
+    #: Operations still unresolved after the drain.  Always 0 — budget
+    #: exhaustion fails an OpFuture, it never hangs — and asserted on by
+    #: the chaos experiment.
+    unresolved_ops: int = 0
+    #: Queries submitted inside the scenario's fault window, and how many
+    #: were fully answered (availability-during = window_ok/window_queries).
+    window_queries: int = 0
+    window_ok: int = 0
+    availability_during: Optional[float] = None
+    #: Time from the scenario's heal point to the first sustained run of
+    #: successful probes (-1.0: never recovered within the run; None: the
+    #: scenario has no recovery phase).
+    recover_time: Optional[float] = None
+    #: Liveness-monitor activity (scenarios that install one).
+    heartbeats: int = 0
+    failed_heartbeats: int = 0
+    suspicions: int = 0
+    monitor_repairs: int = 0
 
     @property
     def query_total(self) -> int:
@@ -191,6 +225,40 @@ class ConcurrentReport:
                 f"{self.replica_refresh_sweeps} replica refresh round(s), "
                 f"{self.replica_messages} replica msgs"
             )
+        if (
+            self.retries
+            or self.timeouts
+            or self.ops_gave_up
+            or self.drops
+            or self.duplicates
+            or self.partition_refusals
+        ):
+            lines.append(
+                f"chaos: {self.drops} drops, {self.duplicates} dups, "
+                f"{self.delay_spikes} spikes, "
+                f"{self.partition_refusals} refusals; {self.retries} retries, "
+                f"{self.timeouts} timeouts, {self.ops_gave_up} op(s) gave up; "
+                f"amplification {self.message_amplification:.3f}"
+            )
+        if self.availability_during is not None:
+            line = (
+                f"fault window: availability {self.availability_during:.3f} "
+                f"({self.window_ok}/{self.window_queries} queries)"
+            )
+            if self.recover_time is not None:
+                line += ", recovered " + (
+                    f"{self.recover_time:.2f} after heal"
+                    if self.recover_time >= 0
+                    else "never"
+                )
+            lines.append(line)
+        if self.heartbeats:
+            lines.append(
+                f"liveness: {self.heartbeats} heartbeats "
+                f"({self.failed_heartbeats} failed), "
+                f"{self.suspicions} suspicion(s), "
+                f"{self.monitor_repairs} monitor repair(s)"
+            )
         if self.repairs_applied or self.keys_recovered:
             line = (
                 f"durability: {self.repairs_applied} in-window repair(s), "
@@ -221,6 +289,27 @@ def percentile(values: Sequence[float], q: float) -> float:
     return ordered[rank - 1]
 
 
+@dataclass
+class ScenarioContext:
+    """What a chaos scenario sees and drives during one concurrent run.
+
+    Handed to :meth:`ChaosScenario.install` before the simulator starts
+    and to :meth:`ChaosScenario.finalize` after the drain.  ``note`` is
+    the driver's submission hook: operations a scenario submits through it
+    (crashes, probes, flash-crowd traffic) are folded into the report
+    exactly like the driver's own arrivals.
+    """
+
+    anet: AsyncOverlayRuntime
+    config: ConcurrentConfig
+    report: ConcurrentReport
+    keys: Sequence[int]
+    rng: SeededRng
+    start_time: float
+    horizon: float
+    note: Callable[[str, Optional[OpFuture]], None]
+
+
 def run_concurrent_workload(
     anet: AsyncOverlayRuntime,
     keys: Sequence[int],
@@ -228,12 +317,19 @@ def run_concurrent_workload(
     seed: int = 0,
     repair_at_end: bool = True,
     reconcile_at_end: bool = True,
+    scenario: Optional["ChaosScenario"] = None,
 ) -> ConcurrentReport:
     """Drive interleaved churn/query/insert arrivals and report the outcome.
 
     ``keys`` are the loaded keys exact queries aim at (hit-ratio 1 in a
     quiet network, as the paper's query workloads do); inserts and range
     queries draw from the runtime's key domain.
+
+    ``scenario`` (a :class:`~repro.workloads.chaos.ChaosScenario`)
+    overlays a correlated-disaster script on the same run: it installs
+    extra events before the drain, defines the fault window the
+    availability metric buckets queries by, and computes recovery from its
+    post-heal probes in ``finalize``.
     """
     config = config or ConcurrentConfig()
     rng = SeededRng(seed)
@@ -256,6 +352,9 @@ def run_concurrent_workload(
     stretch_q = StreamingQuantiles()
     totals = {"transit": 0.0, "query_msgs": 0}
     topology = anet.topology
+    #: The scenario's fault window in absolute simulator time (set below,
+    #: before any event runs; ``settle`` closures read it at call time).
+    window: Optional[Tuple[float, float]] = None
 
     def settle(future: OpFuture) -> None:
         """Fold one completed operation into the report (any kind)."""
@@ -269,13 +368,21 @@ def run_concurrent_workload(
         if kind == "search.exact":
             report.exact_total += 1
             totals["query_msgs"] += future.trace.total
-            if succeeded and future.result.found:
+            answered = succeeded and future.result.found
+            if answered:
                 report.exact_hits += 1
+            if window is not None and window[0] <= future.submitted_at < window[1]:
+                report.window_queries += 1
+                report.window_ok += answered
         elif kind == "search.range":
             report.range_total += 1
             totals["query_msgs"] += future.trace.total
-            if succeeded and future.result.complete:
+            answered = succeeded and future.result.complete
+            if answered:
                 report.range_complete += 1
+            if window is not None and window[0] <= future.submitted_at < window[1]:
+                report.window_queries += 1
+                report.window_ok += answered
         elif succeeded:
             if kind == "join":
                 report.joins_applied += 1
@@ -433,6 +540,23 @@ def run_concurrent_workload(
         if start_time + config.maintenance_interval <= horizon:
             anet.sim.schedule(config.maintenance_interval, sweep, label="maintenance")
 
+    context: Optional[ScenarioContext] = None
+    if scenario is not None:
+        context = ScenarioContext(
+            anet=anet,
+            config=config,
+            report=report,
+            keys=keys,
+            rng=rng.child("scenario", scenario.name),
+            start_time=start_time,
+            horizon=horizon,
+            note=note,
+        )
+        scenario.install(context)
+        relative = scenario.window
+        if relative is not None:
+            window = (start_time + relative[0], start_time + relative[1])
+
     anet.drain()
     if repair_at_end:
         for result in anet.repair_all():
@@ -465,4 +589,24 @@ def run_concurrent_workload(
         report.latency_stretch_p99 = stretch_q.quantile(0.99)
     if report.query_total:
         report.messages_per_query = totals["query_msgs"] / report.query_total
+    report.unresolved_ops = anet.in_flight
+    fault_stats = anet.fault_stats
+    report.drops = fault_stats.drops
+    report.duplicates = fault_stats.duplicates
+    report.delay_spikes = fault_stats.delay_spikes
+    report.partition_refusals = fault_stats.refusals
+    report.retries = fault_stats.retries
+    report.timeouts = fault_stats.timeouts
+    report.ops_gave_up = fault_stats.gave_up
+    if report.messages_total:
+        # Retransmissions and duplicate deliveries are wire copies of
+        # already-counted protocol messages (FaultStats, not the bus), so
+        # amplification is the wire-over-protocol traffic ratio.
+        report.message_amplification = (
+            report.messages_total + fault_stats.retries + fault_stats.duplicates
+        ) / report.messages_total
+    if report.window_queries:
+        report.availability_during = report.window_ok / report.window_queries
+    if scenario is not None:
+        scenario.finalize(context)
     return report

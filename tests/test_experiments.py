@@ -194,8 +194,11 @@ class TestDurability:
         result = durability.run(
             scale, churn_rates=(2.0,), maintenance_intervals=(0.0, 6.0)
         )
-        replicated = [row for row in result.rows if row["replication"]]
-        bare = [row for row in result.rows if not row["replication"]]
+        independent = [
+            row for row in result.rows if row["mode"] == "independent"
+        ]
+        replicated = [row for row in independent if row["replication"]]
+        bare = [row for row in independent if not row["replication"]]
         assert len(replicated) == 2 and len(bare) == 1
         # Replication never loses more than the bare network forfeits, and
         # whatever it saved shows up as recovered keys.
@@ -207,4 +210,15 @@ class TestDurability:
         # Maintenance traffic is priced and counted, never free.
         assert all(r["replica_msgs"] > 0 for r in replicated)
         assert all(r["replica_msgs"] == 0 for r in bare)
-        assert all(r["reconcile_msgs"] > 0 for r in result.rows)
+        assert all(r["reconcile_msgs"] > 0 for r in independent)
+        # The correlated row: a whole region dies at once, replication is
+        # on, and the only detection path is the heartbeat monitor.
+        correlated = [
+            row for row in result.rows if row["mode"] == "region_outage"
+        ]
+        assert len(correlated) == 1
+        outage = correlated[0]
+        assert outage["replication"] == 1
+        assert outage["crashes"] > 0
+        assert outage["repairs"] > 0  # the monitor found the dead region
+        assert outage["replica_msgs"] > 0
