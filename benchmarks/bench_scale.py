@@ -28,8 +28,12 @@ from repro.experiments import scale_profile
 BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_scale.json"
 
 
-def _baseline_row(n_peers: int):
-    """The checked-in trajectory point for one population, if present."""
+def _baseline_row(n_peers: int, workload=None):
+    """The checked-in trajectory point for one population, if present.
+
+    Standard rows carry no ``workload`` tag; the pub/sub dissemination
+    cell is tagged ``"pubsub"`` so it never shadows the standard gate.
+    """
     if not BASELINE_PATH.exists():
         return None
     with open(BASELINE_PATH) as handle:
@@ -37,7 +41,7 @@ def _baseline_row(n_peers: int):
     if payload.get("schema") != scale_profile.BENCH_SCHEMA:
         return None
     for row in payload.get("rows", []):
-        if row.get("n_peers") == n_peers:
+        if row.get("n_peers") == n_peers and row.get("workload") == workload:
             return row
     return None
 
@@ -80,6 +84,41 @@ def test_n1000_driver(benchmark):
         f"engine regression: N=1000 drive ran {row['events_per_s']:.0f} "
         f"events/s, baseline {baseline['events_per_s']:.0f} "
         f"(floor {floor:.0f}); refresh BENCH_scale.json if intentional"
+    )
+
+
+def test_n1000_pubsub_driver(benchmark):
+    """The dissemination cell: publish/subscribe traffic on the N=1000
+    window, gated on engine events/sec against the committed pubsub row
+    (multicast fan-outs dominate the extra events, so this is the
+    multicast-path throughput gate)."""
+    row = benchmark.pedantic(
+        lambda: scale_profile.profile_run(
+            1000,
+            seed=0,
+            publish_rate=scale_profile.PUBSUB_PUBLISH_RATE,
+            subscribe_rate=scale_profile.PUBSUB_SUBSCRIBE_RATE,
+        ),
+        iterations=1,
+        rounds=1,
+    )
+    benchmark.extra_info["row"] = row
+    assert row["workload"] == "pubsub"
+    assert row["multicast_deliveries"] > 0
+    assert row["subscriptions"] > 0
+    assert row["success"] > 0.9
+    assert row["peak_heap"] < row["events"]
+
+    baseline = _baseline_row(1000, workload="pubsub")
+    if baseline is None:
+        pytest.skip("no BENCH_scale.json pubsub baseline committed")
+    factor = float(os.environ.get("REPRO_BENCH_FACTOR", "2.0"))
+    floor = float(baseline["events_per_s"]) / factor
+    assert row["events_per_s"] >= floor, (
+        f"dissemination regression: N=1000 pubsub drive ran "
+        f"{row['events_per_s']:.0f} events/s, baseline "
+        f"{baseline['events_per_s']:.0f} (floor {floor:.0f}); refresh "
+        f"BENCH_scale.json if intentional"
     )
 
 

@@ -14,6 +14,7 @@ Usage::
     python -m repro durability --quick
     python -m repro chaos --quick                  # all four scenarios
     python -m repro chaos --scenario lossy_links --overlay baton
+    python -m repro multicast --quick              # dissemination showdown
     python -m repro profile                        # N=1000/10k/100k cells
     python -m repro profile --out BENCH_scale.json # dump the trajectory point
 """
@@ -113,6 +114,16 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         overlay_names=overlay_names,
         n_peers=args.peers,
     )
+    print(result.to_text())
+    return 0
+
+
+def cmd_multicast(args: argparse.Namespace) -> int:
+    """Run the dissemination showdown (multicast vs unicast vs flood)."""
+    from repro.experiments import harness, multicast
+
+    scale = harness.quick_scale() if args.quick else harness.default_scale()
+    result = multicast.run(scale)
     print(result.to_text())
     return 0
 
@@ -322,6 +333,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--peers", type=int, default=None, help="override the population"
     )
     chaos.set_defaults(func=cmd_chaos)
+
+    multicast = sub.add_parser(
+        "multicast",
+        help="range-dissemination showdown: tree multicast vs per-owner "
+        "unicast vs flood, WAN-priced, plus the lossy pub/sub cell",
+    )
+    multicast.add_argument("--quick", action="store_true")
+    multicast.set_defaults(func=cmd_multicast)
 
     profile = sub.add_parser(
         "profile",

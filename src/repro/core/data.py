@@ -34,6 +34,11 @@ def insert(net: "BatonNetwork", start: Address, key: int) -> DataOpResult:
             from repro.core import replication
 
             replication.replicate_insert(net, owner, key)
+        if owner.subscriptions:
+            from repro.pubsub.subscribe import notify_steps
+            from repro.util.stepper import drive
+
+            drive(notify_steps(net, owner, key))
     result = DataOpResult(applied=True, owner=owner_address, trace=trace)
 
     from repro.core import balance as balance_protocol

@@ -221,11 +221,19 @@ def _hand_over_content(
     if absorber_info is None:
         raise ProtocolError(f"{leaf.position} has nobody to absorb its range")
     absorber = net.peer(absorber_info.address)
+    handover: dict[str, int] = {"keys": len(leaf.store)}
+    if leaf.subscriptions:
+        # Subscription entries ride the same handover as the keys.
+        handover["subs"] = len(leaf.subscriptions)
     net.count_message(
-        leaf.address, absorber.address, MsgType.LEAVE_TRANSFER, keys=len(leaf.store)
+        leaf.address, absorber.address, MsgType.LEAVE_TRANSFER, **handover
     )
     absorber.range = absorber.range.merge(leaf.range)
     absorber.store.extend(leaf.store.clear())
+    if leaf.subscriptions:
+        from repro.pubsub.subscribe import transfer_subscriptions
+
+        transfer_subscriptions(net, leaf, absorber)
     if absorber_info is not leaf.parent:
         # Range change at a non-parent absorber: its linkers must hear.
         net.broadcast_update(absorber, exclude={leaf.address})
@@ -248,6 +256,10 @@ def transplant(net: "BatonNetwork", departing: BatonPeer, replacement: BatonPeer
     replacement.right_adjacent = departing.right_adjacent
     replacement.left_table = departing.left_table
     replacement.right_table = departing.right_table
+    # Owner state tied to the range travels too: the subscription table
+    # and the dedup window (the position keeps its exactly-once history).
+    replacement.subscriptions = departing.subscriptions
+    replacement.seen_messages = departing.seen_messages
 
     net.register_peer(replacement)
     net.unregister_peer(departing.address)

@@ -188,6 +188,12 @@ class BatonNetwork:
         self._positions: Dict[Position, Address] = {}
         #: Back-off bookkeeping for §IV-D (see balance.maybe_balance).
         self._balance_backoff: Dict[Address, int] = {}
+        #: Dissemination ids and pub/sub counters (see repro.pubsub).
+        #: Imported lazily: repro.pubsub reaches repro.sim for Hop, which
+        #: imports this module right back.
+        from repro.pubsub.state import PubSubState
+
+        self.pubsub = PubSubState()
         self.bus.set_level_resolver(self._level_of)
 
     # -- bookkeeping ---------------------------------------------------------
@@ -397,6 +403,18 @@ class BatonNetwork:
 
         start = via if via is not None else self.random_peer_address()
         return data_protocol.delete(self, start, key)
+
+    def multicast(self, low: int, high: int, via: Optional[Address] = None):
+        """Deliver one message to every owner of [low, high) (pub/sub)."""
+        from repro import pubsub as pubsub_protocol
+
+        return pubsub_protocol.multicast(self, low, high, via=via)
+
+    def subscribe(self, subscriber: Address, low: int, high: int):
+        """Install a subscription for [low, high) at every range owner."""
+        from repro import pubsub as pubsub_protocol
+
+        return pubsub_protocol.subscribe(self, subscriber, low, high)
 
     def refresh_replicas(self) -> int:
         """Anti-entropy sweep of the replication extension (if enabled)."""

@@ -41,6 +41,8 @@ class BatonPeer:
         "right_adjacent",
         "left_table",
         "right_table",
+        "subscriptions",
+        "seen_messages",
     )
 
     def __init__(self, address: Address, position: Position, range_: Range):
@@ -63,6 +65,13 @@ class BatonPeer:
         self.right_adjacent: Optional[NodeInfo] = None
         self.left_table = RoutingTable(owner=position, side=LEFT)
         self.right_table = RoutingTable(owner=position, side=RIGHT)
+        #: Range subscriptions stored at this owner, keyed by sub_id
+        #: (dissemination extension).  Lazily allocated: ``None`` until
+        #: the first entry lands, so pub/sub-free populations pay nothing.
+        self.subscriptions: Optional[dict] = None
+        #: Bounded window of applied dissemination ids (exactly-once
+        #: application; see ``repro.pubsub.state``).  Lazy like above.
+        self.seen_messages: Optional[dict] = None
 
     # -- descriptive properties ---------------------------------------------
 

@@ -29,6 +29,7 @@ from repro.experiments import (
     fig8h_shift_sizes,
     fig8i_dynamics,
     hetero_links,
+    multicast,
     scale_profile,
 )
 from repro.experiments.balancing import run_balancing
@@ -87,6 +88,9 @@ def run_all(scale=None, quick: bool = False) -> List[ExperimentResult]:
         ("lossy_links", "partition_heal") if quick else chaos.SCENARIO_NAMES
     )
     results.append(chaos.run(scale, scenarios=chaos_scenarios))
+    # The dissemination showdown: range multicast vs unicast vs flood,
+    # WAN-priced, plus the lossy pub/sub cell (exactly-once application).
+    results.append(multicast.run(scale))
     # Wall-clock profile of the runtime itself; the full grid reaches the
     # paper's N=10k under REPRO_FULL_SCALE=1 (sizes come from the scale).
     results.append(scale_profile.run(scale))

@@ -65,6 +65,12 @@ CHURN_RATE = 1.0
 QUERY_RATE = 16.0
 DATA_PER_NODE = 20
 
+#: Rates for the pub/sub benchmark cell: the same window with publishes
+#: and subscription installs layered on top (multicast fan-outs dominate
+#: the extra events, so ``events_per_s`` covers the dissemination path).
+PUBSUB_PUBLISH_RATE = 2.0
+PUBSUB_SUBSCRIBE_RATE = 1.0
+
 
 def peak_rss_mb() -> float:
     """The process's resident high-water mark, in MiB.
@@ -85,6 +91,8 @@ def profile_run(
     churn_rate: float = CHURN_RATE,
     query_rate: float = QUERY_RATE,
     data_per_node: int = DATA_PER_NODE,
+    publish_rate: float = 0.0,
+    subscribe_rate: float = 0.0,
     bulk: bool = True,
     wrap_faults: bool = False,
 ) -> Dict[str, object]:
@@ -117,6 +125,8 @@ def profile_run(
         duration=duration,
         churn_rate=churn_rate,
         query_rate=query_rate,
+        publish_rate=publish_rate,
+        subscribe_rate=subscribe_rate,
         range_fraction=0.2,
         min_peers=max(8, n_peers // 2),
     )
@@ -127,7 +137,7 @@ def profile_run(
     drive_s = time.perf_counter() - started
 
     events = anet.sim.executed_count
-    return {
+    row: Dict[str, object] = {
         "overlay": overlay,
         "n_peers": n_peers,
         "seed": seed,
@@ -147,6 +157,16 @@ def profile_run(
         "messages": report.messages_total,
         "peak_rss_mb": round(peak_rss_mb(), 1),
     }
+    if publish_rate > 0 or subscribe_rate > 0:
+        # Dissemination cell: tag it so the baseline gate (first match by
+        # n_peers) keeps reading the standard row, and carry the pub/sub
+        # counters the trajectory tracks.
+        row["workload"] = "pubsub"
+        row["multicast_deliveries"] = report.multicasts_delivered
+        row["subscriptions"] = report.subscriptions_installed
+        row["notifications"] = report.notifications
+        row["dup_suppressed"] = report.pubsub_duplicates_suppressed
+    return row
 
 
 def run(
@@ -220,6 +240,20 @@ def collect_benchmark(
         rows.append(
             profile_run(n_peers, seed=seed, bulk=bulk, **bench_window(n_peers))
         )
+    # The pub/sub cell rides the smallest population: same window with
+    # publish/subscribe traffic on top, appended AFTER the standard rows
+    # (the regression gate matches the first row per n_peers).
+    pubsub_n = min(sizes) if sizes else 1000
+    rows.append(
+        profile_run(
+            pubsub_n,
+            seed=seed,
+            bulk=bulk,
+            publish_rate=PUBSUB_PUBLISH_RATE,
+            subscribe_rate=PUBSUB_SUBSCRIBE_RATE,
+            **bench_window(pubsub_n),
+        )
+    )
     return {
         "schema": BENCH_SCHEMA,
         "benchmark": "bench_scale",

@@ -69,6 +69,15 @@ class MsgType(enum.Enum):
     #: Probes to dead peers are counted before the bus raises, like any
     #: other send — detection traffic is real traffic.
     HEARTBEAT = "heartbeat"
+    #: Range-multicast routing and fan-out delegation (the dissemination
+    #: subsystem; see DESIGN.md "Dissemination contract").
+    MULTICAST = "multicast"
+    #: Subscription installation: the route + range walk that stores a
+    #: subscription entry at every range owner.
+    SUBSCRIBE = "subscribe"
+    #: Insert notification pushed from a range owner to a subscriber,
+    #: stamped with a dissemination id for exactly-once application.
+    NOTIFY = "notify"
 
 
 _message_ids = itertools.count(1)

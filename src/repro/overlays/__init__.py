@@ -28,9 +28,11 @@ from repro.overlays.protocol import (
     ALL_CAPABILITIES,
     BALANCE,
     FAIL,
+    MULTICAST,
     RECONCILE,
     REPAIR,
     REPLICATION,
+    SUBSCRIBE,
     Overlay,
 )
 from repro.overlays.registry import OverlayEntry, available, get, register
@@ -47,7 +49,8 @@ register(
         name="baton",
         description=(
             "BATON balanced binary tree: O(log N) joins/leaves/searches, "
-            "order-preserving ranges, fail/repair and load balancing"
+            "order-preserving ranges, fail/repair, load balancing and "
+            "range multicast/pub-sub"
         ),
         network_cls=AsyncBatonNetwork.network_cls,
         runtime_cls=AsyncBatonNetwork,
@@ -92,5 +95,7 @@ __all__ = [
     "BALANCE",
     "RECONCILE",
     "REPLICATION",
+    "MULTICAST",
+    "SUBSCRIBE",
     "ALL_CAPABILITIES",
 ]

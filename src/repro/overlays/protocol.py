@@ -19,11 +19,12 @@ Required surface (structural, checked by the conformance suite):
 * ``bulk_load(keys)`` — untimed initial placement.
 
 Optional capabilities — abrupt ``fail``/``repair``, load ``balance``,
-``reconcile`` anti-entropy, ``replication`` — are advertised on the
-registry entry (:class:`~repro.overlays.registry.OverlayEntry`) and on the
-async runtime (:meth:`~repro.sim.runtime.AsyncOverlayRuntime.supports`)
-rather than stubbed with no-ops, so comparisons never silently measure a
-missing feature.
+``reconcile`` anti-entropy, ``replication``, and the dissemination pair
+``multicast``/``subscribe`` — are advertised on the registry entry
+(:class:`~repro.overlays.registry.OverlayEntry`) and on the async runtime
+(:meth:`~repro.sim.runtime.AsyncOverlayRuntime.supports`) rather than
+stubbed with no-ops, so comparisons never silently measure a missing
+feature.
 """
 
 from __future__ import annotations
@@ -46,8 +47,12 @@ REPAIR = "repair"
 BALANCE = "balance"
 RECONCILE = "reconcile"
 REPLICATION = "replication"
+MULTICAST = "multicast"
+SUBSCRIBE = "subscribe"
 
-ALL_CAPABILITIES = frozenset({FAIL, REPAIR, BALANCE, RECONCILE, REPLICATION})
+ALL_CAPABILITIES = frozenset(
+    {FAIL, REPAIR, BALANCE, RECONCILE, REPLICATION, MULTICAST, SUBSCRIBE}
+)
 
 
 @runtime_checkable

@@ -6,8 +6,9 @@ overlay is one :func:`register` call, not a sweep through every harness.
 
 Each entry **advertises** what its overlay can do (DESIGN.md, "The
 ``Overlay`` protocol"): the ``capabilities`` set — ``fail`` / ``repair`` /
-``balance`` / ``reconcile`` / ``replication`` — comes straight from the
-runtime class and is never stubbed with no-ops.  Harnesses that need an
+``balance`` / ``reconcile`` / ``replication`` / ``multicast`` /
+``subscribe`` — comes straight from the runtime class and is never
+stubbed with no-ops.  Harnesses that need an
 optional feature check the entry (or ``runtime.supports(...)``) and asking
 an overlay for a feature it does not advertise raises
 :class:`~repro.util.errors.CapabilityError` — so a comparison can never

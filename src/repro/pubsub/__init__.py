@@ -1,0 +1,88 @@
+"""Pub/sub over the tree: range multicast, subscriptions, notifications.
+
+The dissemination subsystem (DESIGN.md, "Dissemination contract").  Three
+pieces, all written as step generators so the sync facades and the event
+runtime execute the same code:
+
+* :mod:`repro.pubsub.multicast` — the range-multicast primitive (route to
+  the range's LCA region, delegate disjoint sub-intervals over the tree
+  links; one message per owner plus an O(log N) route) and its per-owner
+  unicast and flood baselines;
+* :mod:`repro.pubsub.subscribe` — range subscriptions stored at range
+  owners, carried across join/leave/balance restructures, and the insert
+  notification push;
+* :mod:`repro.pubsub.state` — per-dissemination ids and the bounded
+  per-peer dedup window that turns at-least-once delivery into
+  exactly-once application.
+
+Only BATON implements the ``multicast``/``subscribe`` capabilities: the
+primitive leans on order-preserving ranges and the adjacent/sideways link
+set, which the hashed Chord ring and the multiway baseline do not offer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from repro.net.address import Address
+from repro.pubsub.multicast import (
+    MulticastResult,
+    flood_steps,
+    multicast_steps,
+    range_owners,
+    unicast_steps,
+)
+from repro.pubsub.state import PubSubState, SEEN_WINDOW, apply_delivery
+from repro.pubsub.subscribe import (
+    SubscribeResult,
+    Subscription,
+    install_subscription,
+    notify_steps,
+    subscribe_steps,
+    transfer_subscriptions,
+)
+from repro.util.stepper import drive
+
+if TYPE_CHECKING:
+    from repro.core.network import BatonNetwork
+
+
+def multicast(
+    net: "BatonNetwork", low: int, high: int, via: Optional[Address] = None
+) -> MulticastResult:
+    """Synchronous facade: deliver to every owner of ``[low, high)``."""
+    start = via if via is not None else net.random_peer_address()
+    with net.open_trace("multicast") as trace:
+        result = drive(multicast_steps(net, start, low, high))
+    result.trace = trace
+    return result
+
+
+def subscribe(
+    net: "BatonNetwork", subscriber: Address, low: int, high: int
+) -> SubscribeResult:
+    """Synchronous facade: install a subscription at every range owner."""
+    with net.open_trace("subscribe") as trace:
+        result = drive(subscribe_steps(net, subscriber, low, high))
+    result.trace = trace
+    return result
+
+
+__all__ = [
+    "MulticastResult",
+    "PubSubState",
+    "SEEN_WINDOW",
+    "SubscribeResult",
+    "Subscription",
+    "apply_delivery",
+    "flood_steps",
+    "install_subscription",
+    "multicast",
+    "multicast_steps",
+    "notify_steps",
+    "range_owners",
+    "subscribe",
+    "subscribe_steps",
+    "transfer_subscriptions",
+    "unicast_steps",
+]

@@ -391,6 +391,52 @@ class AsyncOverlayRuntime:
         self._launch(future, self._leave_steps(future, address))
         return future
 
+    def submit_multicast(
+        self, low: int, high: int, via: Optional[Address] = None
+    ) -> OpFuture:
+        """Deliver one message to every owner of ``[low, high)`` exactly once.
+
+        Requires the ``multicast`` capability (DESIGN.md, "Dissemination
+        contract"): hash-partitioned overlays scatter a key interval across
+        unrelated peers and refuse rather than simulate a fan-out they
+        cannot route.
+        """
+        if not self.supports("multicast"):
+            raise CapabilityError(
+                f"the {self.overlay_name} overlay does not support range multicast"
+            )
+        if low >= high:
+            raise ValueError(f"empty multicast range [{low}, {high})")
+        start = via if via is not None else self.net.random_peer_address()
+        future = self._new_future("multicast")
+        future.entry = start
+        self._launch(future, self._multicast_steps(future, start, low, high))
+        return future
+
+    def submit_subscribe(
+        self,
+        low: int,
+        high: int,
+        subscriber: Optional[Address] = None,
+    ) -> OpFuture:
+        """Install a subscription for ``[low, high)`` at every range owner.
+
+        Requires the ``subscribe`` capability; ``subscriber`` defaults to a
+        random live peer (the interested party the owners will notify).
+        """
+        if not self.supports("subscribe"):
+            raise CapabilityError(
+                f"the {self.overlay_name} overlay does not support "
+                "range subscriptions"
+            )
+        if low >= high:
+            raise ValueError(f"empty subscription range [{low}, {high})")
+        start = subscriber if subscriber is not None else self.net.random_peer_address()
+        future = self._new_future("subscribe")
+        future.entry = start
+        self._launch(future, self._subscribe_steps(future, start, low, high))
+        return future
+
     def submit_fail(self, address: Address) -> OpFuture:
         """Schedule an abrupt crash of ``address`` one latency from now."""
         if not self.supports("fail"):
@@ -572,6 +618,16 @@ class AsyncOverlayRuntime:
         raise NotImplementedError
 
     def _leave_steps(self, future: OpFuture, address: Address) -> OpSteps:
+        raise NotImplementedError
+
+    def _multicast_steps(
+        self, future: OpFuture, start: Address, low: int, high: int
+    ) -> OpSteps:
+        raise NotImplementedError
+
+    def _subscribe_steps(
+        self, future: OpFuture, start: Address, low: int, high: int
+    ) -> OpSteps:
         raise NotImplementedError
 
     def _fail_steps(self, future: OpFuture, address: Address) -> OpSteps:
@@ -839,7 +895,17 @@ class AsyncBatonNetwork(AsyncOverlayRuntime):
 
     overlay_name = "baton"
     network_cls = BatonNetwork
-    capabilities = frozenset({"fail", "repair", "balance", "reconcile", "replication"})
+    capabilities = frozenset(
+        {
+            "fail",
+            "repair",
+            "balance",
+            "reconcile",
+            "replication",
+            "multicast",
+            "subscribe",
+        }
+    )
 
     def __init__(
         self,
@@ -1121,6 +1187,12 @@ class AsyncBatonNetwork(AsyncOverlayRuntime):
                 yield from self._lift(
                     replication.replicate_insert_steps(net, owner, key)
                 )
+            if owner.subscriptions:
+                from repro.pubsub.subscribe import notify_steps
+
+                # Notification pushes are priced hops of their own: the
+                # insert completes once every subscriber has been told.
+                yield from self._lift(notify_steps(net, owner, key))
         else:
             applied = owner.store.delete(key)
             if applied and net.config.replication:
@@ -1236,7 +1308,9 @@ class AsyncBatonNetwork(AsyncOverlayRuntime):
             self._flush_updates_to(address)
             if leave_protocol.can_depart_simply(departing):
                 absorber = departing.parent
-                handover = len(departing.store)
+                # The handover transfer carries the keys plus any
+                # subscription entries the absorber inherits.
+                handover = len(departing.store) + len(departing.subscriptions or ())
                 leave_protocol.depart_leaf(net, departing, content_target="parent")
                 net.stats.leaves += 1
                 if absorber is not None:
@@ -1272,8 +1346,10 @@ class AsyncBatonNetwork(AsyncOverlayRuntime):
                 yield Hop(address, address)  # lost the race; walk again
                 continue
             repl_parent = replacement.parent
-            repl_handover = len(replacement.store)
-            handover = len(departing.store)
+            repl_handover = len(replacement.store) + len(
+                replacement.subscriptions or ()
+            )
+            handover = len(departing.store) + len(departing.subscriptions or ())
             leave_protocol.depart_leaf(net, replacement, content_target="parent")
             # Refreshes emitted by the departure itself can target the
             # departing peer; they must land before its state is handed over.
@@ -1349,6 +1425,34 @@ class AsyncBatonNetwork(AsyncOverlayRuntime):
             yield Hop(current, next_hop)
             current = next_hop
         return None
+
+    def _multicast_steps(
+        self, future: OpFuture, start: Address, low: int, high: int
+    ) -> OpSteps:
+        from repro.pubsub.multicast import multicast_steps
+
+        yield Hop(None, start)  # the publish reaches its entry peer
+        return (
+            yield from self._lift(
+                multicast_steps(
+                    self.net, start, low, high, degraded=self._routing_degraded
+                )
+            )
+        )
+
+    def _subscribe_steps(
+        self, future: OpFuture, start: Address, low: int, high: int
+    ) -> OpSteps:
+        from repro.pubsub.subscribe import subscribe_steps
+
+        yield Hop(None, start)  # the subscriber contacts the overlay
+        return (
+            yield from self._lift(
+                subscribe_steps(
+                    self.net, start, low, high, degraded=self._routing_degraded
+                )
+            )
+        )
 
     def _fail_steps(self, future: OpFuture, address: Address) -> OpSteps:
         yield Hop(None, address)  # the crash is observed one beat later

@@ -58,6 +58,14 @@ class ConcurrentConfig:
     range_fraction: float = 0.0
     #: Width of each range query's interval.
     range_span: int = 2_000_000
+    #: Range-multicast publishes per time unit (``multicast`` capability;
+    #: overlays without it raise CapabilityError up front rather than
+    #: silently running a publish-free mix).
+    publish_rate: float = 0.0
+    #: Subscription installs per time unit (``subscribe`` capability).
+    subscribe_rate: float = 0.0
+    #: Width of each publish / subscription interval.
+    pubsub_span: int = 50_000_000
     #: Departures are suppressed below this population.
     min_peers: int = 8
     #: Run an anti-entropy ``reconcile()`` sweep every this many simulated
@@ -75,9 +83,17 @@ class ConcurrentConfig:
     repair_delay: float = 0.0
 
     def __post_init__(self) -> None:
-        for name in ("churn_rate", "query_rate", "insert_rate"):
+        for name in (
+            "churn_rate",
+            "query_rate",
+            "insert_rate",
+            "publish_rate",
+            "subscribe_rate",
+        ):
             if getattr(self, name) < 0:
                 raise ValueError(f"{name} cannot be negative")
+        if self.pubsub_span <= 0:
+            raise ValueError("pubsub_span must be positive")
         for name in ("join_fraction", "fail_fraction", "range_fraction"):
             if not 0.0 <= getattr(self, name) <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1]")
@@ -147,6 +163,17 @@ class ConcurrentReport:
     #: Keys of inserts that were applied, so durability experiments can
     #: compute the expected key population without re-deriving arrivals.
     insert_keys_applied: List[int] = field(default_factory=list)
+    #: -- pub/sub metrics (non-zero only with publish/subscribe traffic;
+    #: see :mod:`repro.pubsub`) --
+    multicasts_delivered: int = 0
+    multicast_depth_max: int = 0
+    subscriptions_installed: int = 0
+    subscription_moves: int = 0
+    notifications: int = 0
+    #: Arrivals the per-peer dedup window suppressed (counted as traffic,
+    #: applied zero more times).  Duplicate *applications* are zero by
+    #: construction; FaultPlan wire copies live in ``duplicates``.
+    pubsub_duplicates_suppressed: int = 0
     #: -- chaos metrics (non-zero only when the runtime's transport is a
     #: :class:`~repro.sim.faults.FaultPlan` and/or a scenario is active;
     #: see :mod:`repro.workloads.chaos`) --
@@ -240,6 +267,20 @@ class ConcurrentReport:
                 f"{self.timeouts} timeouts, {self.ops_gave_up} op(s) gave up; "
                 f"amplification {self.message_amplification:.3f}"
             )
+        if (
+            self.multicasts_delivered
+            or self.subscriptions_installed
+            or self.notifications
+        ):
+            lines.append(
+                f"pub/sub: {self.multicasts_delivered} multicast deliveries "
+                f"(depth <= {self.multicast_depth_max}), "
+                f"{self.subscriptions_installed} subscription install(s) "
+                f"({self.subscription_moves} moved in restructures), "
+                f"{self.notifications} notification(s), "
+                f"{self.pubsub_duplicates_suppressed} duplicate arrival(s) "
+                "suppressed (0 applied twice)"
+            )
         if self.availability_during is not None:
             line = (
                 f"fault window: availability {self.availability_during:.3f} "
@@ -332,9 +373,24 @@ def run_concurrent_workload(
     post-heal probes in ``finalize``.
     """
     config = config or ConcurrentConfig()
+    for rate, capability in (
+        (config.publish_rate, "multicast"),
+        (config.subscribe_rate, "subscribe"),
+    ):
+        if rate > 0 and not anet.supports(capability):
+            from repro.util.errors import CapabilityError
+
+            raise CapabilityError(
+                f"the {anet.overlay_name} overlay does not support "
+                f"{capability}; drop the pub/sub rates or pick an overlay "
+                "that advertises the capability"
+            )
     rng = SeededRng(seed)
     domain: Range = anet.domain
     report = ConcurrentReport(duration=config.duration)
+    #: Pub/sub counter baseline (the state is cumulative per network).
+    pubsub_state = getattr(anet.net, "pubsub", None)
+    pubsub_before = pubsub_state.as_dict() if pubsub_state is not None else None
     recovery_latencies: List[float] = []
     start_messages = anet.bus.stats.total
     start_replica_messages = anet.bus.stats.by_type[MsgType.REPLICATE]
@@ -383,6 +439,14 @@ def run_concurrent_workload(
             if window is not None and window[0] <= future.submitted_at < window[1]:
                 report.window_queries += 1
                 report.window_ok += answered
+        elif kind == "multicast":
+            if succeeded and future.result is not None:
+                report.multicasts_delivered += len(future.result.delivered)
+                if future.result.depth > report.multicast_depth_max:
+                    report.multicast_depth_max = future.result.depth
+            return
+        elif kind == "subscribe":
+            return  # installs are read off the pubsub counters at the end
         elif succeeded:
             if kind == "join":
                 report.joins_applied += 1
@@ -498,6 +562,16 @@ def run_concurrent_workload(
         # (The kept keys are the durability experiments' ground truth; the
         # list is bounded by applied inserts, not by samples.)
 
+    def submit_publish(stream: SeededRng) -> None:
+        span = min(config.pubsub_span, domain.width - 1)
+        low = stream.randint(domain.low, domain.high - span - 1)
+        note("multicast", anet.submit_multicast(low, low + span))
+
+    def submit_subscription(stream: SeededRng) -> None:
+        span = min(config.pubsub_span, domain.width - 1)
+        low = stream.randint(domain.low, domain.high - span - 1)
+        note("subscribe", anet.submit_subscribe(low, low + span))
+
     def arrivals(label: str, rate: float, submit_one) -> None:
         """Schedule a Poisson stream of submissions until the horizon."""
         if rate <= 0:
@@ -517,6 +591,8 @@ def run_concurrent_workload(
     arrivals("churn", config.churn_rate, submit_churn)
     arrivals("query", config.query_rate, submit_query)
     arrivals("insert", config.insert_rate, submit_insert)
+    arrivals("publish", config.publish_rate, submit_publish)
+    arrivals("subscribe", config.subscribe_rate, submit_subscription)
 
     if config.maintenance_interval > 0 and anet.supports("reconcile"):
         # Periodic in-window anti-entropy: staleness is bounded by the
@@ -605,6 +681,18 @@ def run_concurrent_workload(
         report.message_amplification = (
             report.messages_total + fault_stats.retries + fault_stats.duplicates
         ) / report.messages_total
+    if pubsub_state is not None and pubsub_before is not None:
+        after = pubsub_state.as_dict()
+        report.notifications = after["notifications"] - pubsub_before["notifications"]
+        report.pubsub_duplicates_suppressed = (
+            after["duplicates_suppressed"] - pubsub_before["duplicates_suppressed"]
+        )
+        report.subscriptions_installed = (
+            after["subscriptions_installed"] - pubsub_before["subscriptions_installed"]
+        )
+        report.subscription_moves = (
+            after["subscription_moves"] - pubsub_before["subscription_moves"]
+        )
     if report.window_queries:
         report.availability_during = report.window_ok / report.window_queries
     if scenario is not None:
