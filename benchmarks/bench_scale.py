@@ -196,6 +196,47 @@ def test_10k_churn_query_smoke(benchmark):
 @pytest.mark.skipif(
     os.environ.get("REPRO_SCALE_SMOKE") != "1"
     and os.environ.get("REPRO_FULL_SCALE") != "1",
+    reason="N=10k cache cell runs in the CI benchmark job",
+)
+def test_10k_locality_cache_driver(benchmark):
+    """The cache-path cell: route cache on at the paper's headline N.
+
+    Gateway/hot-slice regime so the cache actually warms; gated on
+    engine events/sec against the committed ``workload="locality"`` row
+    (the cache consult sits on every exact walk's entry, so a slow
+    consult shows up here first)."""
+    row = benchmark.pedantic(
+        lambda: scale_profile.profile_run(
+            10_000, seed=0, cache=True, duration=scale_profile.CACHE_DURATION
+        ),
+        iterations=1,
+        rounds=1,
+    )
+    benchmark.extra_info["row"] = row
+    assert row["workload"] == "locality"
+    assert row["queries"] > 0
+    assert row["success"] > 0.8
+    # The cell is pointless if the cache never warms: the hot-slice
+    # gateway regime must produce a real hit rate, not a trace amount.
+    assert row["hit_rate"] > 0.2
+    assert row["peak_heap"] < row["events"]
+
+    baseline = _baseline_row(10_000, workload="locality")
+    if baseline is None:
+        pytest.skip("no BENCH_scale.json locality baseline committed")
+    factor = float(os.environ.get("REPRO_BENCH_FACTOR", "2.0"))
+    floor = float(baseline["events_per_s"]) / factor
+    assert row["events_per_s"] >= floor, (
+        f"cache-path regression: N=10k cached drive ran "
+        f"{row['events_per_s']:.0f} events/s, baseline "
+        f"{baseline['events_per_s']:.0f} (floor {floor:.0f}); refresh "
+        f"BENCH_scale.json if intentional"
+    )
+
+
+@pytest.mark.skipif(
+    os.environ.get("REPRO_SCALE_SMOKE") != "1"
+    and os.environ.get("REPRO_FULL_SCALE") != "1",
     reason="N=30k bulk-build smoke runs in the CI benchmark job",
 )
 def test_30k_bulk_smoke(benchmark):

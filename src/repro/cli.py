@@ -128,6 +128,17 @@ def cmd_multicast(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_locality(args: argparse.Namespace) -> int:
+    """Run the locality grid (route cache x join mode on a clustered WAN)."""
+    from repro.experiments import harness, locality
+
+    scale = harness.quick_scale() if args.quick else harness.default_scale()
+    sizes = (args.peers,) if args.peers else None
+    result = locality.run(scale, sizes=sizes)
+    print(result.to_text())
+    return 0
+
+
 def cmd_profile(args: argparse.Namespace) -> int:
     """Time build/churn/query phases; optionally dump BENCH_scale.json."""
     from repro.experiments import scale_profile
@@ -210,6 +221,37 @@ def cmd_concurrent(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
+    if args.cache or args.join_probes or args.replica_diversity:
+        unsupported = [
+            name
+            for name in names
+            if "locality" not in overlays.get(name).capabilities
+        ]
+        if unsupported:
+            print(
+                f"error: --cache/--join-probes/--replica-diversity are not "
+                f"supported by {', '.join(unsupported)} (only overlays "
+                f"advertising the locality capability)",
+                file=sys.stderr,
+            )
+            return 2
+    if args.replica_diversity and not args.replication:
+        print(
+            "error: --replica-diversity needs --replication "
+            "(there is no mirror to place without it)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.replica_diversity and args.topology != "clustered":
+        print(
+            "error: --replica-diversity needs --topology clustered "
+            "(diversity is defined over regions)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.join_probes < 0:
+        print("error: --join-probes must be >= 0", file=sys.stderr)
+        return 2
     for name in names:
         _run_concurrent_overlay(name, args, config)
     return 0
@@ -229,13 +271,30 @@ def _run_concurrent_overlay(name: str, args: argparse.Namespace, config) -> None
             "inter_delay": args.inter_delay,
         }
     topology = make_topology(args.topology, seed=args.seed, **topology_params)
+    build_kwargs = {"replication": args.replication}
+    if args.cache or args.join_probes or args.replica_diversity:
+        # The registry's replication path injects its own config, so the
+        # locality variant builds the (equivalent) config explicitly.
+        from repro.core.cache import DEFAULT_CACHE_SIZE
+        from repro.core.network import BatonConfig, LocalityConfig
+
+        build_kwargs = {
+            "config": BatonConfig(
+                replication=args.replication,
+                locality=LocalityConfig(
+                    join_probes=args.join_probes,
+                    replica_diversity=args.replica_diversity,
+                    cache_size=DEFAULT_CACHE_SIZE if args.cache else 0,
+                ),
+            )
+        }
     anet = entry.build_async(
         args.peers,
         seed=args.seed,
         topology=topology,
-        replication=args.replication,
         record_events=False,
         retain_ops=False,
+        **build_kwargs,
     )
     keys = uniform_keys(args.keys or 10 * args.peers, seed=args.seed + 1)
     anet.net.bulk_load(keys)
@@ -342,6 +401,17 @@ def build_parser() -> argparse.ArgumentParser:
     multicast.add_argument("--quick", action="store_true")
     multicast.set_defaults(func=cmd_multicast)
 
+    locality = sub.add_parser(
+        "locality",
+        help="locality grid: hot-range route cache x topology-aware join "
+        "on a clustered WAN (stretch, hit rate, probing surcharge)",
+    )
+    locality.add_argument("--quick", action="store_true")
+    locality.add_argument(
+        "--peers", type=int, default=None, help="override the grid's N"
+    )
+    locality.set_defaults(func=cmd_locality)
+
     profile = sub.add_parser(
         "profile",
         help="wall-clock build/churn/query phase timings "
@@ -433,6 +503,26 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.0,
         help="detect and repair each crash this many time units after it "
         "lands (0 repairs only after the run drains)",
+    )
+    concurrent.add_argument(
+        "--cache",
+        action="store_true",
+        help="give every peer a bounded hot-range route cache (locality "
+        "extension; hits/misses/invalidations land in the report)",
+    )
+    concurrent.add_argument(
+        "--join-probes",
+        type=int,
+        default=0,
+        help="topology-aware join: each joiner prices this many candidate "
+        "entry points and attaches where its neighbourhood link cost is "
+        "lowest (0 or 1 = the paper's Algorithm 1)",
+    )
+    concurrent.add_argument(
+        "--replica-diversity",
+        action="store_true",
+        help="anchor each peer's mirror in a different region than its "
+        "owner (needs --replication and --topology clustered)",
     )
     concurrent.set_defaults(func=cmd_concurrent)
     return parser

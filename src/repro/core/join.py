@@ -19,13 +19,15 @@ from __future__ import annotations
 
 from typing import Optional, TYPE_CHECKING
 
-from repro.core.ids import Position
+from repro.core.ids import ROOT, Position
 from repro.core.links import LEFT, RIGHT, NodeInfo
 from repro.core.peer import BatonPeer
 from repro.core.results import JoinResult
 from repro.net.address import Address
 from repro.net.message import MsgType
+from repro.sim.topology import Hop
 from repro.util.errors import PeerNotFoundError, ProtocolError
+from repro.util.stepper import MessageSteps, drive
 
 if TYPE_CHECKING:
     from repro.core.network import BatonNetwork
@@ -53,8 +55,21 @@ def join(net: "BatonNetwork", start: Address) -> JoinResult:
     In a degraded network (unrepaired failures) the placement walk can get
     boxed in by dead neighbours; the joiner then retries through a different
     entry point, as a real joining host would.
+
+    With topology-aware probing on (``LocalityConfig.join_probes > 1`` and
+    a topology installed — default off) the contact peer first probes
+    candidate entry points on the joiner's behalf and the Algorithm 1 walk
+    starts at the cheapest neighbourhood; with probing off the walk is
+    message-for-message Algorithm 1 (pinned).
     """
+    newcomer: Optional[BatonPeer] = None
     with net.open_trace("join.find") as find_trace:
+        if probing_active(net):
+            # The joiner's address (hence its physical placement) must
+            # exist before the walk so probe replies can be priced against
+            # it; the single allocation per join simply moves earlier.
+            newcomer = BatonPeer(net.alloc.allocate(), ROOT, net.config.domain)
+            start = drive(probe_entry_steps(net, newcomer.address, start))
         attempts = 3 if net.ghosts else 1
         parent_address: Optional[Address] = None
         for attempt in range(attempts):
@@ -68,13 +83,80 @@ def join(net: "BatonNetwork", start: Address) -> JoinResult:
     with net.open_trace("join.update") as update_trace:
         parent = net.peer(parent_address)
         side = LEFT if parent.left_child is None else RIGHT
-        new_peer = add_child(net, parent, side)
+        new_peer = add_child(net, parent, side, peer=newcomer)
     return JoinResult(
         address=new_peer.address,
         parent=parent_address,
         find_trace=find_trace,
         update_trace=update_trace,
     )
+
+
+def probing_active(net: "BatonNetwork") -> bool:
+    """Whether topology-aware join probing applies to this network."""
+    return net.config.locality.join_probes > 1 and net.topology is not None
+
+
+def neighbourhood_cost(
+    net: "BatonNetwork", joiner: Address, candidate: Address
+) -> float:
+    """The joiner's mean direct link cost to a candidate's neighbourhood.
+
+    The candidate's probe RESPONSE carries its own coordinates and its
+    adjacent links (local knowledge it already holds); the joiner prices
+    the direct links to each — ``direct_delay`` is deterministic, so
+    probing never perturbs the topology's jitter stream.
+    """
+    peer = net.peers.get(candidate)
+    if peer is None:
+        return float("inf")
+    topology = net.topology
+    total = topology.direct_delay(joiner, candidate)
+    count = 1
+    for info in (peer.left_adjacent, peer.right_adjacent):
+        if info is not None:
+            total += topology.direct_delay(joiner, info.address)
+            count += 1
+    return total / count
+
+
+def probe_entry_steps(
+    net: "BatonNetwork", joiner: Address, contact: Address
+) -> MessageSteps:
+    """Probe k candidate entry points; return where the walk should start.
+
+    The joining host knows only its contact, so the contact probes
+    ``join_probes - 1`` further uniformly drawn candidates on its behalf:
+    one JOIN_PROBE out, one RESPONSE back per candidate, both counted and
+    priced like any other message.  If a cheaper neighbourhood than the
+    contact's turns up, one more JOIN_FIND hop forwards the walk there;
+    candidates that die mid-probe are paid for and skipped (§III-D style).
+    """
+    best = contact
+    best_cost = neighbourhood_cost(net, joiner, contact)
+    seen = {contact}
+    for _ in range(net.config.locality.join_probes - 1):
+        candidate = net.random_peer_address()
+        if candidate in seen:
+            continue
+        seen.add(candidate)
+        if not try_message(net, contact, candidate, MsgType.JOIN_PROBE):
+            continue
+        yield Hop(contact, candidate)
+        if candidate not in net.peers:
+            continue  # died while the probe was in flight
+        if not try_message(net, candidate, contact, MsgType.RESPONSE):
+            continue
+        yield Hop(candidate, contact)
+        cost = neighbourhood_cost(net, joiner, candidate)
+        if cost < best_cost:
+            best, best_cost = candidate, cost
+    if best != contact:
+        if try_message(net, contact, best, MsgType.JOIN_FIND):
+            yield Hop(contact, best)
+        else:
+            best = contact  # the winner died since its probe; stay put
+    return best
 
 
 def can_accept_join(peer: BatonPeer) -> bool:

@@ -61,6 +61,35 @@ class LoadBalanceConfig:
 
 
 @dataclass
+class LocalityConfig:
+    """The locality extension's knobs (DESIGN.md, "Locality contract").
+
+    Everything defaults off, in which case every code path is byte-for-byte
+    the paper's protocol: no extra rng draws, no extra messages, identical
+    event logs (pinned by tests/test_locality.py).
+    """
+
+    #: Topology-aware join: the contact peer probes this many candidate
+    #: entry points (itself included) on the joiner's behalf and forwards
+    #: the Algorithm 1 walk to the cheapest neighbourhood.  0/1 disables
+    #: probing.  Requires ``BatonNetwork.topology`` to be set.
+    join_probes: int = 0
+    #: Region-diverse replica placement: mirror at the nearest linked peer
+    #: in a *different* region when the topology exposes ``region_of``;
+    #: falls back to the plain adjacent holder otherwise.
+    replica_diversity: bool = False
+    #: Hot-range routing cache capacity per peer (entries); 0 disables the
+    #: cache entirely (no per-peer cache objects are ever allocated).
+    cache_size: int = 0
+
+    def __post_init__(self) -> None:
+        if self.join_probes < 0:
+            raise ValueError("join_probes cannot be negative")
+        if self.cache_size < 0:
+            raise ValueError("cache_size cannot be negative")
+
+
+@dataclass
 class BatonConfig:
     """Network-wide settings."""
 
@@ -74,6 +103,10 @@ class BatonConfig:
     #: store at its right adjacent and restore it during repair.  See
     #: :mod:`repro.core.replication`.
     replication: bool = False
+    #: Locality extension (not in the paper): topology-aware joins,
+    #: region-diverse replicas, hot-range routing cache.  See
+    #: :mod:`repro.core.cache` and DESIGN.md's "Locality contract".
+    locality: LocalityConfig = field(default_factory=LocalityConfig)
 
     def __post_init__(self) -> None:
         if self.split_policy not in ("median", "midpoint"):
@@ -194,6 +227,18 @@ class BatonNetwork:
         from repro.pubsub.state import PubSubState
 
         self.pubsub = PubSubState()
+        #: The run's physical topology, when one exists (locality
+        #: extension).  The async runtime installs its own; synchronous
+        #: callers that want topology-aware joins or region-diverse
+        #: replicas set it explicitly.  Protocol decisions only ever read
+        #: the deterministic ``direct_delay``/``region_of`` surface — never
+        #: the jittered ``sample`` stream — so setting it perturbs nothing.
+        self.topology = None
+        #: Hot-range cache counters, shared by every peer's cache (locality
+        #: extension; all-zero unless ``config.locality.cache_size > 0``).
+        from repro.core.cache import CacheStats
+
+        self.cache_stats = CacheStats()
         self.bus.set_level_resolver(self._level_of)
 
     # -- bookkeeping ---------------------------------------------------------

@@ -43,6 +43,7 @@ class BatonPeer:
         "right_table",
         "subscriptions",
         "seen_messages",
+        "route_cache",
     )
 
     def __init__(self, address: Address, position: Position, range_: Range):
@@ -72,6 +73,11 @@ class BatonPeer:
         #: Bounded window of applied dissemination ids (exactly-once
         #: application; see ``repro.pubsub.state``).  Lazy like above.
         self.seen_messages: Optional[dict] = None
+        #: Hot-range routing cache (locality extension; see
+        #: :mod:`repro.core.cache`).  Lazy like above: ``None`` until this
+        #: peer originates a resolved walk with the cache enabled, so
+        #: cache-off populations pay nothing.
+        self.route_cache = None
 
     # -- descriptive properties ---------------------------------------------
 
@@ -200,6 +206,14 @@ class BatonPeer:
         Returns the number of slots refreshed.  Used when a linked peer
         announces a change (new range, new child, position move).
         """
+        if self.route_cache is not None:
+            # The announcing peer's snapshot already paid its message;
+            # correcting a cached route from it is free (locality cache's
+            # restructure hook — see repro.core.cache).
+            info_range = info.range
+            self.route_cache.refresh(
+                info.address, info_range.low, info_range.high
+            )
         updated = 0
         if self.parent is not None and self.parent.address == info.address:
             self.parent = info.copy()
@@ -244,6 +258,9 @@ class BatonPeer:
         (§III-B): the logical position is unchanged but the physical address
         is new.
         """
+        if self.route_cache is not None:
+            # The departed address can never answer a shortcut again.
+            self.route_cache.invalidate(old)
         updated = 0
         if self.parent is not None and self.parent.address == old:
             self.parent = info.copy()

@@ -49,11 +49,34 @@ if TYPE_CHECKING:
 
 
 def replica_holder(net: "BatonNetwork", peer: BatonPeer) -> Optional[BatonPeer]:
-    """The live peer mirroring ``peer``'s store (right adjacent, else left)."""
+    """The live peer mirroring ``peer``'s store (right adjacent, else left).
+
+    With region-diverse placement on (``LocalityConfig.replica_diversity``
+    and a region-aware topology — default off) and the adjacent pick in the
+    owner's own region, the mirror moves to the owner's nearest cross-region
+    link instead, so one region-wide outage can never take both copies
+    (DESIGN.md, "Locality contract").  Falls back to the adjacent pick when
+    every link is same-region.
+    """
+    first: Optional[BatonPeer] = None
     for info in (peer.right_adjacent, peer.left_adjacent):
         if info is not None and info.address in net.peers:
+            first = net.peers[info.address]
+            break
+    if first is None:
+        return None
+    if not net.config.locality.replica_diversity:
+        return first
+    region_of = getattr(net.topology, "region_of", None)
+    if region_of is None:
+        return first
+    home = region_of(peer.address)
+    if region_of(first.address) != home:
+        return first  # the adjacent pick is already diverse
+    for _, info in peer.iter_links():
+        if info.address in net.peers and region_of(info.address) != home:
             return net.peers[info.address]
-    return None
+    return first
 
 
 def _write_target(net: "BatonNetwork", owner: BatonPeer) -> Optional[BatonPeer]:

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import List, Optional, TYPE_CHECKING
 
+from repro.core import cache as route_cache
 from repro.core.links import LEFT, RIGHT
 from repro.core.peer import BatonPeer
 from repro.core.results import RangeSearchResult, SearchResult
@@ -47,12 +48,23 @@ def route_to_owner(
 
     Returns the extreme (leftmost/rightmost) peer when ``key`` falls outside
     the covered domain; callers that insert may then expand its range.
+
+    With the hot-range cache enabled (locality extension, default off) the
+    entry peer first tries its cached shortcut: a verified hit resolves in
+    one direct message, a stale hint is invalidated and the walk continues
+    from wherever it landed — never a wrong answer (see
+    :mod:`repro.core.cache`).
     """
     limit = hop_limit(net)
     current = start
+    cached = net.config.locality.cache_size > 0
+    if cached:
+        current = route_cache.consult(net, start, key, mtype)
     for _ in range(limit):
         peer = net.peer(current)
         if peer.range.contains(key):
+            if cached:
+                route_cache.record_route(net, start, peer)
             return current
         primary, fallback = hop_candidates(peer, key)
         if not primary:

@@ -46,6 +46,7 @@ from collections import Counter
 from typing import Optional
 
 from repro import overlays
+from repro.core.network import LocalityConfig
 from repro.experiments.harness import (
     ExperimentResult,
     ExperimentScale,
@@ -67,7 +68,9 @@ EXPECTATION = (
     "shrinking the maintenance interval trades replica/reconcile messages "
     "for fewer lost keys and lower recovery latency; the correlated "
     "region_outage row survives on replication plus monitor-driven repair "
-    "alone, paying its recovery time in heartbeat detection latency"
+    "alone, paying its recovery time in heartbeat detection latency; the "
+    "region_outage+diverse row anchors mirrors across regions so the "
+    "outage never takes both copies — adjacent-placement losses vanish"
 )
 
 CHURN_RATES = (0.5, 2.0)
@@ -153,26 +156,33 @@ def run(
             (i for i in maintenance_intervals if i > 0),
             MAINTENANCE_INTERVALS[1],
         )
-        cells = [
-            _correlated_run(n_peers, seed, scale.data_per_node, interval)
-            for seed in scale.seeds
-        ]
-        recoveries = [c["recover"] for c in cells if c["recover"] >= 0]
-        result.add_row(
-            mode="region_outage",
-            replication=1,
-            churn_rate=0.0,
-            interval=interval,
-            crashes=sum(c["crashes"] for c in cells),
-            repairs=sum(c["repairs"] for c in cells),
-            keys_lost=sum(c["keys_lost"] for c in cells),
-            keys_recovered=sum(c["keys_recovered"] for c in cells),
-            recovery_p50=mean(recoveries) if recoveries else -1.0,
-            recovery_max=max(recoveries) if recoveries else -1.0,
-            reconcile_msgs=sum(c["reconcile_msgs"] for c in cells),
-            replica_msgs=sum(c["replica_msgs"] for c in cells),
-            success=mean([c["success"] for c in cells]),
-        )
+        for diverse in (False, True):
+            cells = [
+                _correlated_run(
+                    n_peers,
+                    seed,
+                    scale.data_per_node,
+                    interval,
+                    replica_diversity=diverse,
+                )
+                for seed in scale.seeds
+            ]
+            recoveries = [c["recover"] for c in cells if c["recover"] >= 0]
+            result.add_row(
+                mode="region_outage+diverse" if diverse else "region_outage",
+                replication=1,
+                churn_rate=0.0,
+                interval=interval,
+                crashes=sum(c["crashes"] for c in cells),
+                repairs=sum(c["repairs"] for c in cells),
+                keys_lost=sum(c["keys_lost"] for c in cells),
+                keys_recovered=sum(c["keys_recovered"] for c in cells),
+                recovery_p50=mean(recoveries) if recoveries else -1.0,
+                recovery_max=max(recoveries) if recoveries else -1.0,
+                reconcile_msgs=sum(c["reconcile_msgs"] for c in cells),
+                replica_msgs=sum(c["replica_msgs"] for c in cells),
+                success=mean([c["success"] for c in cells]),
+            )
     return result
 
 
@@ -237,6 +247,8 @@ def _correlated_run(
     seed: int,
     data_per_node: int,
     maintenance_interval: float,
+    replica_diversity: bool = False,
+    insert_rate: float = INSERT_RATE,
 ) -> dict:
     """One region dies at once; only the liveness monitor notices.
 
@@ -244,15 +256,26 @@ def _correlated_run(
     no ``repair_delay`` oracle, so every in-window repair was earned by
     heartbeat suspicion.  ``recover`` is the scenario's probe-measured
     strike-to-service time (-1: never within the run).
+
+    ``replica_diversity`` turns on region-diverse placement (locality
+    extension): mirrors anchor across regions, so the outage can never
+    take an owner and its replica together.  The anchoring refresh runs
+    *after* the topology is installed — placement needs ``region_of``.
     """
-    net = build_baton(n_peers, seed, data_per_node, replication=True)
-    net.refresh_replicas()
+    net = build_baton(
+        n_peers,
+        seed,
+        data_per_node,
+        replication=True,
+        locality=LocalityConfig(replica_diversity=replica_diversity),
+    )
     topology = ClusteredTopology(
         seed=derive_seed(seed, "durability-regions"), regions=OUTAGE_REGIONS
     )
     anet = overlays.get("baton").wrap(
         net, topology=topology, record_events=False, retain_ops=False
     )
+    net.refresh_replicas()  # anchor every mirror before the storm
     duration = 30.0  # long enough for strike + detection + probe streak
     scenario = RegionOutage(
         strike_at=duration * 0.25, window_len=duration * 0.5
@@ -263,7 +286,7 @@ def _correlated_run(
         duration=duration,
         churn_rate=0.0,
         query_rate=QUERY_RATE,
-        insert_rate=INSERT_RATE,
+        insert_rate=insert_rate,
         maintenance_interval=maintenance_interval,
         min_peers=8,
     )

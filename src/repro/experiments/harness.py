@@ -8,7 +8,12 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.chord.network import ChordNetwork
-from repro.core.network import BatonConfig, BatonNetwork, LoadBalanceConfig
+from repro.core.network import (
+    BatonConfig,
+    BatonNetwork,
+    LoadBalanceConfig,
+    LocalityConfig,
+)
 from repro.multiway.network import MultiwayNetwork
 from repro.workloads.generators import uniform_keys
 
@@ -140,6 +145,7 @@ def build_baton(
     capacity: Optional[int] = None,
     replication: bool = False,
     bulk: bool = False,
+    locality: Optional[LocalityConfig] = None,
 ) -> BatonNetwork:
     """A BATON overlay grown around its data.
 
@@ -159,6 +165,7 @@ def build_baton(
             enabled=balance_enabled,
         ),
         replication=replication,
+        locality=locality or LocalityConfig(),
     )
     if bulk:
         keys = (
@@ -222,6 +229,7 @@ def build_loaded(
     seed: int,
     data_per_node: int,
     bulk: bool = False,
+    locality: Optional[LocalityConfig] = None,
 ):
     """A loaded network of any registered overlay, by name.
 
@@ -233,7 +241,14 @@ def build_loaded(
     have no such path).
     """
     if overlay == "baton":
-        return build_baton(n_peers, seed, data_per_node, bulk=bulk)
+        return build_baton(
+            n_peers, seed, data_per_node, bulk=bulk, locality=locality
+        )
+    if locality is not None:
+        raise ValueError(
+            f"the {overlay} overlay has no locality extension; "
+            "drop the locality config or pick baton"
+        )
     builders = {"chord": build_chord, "multiway": build_multiway}
     builder = builders.get(overlay)
     if builder is not None:

@@ -48,6 +48,8 @@ INTER_DELAYS = (1.0, 2.0, 5.0, 10.0, 20.0)
 QUERY_RATE = 8.0
 REGIONS = 4
 INTRA_DELAY = 1.0
+#: Session gateways for the ``cached=True`` grid (see below).
+GATEWAYS = 8
 
 
 def run(
@@ -55,10 +57,21 @@ def run(
     inter_delays: tuple[float, ...] = INTER_DELAYS,
     names: Optional[Sequence[str]] = None,
     n_peers: Optional[int] = None,
+    cached: bool = False,
 ) -> ExperimentResult:
-    """One row per (overlay, inter-region delay), identical workloads."""
+    """One row per (overlay, inter-region delay), identical workloads.
+
+    ``cached=True`` adds a ``baton+cache`` variant (hot-range route cache,
+    locality extension) and pins every variant's query entry points to
+    the same ``GATEWAYS`` fixed session peers — the regime where a
+    per-peer cache can warm up — so the added rows stay comparable to
+    their neighbours.  The default grid keeps the historical uniform
+    entry draw.
+    """
     scale = scale or default_scale()
     names = list(names) if names is not None else overlays.available()
+    if cached:
+        names = names + ["baton+cache"]
     if n_peers is None:
         n_peers = scale.sizes[0]
     duration = scale.n_queries / QUERY_RATE
@@ -79,18 +92,31 @@ def run(
             "transit_p99",
             "stretch_p50",
             "stretch_p99",
+            "hit_rate",
             "msgs_per_query",
         ],
         expectation=EXPECTATION,
     )
+    if cached:
+        result.notes.append(
+            f"cached grid: every variant's queries enter through the same "
+            f"{GATEWAYS} fixed gateway peers (the cache's session regime); "
+            "baton+cache adds the hot-range route cache on top"
+        )
     for name in names:
         for inter_delay in inter_delays:
             successes, p50s, p99s, transit_p99s, msgs = [], [], [], [], []
-            stretch_p50s, stretch_p99s = [], []
+            stretch_p50s, stretch_p99s, hit_rates = [], [], []
             queries = 0
             for seed in scale.seeds:
                 report = _one_run(
-                    name, n_peers, seed, scale.data_per_node, inter_delay, duration
+                    name,
+                    n_peers,
+                    seed,
+                    scale.data_per_node,
+                    inter_delay,
+                    duration,
+                    gateways=GATEWAYS if cached else 0,
                 )
                 successes.append(report.query_success_rate)
                 p50s.append(report.query_latency_p50)
@@ -98,6 +124,7 @@ def run(
                 transit_p99s.append(report.query_transit_p99)
                 stretch_p50s.append(report.latency_stretch_p50)
                 stretch_p99s.append(report.latency_stretch_p99)
+                hit_rates.append(report.cache_hit_rate)
                 msgs.append(report.messages_per_query)
                 queries += report.query_total
             result.add_row(
@@ -110,6 +137,7 @@ def run(
                 transit_p99=mean(transit_p99s),
                 stretch_p50=mean(stretch_p50s),
                 stretch_p99=mean(stretch_p99s),
+                hit_rate=mean(hit_rates),
                 msgs_per_query=mean(msgs),
             )
     return result
@@ -122,9 +150,22 @@ def _one_run(
     data_per_node: int,
     inter_delay: float,
     duration: float,
+    gateways: int = 0,
 ):
-    """One seeded run on a clustered WAN; query-only (the latency signal)."""
-    net = build_loaded(overlay, n_peers, seed, data_per_node)
+    """One seeded run on a clustered WAN; query-only (the latency signal).
+
+    ``overlay`` may carry a ``+cache`` suffix (the locality hot-range
+    route cache; BATON only) — the underlying overlay and workload are
+    otherwise identical to the plain variant's.
+    """
+    locality = None
+    if overlay.endswith("+cache"):
+        overlay = overlay[: -len("+cache")]
+        from repro.core.cache import DEFAULT_CACHE_SIZE
+        from repro.core.network import LocalityConfig
+
+        locality = LocalityConfig(cache_size=DEFAULT_CACHE_SIZE)
+    net = build_loaded(overlay, n_peers, seed, data_per_node, locality=locality)
     topology = ClusteredTopology(
         derive_seed(seed, "hetero-links"),
         regions=REGIONS,
@@ -142,6 +183,7 @@ def _one_run(
         churn_rate=0.0,
         query_rate=QUERY_RATE,
         range_fraction=0.2,
+        client_gateways=gateways,
     )
     return run_concurrent_workload(
         anet, keys, config, seed=derive_seed(seed, "hetero-driver")
@@ -149,7 +191,7 @@ def _one_run(
 
 
 def main() -> ExperimentResult:
-    result = run()
+    result = run(cached=True)
     print(result.to_text())
     return result
 

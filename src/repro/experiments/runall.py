@@ -29,6 +29,7 @@ from repro.experiments import (
     fig8h_shift_sizes,
     fig8i_dynamics,
     hetero_links,
+    locality,
     multicast,
     scale_profile,
 )
@@ -72,6 +73,9 @@ def run_all(scale=None, quick: bool = False) -> List[ExperimentResult]:
     )
     inter_delays = (1.0, 10.0) if quick else hetero_links.INTER_DELAYS
     results.append(hetero_links.run(scale, inter_delays=inter_delays))
+    # The locality grid: what the hot-range cache and topology-aware
+    # joins win back on the same clustered WAN.
+    results.append(locality.run(scale))
     durability_churn = (1.0,) if quick else durability.CHURN_RATES
     durability_intervals = (0.0, 6.0) if quick else durability.MAINTENANCE_INTERVALS
     results.append(

@@ -71,6 +71,13 @@ DATA_PER_NODE = 20
 PUBSUB_PUBLISH_RATE = 2.0
 PUBSUB_SUBSCRIBE_RATE = 1.0
 
+#: Window for the locality (route cache) benchmark cell.  Cache entries
+#: are recorded when walks *complete*, so the window must be several
+#: multiples of the walk latency for the steady-state hit rate to show
+#: (see ``experiments/locality.py`` on warm-up); the standard shortened
+#: 10k window is too tight for that.
+CACHE_DURATION = 30.0
+
 
 def peak_rss_mb() -> float:
     """The process's resident high-water mark, in MiB.
@@ -95,6 +102,7 @@ def profile_run(
     subscribe_rate: float = 0.0,
     bulk: bool = True,
     wrap_faults: bool = False,
+    cache: bool = False,
 ) -> Dict[str, object]:
     """One profiled build + drive; returns the phase timings and counters.
 
@@ -105,9 +113,20 @@ def profile_run(
     rates, no windows) — the same workload then runs through the chaos
     transmit path, which is how the zero-overhead guard in
     ``benchmarks/bench_scale.py`` measures the price of the wrapper.
+    ``cache`` (BATON only) turns the hot-range route cache on and drives
+    the cache's session regime (fixed gateways, hot-slice queries) — the
+    cache-path throughput cell of the trajectory.
     """
+    locality = None
+    if cache:
+        from repro.core.cache import DEFAULT_CACHE_SIZE
+        from repro.core.network import LocalityConfig
+
+        locality = LocalityConfig(cache_size=DEFAULT_CACHE_SIZE)
     started = time.perf_counter()
-    net = build_loaded(overlay, n_peers, seed, data_per_node, bulk=bulk)
+    net = build_loaded(
+        overlay, n_peers, seed, data_per_node, bulk=bulk, locality=locality
+    )
     build_s = time.perf_counter() - started
 
     rng = SeededRng(derive_seed(seed, "scale-profile"))
@@ -121,6 +140,13 @@ def profile_run(
         retain_ops=False,
     )
     keys = loaded_keys(n_peers, data_per_node, seed)
+    workload_keys = keys
+    gateways = 0
+    if cache:
+        from repro.experiments import locality as locality_experiment
+
+        workload_keys = locality_experiment.hot_keys(keys, data_per_node)
+        gateways = locality_experiment.GATEWAYS
     config = ConcurrentConfig(
         duration=duration,
         churn_rate=churn_rate,
@@ -129,10 +155,11 @@ def profile_run(
         subscribe_rate=subscribe_rate,
         range_fraction=0.2,
         min_peers=max(8, n_peers // 2),
+        client_gateways=gateways,
     )
     started = time.perf_counter()
     report = run_concurrent_workload(
-        anet, keys, config, seed=derive_seed(seed, "driver")
+        anet, workload_keys, config, seed=derive_seed(seed, "driver")
     )
     drive_s = time.perf_counter() - started
 
@@ -157,6 +184,12 @@ def profile_run(
         "messages": report.messages_total,
         "peak_rss_mb": round(peak_rss_mb(), 1),
     }
+    if cache:
+        # Cache-path cell: tagged so the standard gate (first untagged
+        # match by n_peers) never reads it; carries the cache counters.
+        row["workload"] = "locality"
+        row["hit_rate"] = round(report.cache_hit_rate, 4)
+        row["cache_invalidations"] = report.cache_invalidations
     if publish_rate > 0 or subscribe_rate > 0:
         # Dissemination cell: tag it so the baseline gate (first match by
         # n_peers) keeps reading the standard row, and carry the pub/sub
@@ -254,6 +287,16 @@ def collect_benchmark(
             **bench_window(pubsub_n),
         )
     )
+    # The locality cell rides the paper's headline N when the sweep
+    # covers it: route cache on, gateway/hot-slice regime, its own
+    # longer window (CACHE_DURATION — hit rate needs warm-up room).
+    if 10_000 in sizes:
+        rows.append(
+            profile_run(
+                10_000, seed=seed, bulk=bulk, cache=True,
+                duration=CACHE_DURATION,
+            )
+        )
     return {
         "schema": BENCH_SCHEMA,
         "benchmark": "bench_scale",

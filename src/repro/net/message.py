@@ -32,6 +32,11 @@ class MsgType(enum.Enum):
     #: Forwarding a JOIN request while locating the accepting node
     #: (Algorithm 1), or a Chord ``find_successor`` during join.
     JOIN_FIND = "join_find"
+    #: Topology-aware join probe: the joiner's contact peer asks a candidate
+    #: entry point for its neighbourhood coordinates (locality extension;
+    #: see DESIGN.md "Locality contract").  The candidate's RESPONSE carries
+    #: them back; both legs are priced like any other message.
+    JOIN_PROBE = "join_probe"
     #: Range/content handover and link setup when a join is accepted.
     JOIN_TRANSFER = "join_transfer"
     #: Any routing-state maintenance: BATON sideways-table updates, Chord

@@ -53,6 +53,7 @@ import itertools
 from typing import Callable, ClassVar, Generator, List, Optional, Set
 
 from repro.core import balance as balance_protocol
+from repro.core import cache as route_cache_protocol
 from repro.core import data as data_protocol
 from repro.core import failure as failure_protocol
 from repro.core import join as join_protocol
@@ -904,6 +905,7 @@ class AsyncBatonNetwork(AsyncOverlayRuntime):
             "replication",
             "multicast",
             "subscribe",
+            "locality",
         }
     )
 
@@ -934,6 +936,12 @@ class AsyncBatonNetwork(AsyncOverlayRuntime):
         self._last_update_arrival: dict[Address, float] = {}
         if defer_updates:
             self.net.updates.set_sink(self._deliver_update)
+        # The locality extension's protocol decisions (join probing,
+        # replica diversity) read the run's topology through the network;
+        # only its deterministic direct_delay/region_of surface is ever
+        # consulted, so installing it perturbs nothing when the locality
+        # knobs are off.
+        self.net.topology = self.topology
 
     @property
     def domain(self) -> Range:
@@ -977,6 +985,7 @@ class AsyncBatonNetwork(AsyncOverlayRuntime):
 
         cache: dict = {}
         include_ghosts = bool(self.net.ghosts)
+        validate_routes = route_cache_protocol.cache_enabled(self.net)
         messages = 0
         for peer in list(self.net.peers.values()):
             partner = self._reconcile_partner(peer)
@@ -986,6 +995,11 @@ class AsyncBatonNetwork(AsyncOverlayRuntime):
             restructure_protocol.refresh_links_from_map(
                 self.net, peer, cache, include_ghosts=include_ghosts
             )
+            if validate_routes:
+                # The same sweep bounds hot-range cache staleness: dead
+                # owners dropped, moved ranges corrected (counted as
+                # invalidations; see repro.core.cache).
+                route_cache_protocol.reconcile_peer(self.net, peer)
         return messages
 
     def _reconcile_partner(self, peer) -> Optional[Address]:
@@ -1093,15 +1107,49 @@ class AsyncBatonNetwork(AsyncOverlayRuntime):
         """Per-hop :func:`~repro.core.search.route_to_owner`.
 
         Pays exactly the same messages as the synchronous walk; between
-        hops, the simulator may run other operations' events.
+        hops, the simulator may run other operations' events.  With the
+        hot-range cache on (locality extension, default off) the entry
+        peer first tries its cached shortcut — one priced direct hop,
+        verified at the landed peer, invalidated and resumed as a normal
+        walk when stale (:mod:`repro.core.cache`).
         """
         net = self.net
         yield Hop(None, start)  # the request reaches its entry peer
         current = start
+        cached = net.config.locality.cache_size > 0
+        if cached:
+            stats = net.cache_stats
+            entry_peer = net.peers.get(start)
+            cache = entry_peer.route_cache if entry_peer is not None else None
+            hint = cache.lookup(key) if cache is not None else None
+            if hint is None or hint == start:
+                stats.misses += 1
+            else:
+                try:
+                    net.count_message(start, hint, mtype)
+                except PeerNotFoundError:
+                    stats.misses += 1
+                    cache.invalidate(hint)
+                else:
+                    yield Hop(start, hint)
+                    target = net.peers.get(hint)
+                    if target is not None and target.range.contains(key):
+                        stats.hits += 1
+                    else:
+                        # Verified-stale (or the owner vanished mid-hop):
+                        # drop the entry and walk on from where we landed —
+                        # the regular loop below re-reads the peer, so a
+                        # vanished carrier fails the op exactly like any
+                        # other mid-flight loss.
+                        stats.misses += 1
+                        cache.invalidate(hint)
+                    current = hint
         limit = search_protocol.hop_limit(net)
         for _ in range(limit):
             peer = net.peer(current)  # raises if the carrier vanished mid-op
             if peer.range.contains(key):
+                if cached:
+                    route_cache_protocol.record_route(net, start, peer)
                 return current
             primary, fallback = search_protocol.hop_candidates(peer, key)
             if not primary:
@@ -1214,6 +1262,19 @@ class AsyncBatonNetwork(AsyncOverlayRuntime):
     def _join_steps(self, future: OpFuture, start: Address) -> OpSteps:
         net = self.net
         yield Hop(None, start)  # the join request reaches its entry peer
+        newcomer = None
+        if join_protocol.probing_active(net):
+            # Same protocol as the sync facade: allocate the joiner early so
+            # probe replies can be priced against its placement, then let
+            # the contact probe candidate entry points (each probe/response
+            # leg is a priced simulator event like any other message).
+            from repro.core.ids import ROOT
+            from repro.core.peer import BatonPeer
+
+            newcomer = BatonPeer(net.alloc.allocate(), ROOT, net.config.domain)
+            start = yield from self._lift(
+                join_protocol.probe_entry_steps(net, newcomer.address, start)
+            )
         current = start
         for _attempt in range(16):
             parent_address = yield from self._find_join_parent_steps(future, current)
@@ -1230,7 +1291,7 @@ class AsyncBatonNetwork(AsyncOverlayRuntime):
                 yield Hop(current, current)  # local beat: re-examine, move on
                 continue
             side = LEFT if parent.left_child is None else RIGHT
-            new_peer = join_protocol.add_child(net, parent, side)
+            new_peer = join_protocol.add_child(net, parent, side, peer=newcomer)
             net.stats.joins += 1
             return JoinResult(
                 address=new_peer.address,

@@ -81,6 +81,13 @@ class ConcurrentConfig:
     #: historical behaviour — crashes are repaired only after the run
     #: drains).  Only on overlays with the ``repair`` capability.
     repair_delay: float = 0.0
+    #: Pin query entry points to this many fixed gateway peers
+    #: instead of a uniformly random peer per operation (0 keeps the
+    #: historical behaviour).  Models clients that keep a session with a
+    #: few access points — the regime where a per-peer route cache can
+    #: warm up; with uniform entry at N=10k each peer originates too few
+    #: queries to learn anything.
+    client_gateways: int = 0
 
     def __post_init__(self) -> None:
         for name in (
@@ -103,6 +110,8 @@ class ConcurrentConfig:
             raise ValueError("maintenance_interval cannot be negative")
         if self.repair_delay < 0:
             raise ValueError("repair_delay cannot be negative")
+        if self.client_gateways < 0:
+            raise ValueError("client_gateways cannot be negative")
 
 
 @dataclass
@@ -163,6 +172,12 @@ class ConcurrentReport:
     #: Keys of inserts that were applied, so durability experiments can
     #: compute the expected key population without re-deriving arrivals.
     insert_keys_applied: List[int] = field(default_factory=list)
+    #: -- hot-range route cache metrics (non-zero only when the runtime's
+    #: network has the locality cache enabled; see :mod:`repro.core.cache`) --
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_invalidations: int = 0
+    cache_hit_rate: float = 0.0
     #: -- pub/sub metrics (non-zero only with publish/subscribe traffic;
     #: see :mod:`repro.pubsub`) --
     multicasts_delivered: int = 0
@@ -245,6 +260,13 @@ class ConcurrentReport:
             f"messages: {self.messages_total} total, "
             f"{self.messages_per_query:.2f} per query",
         ]
+        if self.cache_hits or self.cache_misses:
+            lines.append(
+                f"route cache: {self.cache_hits} hits / "
+                f"{self.cache_misses} misses "
+                f"(hit rate {self.cache_hit_rate:.3f}), "
+                f"{self.cache_invalidations} invalidation(s)"
+            )
         if self.reconcile_sweeps or self.reconcile_messages:
             lines.append(
                 f"maintenance: {self.reconcile_sweeps} in-window reconcile "
@@ -394,6 +416,9 @@ def run_concurrent_workload(
     recovery_latencies: List[float] = []
     start_messages = anet.bus.stats.total
     start_replica_messages = anet.bus.stats.by_type[MsgType.REPLICATE]
+    #: Route-cache counter baseline (cumulative per network, like pubsub).
+    cache_stats = getattr(anet.net, "cache_stats", None)
+    cache_before = cache_stats.snapshot() if cache_stats is not None else None
     start_time = anet.sim.now
     horizon = start_time + config.duration  # the clock may not start at zero
     repair_in_window = config.repair_delay > 0 and anet.supports("repair")
@@ -468,12 +493,18 @@ def run_concurrent_workload(
             owner = future.result.owners[0]
         if owner is not None and future.entry is not None:
             direct = topology.direct_delay(future.entry, owner)
-            if direct > 0:
+            overlay_transit = future.transit - future.ingress
+            if direct > 0 and overlay_transit > 0:
                 # Routing stretch is an overlay metric: the client's
                 # ingress leg is not part of the entry->owner path the
                 # denominator prices, so it must not inflate the numerator
                 # (with it, stretch_p50 degenerated into a copy of p50).
-                stretch_q.add((future.transit - future.ingress) / direct)
+                # Degenerate zero-cost resolutions — the entry peer *is*
+                # the owner, so no overlay hop was ever priced — carry no
+                # routing information and would otherwise poison the
+                # quantiles with 0s (a cache-hit run at a warm gateway
+                # resolves there often).
+                stretch_q.add(overlay_transit / direct)
 
     def note(kind: str, future: Optional[OpFuture]) -> None:
         if future is None:
@@ -536,18 +567,48 @@ def run_concurrent_workload(
         else:
             note("leave", anet.submit_leave(victim))
 
+    #: Live-membership map (peers for BATON, nodes elsewhere) — read-only
+    #: here, for O(1) gateway liveness checks.
+    live_peers = getattr(anet.net, "peers", None)
+    if live_peers is None:
+        live_peers = getattr(anet.net, "nodes", {})
+
+    gateways: List[int] = []
+    if config.client_gateways > 0:
+        # Fixed session entry points, drawn once from the starting
+        # population via a labelled child rng (the parent stream is
+        # untouched, so gateway-off runs are unchanged draw-for-draw).
+        pool = list(live_peers)
+        gateway_rng = rng.child("gateways")
+        count = min(config.client_gateways, len(pool))
+        gateways = [pool.pop(gateway_rng.randint(0, len(pool) - 1)) for _ in range(count)]
+
+    def query_entry(stream: SeededRng):
+        """The entry peer for one query: a live gateway, else the default.
+
+        A gateway that departed mid-run falls back to the historical
+        uniform draw for that query (clients re-enter anywhere).
+        """
+        if not gateways:
+            return None
+        via = stream.choice(gateways)
+        return via if via in live_peers else None
+
     def submit_query(stream: SeededRng) -> None:
         if config.range_fraction and stream.random() < config.range_fraction:
             span = min(config.range_span, domain.width - 1)
             low = stream.randint(domain.low, domain.high - span - 1)
-            note("search.range", anet.submit_search_range(low, low + span))
+            note(
+                "search.range",
+                anet.submit_search_range(low, low + span, via=query_entry(stream)),
+            )
         else:
             key = (
                 stream.choice(keys)
                 if keys
                 else stream.randint(domain.low, domain.high - 1)
             )
-            note("search.exact", anet.submit_search_exact(key))
+            note("search.exact", anet.submit_search_exact(key, via=query_entry(stream)))
 
     def submit_insert(stream: SeededRng) -> None:
         key = stream.randint(domain.low, domain.high - 1)
@@ -648,6 +709,16 @@ def run_concurrent_workload(
     report.replica_messages = (
         anet.bus.stats.by_type[MsgType.REPLICATE] - start_replica_messages
     )
+    if cache_stats is not None and cache_before is not None:
+        hits_before, misses_before, invalidations_before = cache_before
+        report.cache_hits = cache_stats.hits - hits_before
+        report.cache_misses = cache_stats.misses - misses_before
+        report.cache_invalidations = (
+            cache_stats.invalidations - invalidations_before
+        )
+        lookups = report.cache_hits + report.cache_misses
+        if lookups:
+            report.cache_hit_rate = report.cache_hits / lookups
     if recovery_latencies:
         report.recovery_latency_p50 = percentile(recovery_latencies, 0.50)
         report.recovery_latency_max = max(recovery_latencies)

@@ -296,3 +296,88 @@ class TestAsyncConformance:
             (f.status, f.hops, f.trace.total) for f in second
         ]
         assert snapshot(name, first_net.net) == snapshot(name, second_net.net)
+
+
+class TestLocalityConformance:
+    """The locality extension must not disturb Algorithm 1's wire protocol
+    unless it is switched on — and when it is, the sync facade and the
+    serialized async runtime must still agree message for message."""
+
+    @staticmethod
+    def _grown(config=None, topology=None, n_peers=24, seed=5):
+        from repro.core.network import BatonConfig, BatonNetwork
+
+        net = BatonNetwork(config=config or BatonConfig(), seed=seed)
+        if topology is not None:
+            net.topology = topology
+        net.bootstrap()
+        results = [net.join() for _ in range(n_peers - 1)]
+        return net, results
+
+    def test_probing_off_join_identical_to_algorithm_1(self):
+        from repro.core.network import BatonConfig, LocalityConfig
+        from repro.net.message import MsgType
+        from repro.sim.topology import ClusteredTopology
+
+        plain, plain_joins = self._grown()
+        # join_probes=0 with a topology installed, and join_probes=4
+        # without one: both sides of the probing gate stay cold.
+        for config, topology in (
+            (
+                BatonConfig(locality=LocalityConfig(join_probes=0)),
+                ClusteredTopology(seed=9, regions=4),
+            ),
+            (BatonConfig(locality=LocalityConfig(join_probes=4)), None),
+        ):
+            gated, gated_joins = self._grown(config=config, topology=topology)
+            assert gated.bus.stats.by_type == plain.bus.stats.by_type
+            assert gated.bus.stats.by_type[MsgType.JOIN_PROBE] == 0
+            assert [
+                (j.address, j.parent, j.total_messages) for j in gated_joins
+            ] == [
+                (j.address, j.parent, j.total_messages) for j in plain_joins
+            ]
+            assert snapshot("baton", gated) == snapshot("baton", plain)
+
+    def test_probing_on_serialized_async_matches_sync(self):
+        from repro.core.network import BatonConfig, BatonNetwork, LocalityConfig
+        from repro.net.message import MsgType
+        from repro.sim.topology import ClusteredTopology
+
+        config = BatonConfig(locality=LocalityConfig(join_probes=4))
+        topology = ClusteredTopology(seed=11, regions=4)
+        sync, sync_joins = self._grown(config=config, topology=topology)
+        assert sync.bus.stats.by_type[MsgType.JOIN_PROBE] > 0
+
+        async_net = BatonNetwork(config=config, seed=5)
+        async_net.bootstrap()
+        anet = overlays.get("baton").wrap(
+            async_net, topology=ClusteredTopology(seed=11, regions=4)
+        )
+        for expected in sync_joins:
+            future = anet.submit_join()
+            anet.drain()
+            assert future.succeeded
+            assert future.result.address == expected.address
+            assert future.result.parent == expected.parent
+            assert future.result.total_messages == expected.total_messages
+        assert async_net.bus.stats.by_type == sync.bus.stats.by_type
+        assert snapshot("baton", async_net) == snapshot("baton", sync)
+
+    @pytest.mark.parametrize("n_peers", (2, 9, 24, 33))
+    def test_bulk_build_pins_hold_with_probing_config(self, n_peers):
+        from repro.core.bulk_build import bulk_build, incremental_reference
+        from repro.core.invariants import collect_violations
+        from repro.core.network import BatonConfig, LocalityConfig
+
+        # No topology is installed on either side, so probing stays
+        # inactive and the construction equivalence contract must hold
+        # even with the locality knobs present in the config.
+        config = BatonConfig(
+            locality=LocalityConfig(join_probes=4, cache_size=64)
+        )
+        bulk = bulk_build(n_peers, config=config)
+        grown = incremental_reference(n_peers, config=config)
+        assert snapshot("baton", bulk) == snapshot("baton", grown)
+        assert set(bulk.peers) == set(grown.peers)
+        assert collect_violations(bulk) == []
