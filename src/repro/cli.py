@@ -80,12 +80,26 @@ def cmd_peer(args: argparse.Namespace) -> int:
     return 0
 
 
+def _experiment_setup(args: argparse.Namespace) -> int:
+    """Apply the shared --jobs/--snapshot-cache flags; returns the jobs."""
+    from repro.experiments import snapshot
+    from repro.experiments.parallel import default_jobs
+
+    snapshot.configure(enabled=getattr(args, "snapshot_cache", True))
+    jobs = getattr(args, "jobs", None)
+    return jobs if jobs is not None else default_jobs()
+
+
 def cmd_experiments(args: argparse.Namespace) -> int:
     from repro.experiments import runall
 
     argv = ["--quick"] if args.quick else []
     if args.out:
         argv += ["--out", args.out]
+    if args.jobs is not None:
+        argv += ["--jobs", str(args.jobs)]
+    if not args.snapshot_cache:
+        argv += ["--no-snapshot-cache"]
     return runall.main(argv)
 
 
@@ -93,8 +107,9 @@ def cmd_durability(args: argparse.Namespace) -> int:
     """Run the durability experiment (crash churn, replication on vs. off)."""
     from repro.experiments import durability, harness
 
+    jobs = _experiment_setup(args)
     scale = harness.quick_scale() if args.quick else harness.default_scale()
-    result = durability.run(scale, n_peers=args.peers)
+    result = durability.run(scale, n_peers=args.peers, jobs=jobs)
     print(result.to_text())
     return 0
 
@@ -103,6 +118,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     """Run the chaos suite (correlated disaster across overlays)."""
     from repro.experiments import chaos, harness
 
+    jobs = _experiment_setup(args)
     scale = harness.quick_scale() if args.quick else harness.default_scale()
     scenarios = (
         chaos.SCENARIO_NAMES if args.scenario == "all" else (args.scenario,)
@@ -113,6 +129,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         scenarios=scenarios,
         overlay_names=overlay_names,
         n_peers=args.peers,
+        jobs=jobs,
     )
     print(result.to_text())
     return 0
@@ -122,8 +139,9 @@ def cmd_multicast(args: argparse.Namespace) -> int:
     """Run the dissemination showdown (multicast vs unicast vs flood)."""
     from repro.experiments import harness, multicast
 
+    jobs = _experiment_setup(args)
     scale = harness.quick_scale() if args.quick else harness.default_scale()
-    result = multicast.run(scale)
+    result = multicast.run(scale, jobs=jobs)
     print(result.to_text())
     return 0
 
@@ -132,9 +150,10 @@ def cmd_locality(args: argparse.Namespace) -> int:
     """Run the locality grid (route cache x join mode on a clustered WAN)."""
     from repro.experiments import harness, locality
 
+    jobs = _experiment_setup(args)
     scale = harness.quick_scale() if args.quick else harness.default_scale()
     sizes = (args.peers,) if args.peers else None
-    result = locality.run(scale, sizes=sizes)
+    result = locality.run(scale, sizes=sizes, jobs=jobs)
     print(result.to_text())
     return 0
 
@@ -152,17 +171,26 @@ def cmd_profile(args: argparse.Namespace) -> int:
     bulk = not args.no_bulk_build
     if args.out:
         payload = scale_profile.write_benchmark(
-            args.out, sizes, seed=args.seed, bulk=bulk
+            args.out, sizes, seed=args.seed, bulk=bulk, suite=args.suite
         )
         rows = payload["rows"]
         print(f"wrote {args.out} ({len(rows)} population(s))")
     else:
         # Same measurement as the --out/benchmark path (including the
         # shortened window for the big populations), just not persisted.
-        rows = scale_profile.collect_benchmark(sizes, seed=args.seed, bulk=bulk)[
-            "rows"
-        ]
+        rows = scale_profile.collect_benchmark(
+            sizes, seed=args.seed, bulk=bulk, suite=args.suite
+        )["rows"]
     for row in rows:
+        if row.get("workload") == "suite":
+            print(
+                f"suite: sequential {row['sequential_s']:.1f}s, "
+                f"--jobs {row['jobs']} cold {row['cold_s']:.1f}s, "
+                f"warm {row['warm_s']:.1f}s "
+                f"(speedup {row['speedup']:.2f}x, {row['results']} results, "
+                f"identical canonical output)"
+            )
+            continue
         print(
             f"N={row['n_peers']}: build {row['build_s']:.2f}s "
             f"({row['build']}), drive {row['drive_s']:.2f}s "
@@ -332,6 +360,32 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--keys", type=int, default=0)
 
+    def parallel_flags(p: argparse.ArgumentParser) -> None:
+        """--jobs and the snapshot-cache toggle, shared by experiment
+        subcommands; output is identical at every --jobs value."""
+        p.add_argument(
+            "--jobs",
+            type=int,
+            default=None,
+            help="worker processes for the cell fan-out "
+            "(default: REPRO_JOBS or 1)",
+        )
+        cache = p.add_mutually_exclusive_group()
+        cache.add_argument(
+            "--snapshot-cache",
+            dest="snapshot_cache",
+            action="store_true",
+            default=True,
+            help="reuse built-network snapshots keyed by build config "
+            "(default; protocol-grown builds only)",
+        )
+        cache.add_argument(
+            "--no-snapshot-cache",
+            dest="snapshot_cache",
+            action="store_false",
+            help="always build networks from scratch",
+        )
+
     demo = sub.add_parser("demo", help="build a network and run sample queries")
     common(demo)
     demo.set_defaults(func=cmd_demo)
@@ -353,6 +407,7 @@ def build_parser() -> argparse.ArgumentParser:
     experiments = sub.add_parser("experiments", help="run the Figure-8 suite")
     experiments.add_argument("--quick", action="store_true")
     experiments.add_argument("--out", default=None)
+    parallel_flags(experiments)
     experiments.set_defaults(func=cmd_experiments)
 
     durability = sub.add_parser(
@@ -364,6 +419,7 @@ def build_parser() -> argparse.ArgumentParser:
     durability.add_argument(
         "--peers", type=int, default=None, help="override the population"
     )
+    parallel_flags(durability)
     durability.set_defaults(func=cmd_durability)
 
     from repro import overlays
@@ -391,6 +447,7 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument(
         "--peers", type=int, default=None, help="override the population"
     )
+    parallel_flags(chaos)
     chaos.set_defaults(func=cmd_chaos)
 
     multicast = sub.add_parser(
@@ -399,6 +456,7 @@ def build_parser() -> argparse.ArgumentParser:
         "unicast vs flood, WAN-priced, plus the lossy pub/sub cell",
     )
     multicast.add_argument("--quick", action="store_true")
+    parallel_flags(multicast)
     multicast.set_defaults(func=cmd_multicast)
 
     locality = sub.add_parser(
@@ -410,6 +468,7 @@ def build_parser() -> argparse.ArgumentParser:
     locality.add_argument(
         "--peers", type=int, default=None, help="override the grid's N"
     )
+    parallel_flags(locality)
     locality.set_defaults(func=cmd_locality)
 
     profile = sub.add_parser(
@@ -441,6 +500,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--out",
         default=None,
         help="also write the machine-readable BENCH_scale.json payload here",
+    )
+    profile.add_argument(
+        "--suite",
+        action="store_true",
+        help="also time the full experiment suite sequentially and under "
+        "--jobs 4 (the suite wall-clock trajectory row; several minutes)",
     )
     profile.set_defaults(func=cmd_profile)
 

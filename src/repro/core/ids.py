@@ -45,6 +45,16 @@ class Position:
                 f"number must be in [1, 2^{self.level}], got {self.number}"
             )
 
+    def __getstate__(self) -> tuple:
+        # Explicit pickle path (network snapshot restore): skips the
+        # generic slotted-dataclass state walk; values were validated at
+        # construction, so restore trusts them.
+        return (self.level, self.number)
+
+    def __setstate__(self, state: tuple) -> None:
+        object.__setattr__(self, "level", state[0])
+        object.__setattr__(self, "number", state[1])
+
     # -- tree geometry ------------------------------------------------------
 
     @property

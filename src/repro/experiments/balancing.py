@@ -10,6 +10,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List
 
 from repro.experiments.harness import ExperimentScale, build_baton
+from repro.experiments.parallel import Cell, cell, run_cells
 from repro.workloads.generators import UniformKeys, ZipfianKeys
 
 
@@ -29,45 +30,70 @@ class BalancingRun:
     timeline: List[tuple[int, int]] = field(default_factory=list)
 
 
+def balancing_cell(
+    distribution: str, n_peers: int, seed: int, inserts_per_node: int
+) -> BalancingRun:
+    """One routed insert stream: (distribution, seed) with balancing on."""
+    n_inserts = n_peers * inserts_per_node
+    sample_every = max(1, n_inserts // 20)
+    # Capacity sized so a perfectly balanced network never triggers:
+    # 4x the fair share of the stream.
+    capacity = max(16, 4 * inserts_per_node)
+    net = build_baton(
+        n_peers, seed, data_per_node=0, balance_enabled=True, capacity=capacity
+    )
+    if distribution == "uniform":
+        gen = UniformKeys(seed=seed + 17)
+    else:
+        gen = ZipfianKeys(theta=1.0, seed=seed + 17)
+    run = BalancingRun(
+        distribution=distribution,
+        n_peers=n_peers,
+        seed=seed,
+        inserts=n_inserts,
+    )
+    for i in range(n_inserts):
+        outcome = net.insert(gen.draw())
+        run.routing_messages += outcome.trace.total
+        if outcome.balance_trace is not None:
+            run.balance_messages += outcome.balance_trace.total
+            run.balance_events += 1
+        if (i + 1) % sample_every == 0:
+            run.timeline.append((i + 1, run.balance_messages))
+    run.shift_sizes = list(net.stats.restructure_shift_sizes)
+    return run
+
+
+def cells(
+    scale: ExperimentScale,
+    distributions: tuple[str, ...] = ("uniform", "zipf"),
+    inserts_per_node: int = 40,
+) -> List[Cell]:
+    """The balancing grid as schedulable cells."""
+    return [
+        cell(
+            balancing_cell,
+            group="balancing",
+            distribution=distribution,
+            n_peers=scale.sizes[0],
+            seed=seed,
+            inserts_per_node=inserts_per_node,
+        )
+        for distribution in distributions
+        for seed in scale.seeds
+    ]
+
+
 def run_balancing(
     scale: ExperimentScale,
     distributions: tuple[str, ...] = ("uniform", "zipf"),
     inserts_per_node: int = 40,
+    jobs: int = 1,
 ) -> List[BalancingRun]:
     """Route a full insert stream through BATON with balancing on."""
-    runs: List[BalancingRun] = []
-    n_peers = scale.sizes[0]
-    n_inserts = n_peers * inserts_per_node
-    sample_every = max(1, n_inserts // 20)
-    for distribution in distributions:
-        for seed in scale.seeds:
-            # Capacity sized so a perfectly balanced network never triggers:
-            # 4x the fair share of the stream.
-            capacity = max(16, 4 * inserts_per_node)
-            net = build_baton(
-                n_peers, seed, data_per_node=0, balance_enabled=True, capacity=capacity
-            )
-            if distribution == "uniform":
-                gen = UniformKeys(seed=seed + 17)
-            else:
-                gen = ZipfianKeys(theta=1.0, seed=seed + 17)
-            run = BalancingRun(
-                distribution=distribution,
-                n_peers=n_peers,
-                seed=seed,
-                inserts=n_inserts,
-            )
-            for i in range(n_inserts):
-                outcome = net.insert(gen.draw())
-                run.routing_messages += outcome.trace.total
-                if outcome.balance_trace is not None:
-                    run.balance_messages += outcome.balance_trace.total
-                    run.balance_events += 1
-                if (i + 1) % sample_every == 0:
-                    run.timeline.append((i + 1, run.balance_messages))
-            run.shift_sizes = list(net.stats.restructure_shift_sizes)
-            runs.append(run)
-    return runs
+    return run_cells(
+        cells(scale, distributions, inserts_per_node), jobs=jobs
+    )
 
 
 def shift_histogram(runs: List[BalancingRun]) -> Dict[int, int]:

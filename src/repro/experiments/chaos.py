@@ -36,7 +36,7 @@ spike.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro import overlays
 from repro.experiments.harness import (
@@ -46,6 +46,7 @@ from repro.experiments.harness import (
     loaded_keys,
     mean,
 )
+from repro.experiments.parallel import Cell, cell, run_cells
 from repro.sim.topology import ClusteredTopology
 from repro.util.rng import derive_seed
 from repro.workloads.chaos import SCENARIO_NAMES, build_scenario
@@ -66,18 +67,66 @@ INSERT_RATE = 0.2
 REGIONS = 4
 
 
-def run(
-    scale: Optional[ExperimentScale] = None,
+def _grid(
+    scale: ExperimentScale,
+    scenarios: Sequence[str],
+    overlay_names: Optional[Sequence[str]],
+    n_peers: Optional[int],
+):
+    """The (scenario, overlay) walk shared by cells() and assemble().
+
+    Yields ``(scenario_name, overlay_name, runnable)`` in row order;
+    capability-filtered pairs appear with ``runnable=False`` so assemble
+    can note the skip without consuming outputs.
+    """
+    names = list(overlay_names) if overlay_names else overlays.available()
+    duration = max(24.0, scale.n_queries / QUERY_RATE)
+    for scenario_name in scenarios:
+        probe = build_scenario(scenario_name, duration=duration, n_peers=n_peers)
+        for name in names:
+            entry = overlays.get(name)
+            yield scenario_name, name, probe.requires <= entry.capabilities
+
+
+def cells(
+    scale: ExperimentScale,
+    scenarios: Sequence[str] = SCENARIO_NAMES,
+    overlay_names: Optional[Sequence[str]] = None,
+    n_peers: Optional[int] = None,
+) -> List[Cell]:
+    if n_peers is None:
+        n_peers = scale.sizes[0]
+    duration = max(24.0, scale.n_queries / QUERY_RATE)
+    return [
+        cell(
+            chaos_cell,
+            group="chaos",
+            overlay=name,
+            scenario_name=scenario_name,
+            n_peers=n_peers,
+            seed=seed,
+            duration=duration,
+            data_per_node=scale.data_per_node,
+        )
+        for scenario_name, name, runnable in _grid(
+            scale, scenarios, overlay_names, n_peers
+        )
+        if runnable
+        for seed in scale.seeds
+    ]
+
+
+def assemble(
+    scale: ExperimentScale,
+    outputs: List[Dict[str, float]],
     scenarios: Sequence[str] = SCENARIO_NAMES,
     overlay_names: Optional[Sequence[str]] = None,
     n_peers: Optional[int] = None,
 ) -> ExperimentResult:
     """One row per (scenario, overlay), averaged over the scale's seeds."""
-    scale = scale or default_scale()
     if n_peers is None:
         n_peers = scale.sizes[0]
     duration = max(24.0, scale.n_queries / QUERY_RATE)
-    names = list(overlay_names) if overlay_names else overlays.available()
     result = ExperimentResult(
         figure="Chaos",
         title=(
@@ -103,59 +152,74 @@ def run(
         ],
         expectation=EXPECTATION,
     )
-    for scenario_name in scenarios:
-        probe = build_scenario(scenario_name, duration=duration, n_peers=n_peers)
-        for name in names:
-            entry = overlays.get(name)
-            if not probe.requires <= entry.capabilities:
-                result.notes.append(
-                    f"{scenario_name} skipped on {name} (needs "
-                    f"{'+'.join(sorted(probe.requires))})"
-                )
-                continue
-            cells = [
-                one_cell(name, scenario_name, n_peers, seed, duration, scale)
-                for seed in scale.seeds
-            ]
-            recoveries = [
-                c.recover_time
-                for c in cells
-                if c.recover_time is not None and c.recover_time >= 0
-            ]
-            result.add_row(
-                scenario=scenario_name,
-                overlay=name,
-                avail_during=mean(
-                    [
-                        c.availability_during
-                        for c in cells
-                        if c.availability_during is not None
-                    ]
-                ),
-                recover_t=mean(recoveries) if recoveries else -1.0,
-                amplification=mean([c.message_amplification for c in cells]),
-                drops=sum(c.drops for c in cells),
-                dups=sum(c.duplicates for c in cells),
-                refusals=sum(c.partition_refusals for c in cells),
-                retries=sum(c.retries for c in cells),
-                timeouts=sum(c.timeouts for c in cells),
-                gave_up=sum(c.ops_gave_up for c in cells),
-                unresolved=sum(c.unresolved_ops for c in cells),
-                repairs=sum(c.repairs_applied for c in cells),
-                success=mean([c.query_success_rate for c in cells]),
+    per_point = len(scale.seeds)
+    index = 0
+    for scenario_name, name, runnable in _grid(
+        scale, scenarios, overlay_names, n_peers
+    ):
+        if not runnable:
+            probe = build_scenario(
+                scenario_name, duration=duration, n_peers=n_peers
             )
+            result.notes.append(
+                f"{scenario_name} skipped on {name} (needs "
+                f"{'+'.join(sorted(probe.requires))})"
+            )
+            continue
+        group = outputs[index : index + per_point]
+        index += per_point
+        recoveries = [
+            c["recover_t"]
+            for c in group
+            if c["recover_t"] is not None and c["recover_t"] >= 0
+        ]
+        availabilities = [
+            c["avail_during"]
+            for c in group
+            if c["avail_during"] is not None
+        ]
+        result.add_row(
+            scenario=scenario_name,
+            overlay=name,
+            avail_during=mean(availabilities),
+            recover_t=mean(recoveries) if recoveries else -1.0,
+            amplification=mean([c["amplification"] for c in group]),
+            drops=sum(c["drops"] for c in group),
+            dups=sum(c["dups"] for c in group),
+            refusals=sum(c["refusals"] for c in group),
+            retries=sum(c["retries"] for c in group),
+            timeouts=sum(c["timeouts"] for c in group),
+            gave_up=sum(c["gave_up"] for c in group),
+            unresolved=sum(c["unresolved"] for c in group),
+            repairs=sum(c["repairs"] for c in group),
+            success=mean([c["success"] for c in group]),
+        )
     return result
 
 
-def one_cell(
+def run(
+    scale: Optional[ExperimentScale] = None,
+    scenarios: Sequence[str] = SCENARIO_NAMES,
+    overlay_names: Optional[Sequence[str]] = None,
+    n_peers: Optional[int] = None,
+    jobs: int = 1,
+) -> ExperimentResult:
+    scale = scale or default_scale()
+    outputs = run_cells(
+        cells(scale, scenarios, overlay_names, n_peers), jobs=jobs
+    )
+    return assemble(scale, outputs, scenarios, overlay_names, n_peers)
+
+
+def chaos_cell(
     overlay: str,
     scenario_name: str,
     n_peers: int,
     seed: int,
     duration: float,
-    scale: ExperimentScale,
-):
-    """One (overlay, scenario, seed) run; returns the ConcurrentReport."""
+    data_per_node: int,
+) -> Dict[str, float]:
+    """One (overlay, scenario, seed) run, reduced to the chaos metrics."""
     entry = overlays.get(overlay)
     scenario = build_scenario(scenario_name, duration=duration, n_peers=n_peers)
     inner = ClusteredTopology(
@@ -169,7 +233,7 @@ def one_cell(
         record_events=False,
         retain_ops=False,
     )
-    keys = loaded_keys(n_peers, scale.data_per_node, seed)
+    keys = loaded_keys(n_peers, data_per_node, seed)
     anet.net.bulk_load(keys)
     config = ConcurrentConfig(
         duration=duration,
@@ -192,7 +256,20 @@ def one_cell(
             f"{scenario_name}/{overlay} seed {seed} — every OpFuture must "
             f"resolve (the at-least-once contract)"
         )
-    return report
+    return {
+        "avail_during": report.availability_during,
+        "recover_t": report.recover_time,
+        "amplification": report.message_amplification,
+        "drops": report.drops,
+        "dups": report.duplicates,
+        "refusals": report.partition_refusals,
+        "retries": report.retries,
+        "timeouts": report.timeouts,
+        "gave_up": report.ops_gave_up,
+        "unresolved": report.unresolved_ops,
+        "repairs": report.repairs_applied,
+        "success": report.query_success_rate,
+    }
 
 
 def main() -> ExperimentResult:

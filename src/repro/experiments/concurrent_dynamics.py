@@ -20,7 +20,7 @@ carrier peers.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro import overlays
 from repro.core.invariants import collect_violations
@@ -32,6 +32,7 @@ from repro.experiments.harness import (
     loaded_keys,
     mean,
 )
+from repro.experiments.parallel import Cell, cell, run_cells
 from repro.sim.latency import ExponentialLatency
 from repro.util.rng import SeededRng, derive_seed
 from repro.workloads.concurrent import ConcurrentConfig, run_concurrent_workload
@@ -58,16 +59,47 @@ QUERY_RATE = 8.0
 TARGET_PEERS = 1000
 
 
-def run(
-    scale: Optional[ExperimentScale] = None,
+def target_peers(scale: ExperimentScale) -> int:
+    """The sweep population: the canonical N when the scale reaches it."""
+    return (
+        TARGET_PEERS if max(scale.sizes) >= TARGET_PEERS else scale.sizes[0]
+    )
+
+
+def cells(
+    scale: ExperimentScale,
+    churn_rates: tuple[float, ...] = CHURN_RATES,
+    n_peers: Optional[int] = None,
+    overlay: str = "baton",
+) -> List[Cell]:
+    if n_peers is None:
+        n_peers = target_peers(scale)
+    duration = scale.n_queries / QUERY_RATE
+    return [
+        cell(
+            dynamics_cell,
+            group="concurrent",
+            overlay=overlay,
+            n_peers=n_peers,
+            seed=seed,
+            data_per_node=scale.data_per_node,
+            churn_rate=churn_rate,
+            duration=duration,
+        )
+        for churn_rate in churn_rates
+        for seed in scale.seeds
+    ]
+
+
+def assemble(
+    scale: ExperimentScale,
+    outputs: List[Dict[str, float]],
     churn_rates: tuple[float, ...] = CHURN_RATES,
     n_peers: Optional[int] = None,
     overlay: str = "baton",
 ) -> ExperimentResult:
-    scale = scale or default_scale()
     if n_peers is None:
-        n_peers = TARGET_PEERS if max(scale.sizes) >= TARGET_PEERS else scale.sizes[0]
-    duration = scale.n_queries / QUERY_RATE
+        n_peers = target_peers(scale)
     result = ExperimentResult(
         figure="Concurrent dynamics",
         title=(
@@ -87,41 +119,71 @@ def run(
         ],
         expectation=EXPECTATION,
     )
+    per_point = len(scale.seeds)
+    index = 0
     for churn_rate in churn_rates:
-        successes = []
-        p50s, p90s, p99s = [], [], []
-        msgs = []
-        queries = 0
-        in_flight = 0
-        violations = 0
-        for seed in scale.seeds:
-            report, net_violations = _one_run(
-                overlay, n_peers, seed, scale.data_per_node, churn_rate, duration
-            )
-            successes.append(report.query_success_rate)
-            p50s.append(report.query_latency_p50)
-            p90s.append(report.query_latency_p90)
-            p99s.append(report.query_latency_p99)
-            msgs.append(report.messages_per_query)
-            queries += report.query_total
-            in_flight = max(in_flight, report.max_in_flight)
-            violations += net_violations
+        group = outputs[index : index + per_point]
+        index += per_point
         result.add_row(
             churn_rate=churn_rate,
-            queries=queries,
-            success=mean(successes),
-            p50=mean(p50s),
-            p90=mean(p90s),
-            p99=mean(p99s),
-            msgs_per_query=mean(msgs),
-            max_in_flight=in_flight,
-            violations=violations,
+            queries=sum(int(out["queries"]) for out in group),
+            success=mean([out["success"] for out in group]),
+            p50=mean([out["p50"] for out in group]),
+            p90=mean([out["p90"] for out in group]),
+            p99=mean([out["p99"] for out in group]),
+            msgs_per_query=mean([out["msgs_per_query"] for out in group]),
+            max_in_flight=max(int(out["max_in_flight"]) for out in group),
+            violations=sum(int(out["violations"]) for out in group),
         )
     return result
 
 
-def run_comparison(
+def run(
     scale: Optional[ExperimentScale] = None,
+    churn_rates: tuple[float, ...] = CHURN_RATES,
+    n_peers: Optional[int] = None,
+    overlay: str = "baton",
+    jobs: int = 1,
+) -> ExperimentResult:
+    scale = scale or default_scale()
+    outputs = run_cells(
+        cells(scale, churn_rates, n_peers, overlay), jobs=jobs
+    )
+    return assemble(scale, outputs, churn_rates, n_peers, overlay)
+
+
+def comparison_cells(
+    scale: ExperimentScale,
+    churn_rates: tuple[float, ...] = COMPARISON_CHURN_RATES,
+    names: Optional[Sequence[str]] = None,
+    n_peers: Optional[int] = None,
+) -> List[Cell]:
+    names = list(names) if names is not None else overlays.available()
+    if n_peers is None:
+        # Same population as the BATON-only dynamics experiment above, so
+        # the baton rows of the two tables are directly comparable.
+        n_peers = target_peers(scale)
+    duration = scale.n_queries / QUERY_RATE
+    return [
+        cell(
+            dynamics_cell,
+            group="comparison",
+            overlay=name,
+            n_peers=n_peers,
+            seed=seed,
+            data_per_node=scale.data_per_node,
+            churn_rate=churn_rate,
+            duration=duration,
+        )
+        for name in names
+        for churn_rate in churn_rates
+        for seed in scale.seeds
+    ]
+
+
+def assemble_comparison(
+    scale: ExperimentScale,
+    outputs: List[Dict[str, float]],
     churn_rates: tuple[float, ...] = COMPARISON_CHURN_RATES,
     names: Optional[Sequence[str]] = None,
     n_peers: Optional[int] = None,
@@ -132,13 +194,9 @@ def run_comparison(
     processes, seeds and latency model are shared, so the rows differ only
     in how each overlay's protocol copes.
     """
-    scale = scale or default_scale()
     names = list(names) if names is not None else overlays.available()
     if n_peers is None:
-        # Same population as the BATON-only dynamics experiment above, so
-        # the baton rows of the two tables are directly comparable.
-        n_peers = TARGET_PEERS if max(scale.sizes) >= TARGET_PEERS else scale.sizes[0]
-    duration = scale.n_queries / QUERY_RATE
+        n_peers = target_peers(scale)
     result = ExperimentResult(
         figure="Concurrent comparison",
         title=(
@@ -157,42 +215,48 @@ def run_comparison(
         ],
         expectation=COMPARISON_EXPECTATION,
     )
+    per_point = len(scale.seeds)
+    index = 0
     for name in names:
         for churn_rate in churn_rates:
-            successes, p50s, p90s, p99s, msgs = [], [], [], [], []
-            queries = 0
-            for seed in scale.seeds:
-                report, _violations = _one_run(
-                    name, n_peers, seed, scale.data_per_node, churn_rate, duration
-                )
-                successes.append(report.query_success_rate)
-                p50s.append(report.query_latency_p50)
-                p90s.append(report.query_latency_p90)
-                p99s.append(report.query_latency_p99)
-                msgs.append(report.messages_per_query)
-                queries += report.query_total
+            group = outputs[index : index + per_point]
+            index += per_point
             result.add_row(
                 overlay=name,
                 churn_rate=churn_rate,
-                queries=queries,
-                success=mean(successes),
-                p50=mean(p50s),
-                p90=mean(p90s),
-                p99=mean(p99s),
-                msgs_per_query=mean(msgs),
+                queries=sum(int(out["queries"]) for out in group),
+                success=mean([out["success"] for out in group]),
+                p50=mean([out["p50"] for out in group]),
+                p90=mean([out["p90"] for out in group]),
+                p99=mean([out["p99"] for out in group]),
+                msgs_per_query=mean([out["msgs_per_query"] for out in group]),
             )
     return result
 
 
-def _one_run(
+def run_comparison(
+    scale: Optional[ExperimentScale] = None,
+    churn_rates: tuple[float, ...] = COMPARISON_CHURN_RATES,
+    names: Optional[Sequence[str]] = None,
+    n_peers: Optional[int] = None,
+    jobs: int = 1,
+) -> ExperimentResult:
+    scale = scale or default_scale()
+    outputs = run_cells(
+        comparison_cells(scale, churn_rates, names, n_peers), jobs=jobs
+    )
+    return assemble_comparison(scale, outputs, churn_rates, names, n_peers)
+
+
+def dynamics_cell(
     overlay: str,
     n_peers: int,
     seed: int,
     data_per_node: int,
     churn_rate: float,
     duration: float,
-):
-    """One seeded concurrent run; returns (report, post-run violations)."""
+) -> Dict[str, float]:
+    """One seeded concurrent run, reduced to the aggregated report fields."""
     net = build_loaded(overlay, n_peers, seed, data_per_node)
     rng = SeededRng(derive_seed(seed, "concurrent-dynamics"))
     anet = overlays.get(overlay).wrap(
@@ -213,7 +277,16 @@ def _one_run(
         anet, keys, config, seed=derive_seed(seed, "driver")
     )
     violations = len(collect_violations(net)) if overlay == "baton" else 0
-    return report, violations
+    return {
+        "queries": report.query_total,
+        "success": report.query_success_rate,
+        "p50": report.query_latency_p50,
+        "p90": report.query_latency_p90,
+        "p99": report.query_latency_p99,
+        "msgs_per_query": report.messages_per_query,
+        "max_in_flight": report.max_in_flight,
+        "violations": violations,
+    }
 
 
 def main() -> ExperimentResult:

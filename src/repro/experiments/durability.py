@@ -43,7 +43,7 @@ included) rather than per-crash repair latency.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Optional
+from typing import List, Optional
 
 from repro import overlays
 from repro.core.network import LocalityConfig
@@ -55,6 +55,7 @@ from repro.experiments.harness import (
     loaded_keys,
     mean,
 )
+from repro.experiments.parallel import Cell, cell, run_cells
 from repro.sim.latency import ExponentialLatency
 from repro.sim.topology import ClusteredTopology
 from repro.util.rng import SeededRng, derive_seed
@@ -82,8 +83,61 @@ FAIL_FRACTION = 1.0
 OUTAGE_REGIONS = 4
 
 
-def run(
-    scale: Optional[ExperimentScale] = None,
+def cells(
+    scale: ExperimentScale,
+    churn_rates: tuple[float, ...] = CHURN_RATES,
+    maintenance_intervals: tuple[float, ...] = MAINTENANCE_INTERVALS,
+    n_peers: Optional[int] = None,
+    include_baseline: bool = True,
+    include_correlated: bool = True,
+) -> List[Cell]:
+    if n_peers is None:
+        n_peers = scale.sizes[0]
+    duration = scale.n_queries / QUERY_RATE
+    plan: List[Cell] = []
+    modes = [True, False] if include_baseline else [True]
+    for replication in modes:
+        intervals = maintenance_intervals if replication else (0.0,)
+        for churn_rate in churn_rates:
+            for interval in intervals:
+                for seed in scale.seeds:
+                    plan.append(
+                        cell(
+                            _one_run,
+                            group="durability",
+                            n_peers=n_peers,
+                            seed=seed,
+                            data_per_node=scale.data_per_node,
+                            churn_rate=churn_rate,
+                            maintenance_interval=interval,
+                            duration=duration,
+                            replication=replication,
+                        )
+                    )
+    if include_correlated:
+        interval = next(
+            (i for i in maintenance_intervals if i > 0),
+            MAINTENANCE_INTERVALS[1],
+        )
+        for diverse in (False, True):
+            for seed in scale.seeds:
+                plan.append(
+                    cell(
+                        _correlated_run,
+                        group="durability",
+                        n_peers=n_peers,
+                        seed=seed,
+                        data_per_node=scale.data_per_node,
+                        maintenance_interval=interval,
+                        replica_diversity=diverse,
+                    )
+                )
+    return plan
+
+
+def assemble(
+    scale: ExperimentScale,
+    outputs: List[dict],
     churn_rates: tuple[float, ...] = CHURN_RATES,
     maintenance_intervals: tuple[float, ...] = MAINTENANCE_INTERVALS,
     n_peers: Optional[int] = None,
@@ -91,10 +145,8 @@ def run(
     include_correlated: bool = True,
 ) -> ExperimentResult:
     """One row per (replication, churn rate, maintenance interval)."""
-    scale = scale or default_scale()
     if n_peers is None:
         n_peers = scale.sizes[0]
-    duration = scale.n_queries / QUERY_RATE
     result = ExperimentResult(
         figure="Durability",
         title=(
@@ -119,37 +171,29 @@ def run(
         ],
         expectation=EXPECTATION,
     )
+    per_point = len(scale.seeds)
+    index = 0
     modes = [True, False] if include_baseline else [True]
     for replication in modes:
         intervals = maintenance_intervals if replication else (0.0,)
         for churn_rate in churn_rates:
             for interval in intervals:
-                cells = [
-                    _one_run(
-                        n_peers,
-                        seed,
-                        scale.data_per_node,
-                        churn_rate,
-                        interval,
-                        duration,
-                        replication,
-                    )
-                    for seed in scale.seeds
-                ]
+                group = outputs[index : index + per_point]
+                index += per_point
                 result.add_row(
                     mode="independent",
                     replication=int(replication),
                     churn_rate=churn_rate,
                     interval=interval,
-                    crashes=sum(c["crashes"] for c in cells),
-                    repairs=sum(c["repairs"] for c in cells),
-                    keys_lost=sum(c["keys_lost"] for c in cells),
-                    keys_recovered=sum(c["keys_recovered"] for c in cells),
-                    recovery_p50=mean([c["recovery_p50"] for c in cells]),
-                    recovery_max=max(c["recovery_max"] for c in cells),
-                    reconcile_msgs=sum(c["reconcile_msgs"] for c in cells),
-                    replica_msgs=sum(c["replica_msgs"] for c in cells),
-                    success=mean([c["success"] for c in cells]),
+                    crashes=sum(c["crashes"] for c in group),
+                    repairs=sum(c["repairs"] for c in group),
+                    keys_lost=sum(c["keys_lost"] for c in group),
+                    keys_recovered=sum(c["keys_recovered"] for c in group),
+                    recovery_p50=mean([c["recovery_p50"] for c in group]),
+                    recovery_max=max(c["recovery_max"] for c in group),
+                    reconcile_msgs=sum(c["reconcile_msgs"] for c in group),
+                    replica_msgs=sum(c["replica_msgs"] for c in group),
+                    success=mean([c["success"] for c in group]),
                 )
     if include_correlated:
         interval = next(
@@ -157,33 +201,57 @@ def run(
             MAINTENANCE_INTERVALS[1],
         )
         for diverse in (False, True):
-            cells = [
-                _correlated_run(
-                    n_peers,
-                    seed,
-                    scale.data_per_node,
-                    interval,
-                    replica_diversity=diverse,
-                )
-                for seed in scale.seeds
-            ]
-            recoveries = [c["recover"] for c in cells if c["recover"] >= 0]
+            group = outputs[index : index + per_point]
+            index += per_point
+            recoveries = [c["recover"] for c in group if c["recover"] >= 0]
             result.add_row(
                 mode="region_outage+diverse" if diverse else "region_outage",
                 replication=1,
                 churn_rate=0.0,
                 interval=interval,
-                crashes=sum(c["crashes"] for c in cells),
-                repairs=sum(c["repairs"] for c in cells),
-                keys_lost=sum(c["keys_lost"] for c in cells),
-                keys_recovered=sum(c["keys_recovered"] for c in cells),
+                crashes=sum(c["crashes"] for c in group),
+                repairs=sum(c["repairs"] for c in group),
+                keys_lost=sum(c["keys_lost"] for c in group),
+                keys_recovered=sum(c["keys_recovered"] for c in group),
                 recovery_p50=mean(recoveries) if recoveries else -1.0,
                 recovery_max=max(recoveries) if recoveries else -1.0,
-                reconcile_msgs=sum(c["reconcile_msgs"] for c in cells),
-                replica_msgs=sum(c["replica_msgs"] for c in cells),
-                success=mean([c["success"] for c in cells]),
+                reconcile_msgs=sum(c["reconcile_msgs"] for c in group),
+                replica_msgs=sum(c["replica_msgs"] for c in group),
+                success=mean([c["success"] for c in group]),
             )
     return result
+
+
+def run(
+    scale: Optional[ExperimentScale] = None,
+    churn_rates: tuple[float, ...] = CHURN_RATES,
+    maintenance_intervals: tuple[float, ...] = MAINTENANCE_INTERVALS,
+    n_peers: Optional[int] = None,
+    include_baseline: bool = True,
+    include_correlated: bool = True,
+    jobs: int = 1,
+) -> ExperimentResult:
+    scale = scale or default_scale()
+    outputs = run_cells(
+        cells(
+            scale,
+            churn_rates,
+            maintenance_intervals,
+            n_peers,
+            include_baseline,
+            include_correlated,
+        ),
+        jobs=jobs,
+    )
+    return assemble(
+        scale,
+        outputs,
+        churn_rates,
+        maintenance_intervals,
+        n_peers,
+        include_baseline,
+        include_correlated,
+    )
 
 
 def _stored_multiset(net) -> Counter:

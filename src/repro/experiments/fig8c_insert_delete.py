@@ -7,7 +7,7 @@ and far below the multiway tree's hop-by-hop walks.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, List, Optional
 
 from repro.experiments.harness import (
     ExperimentResult,
@@ -18,6 +18,7 @@ from repro.experiments.harness import (
     default_scale,
     mean,
 )
+from repro.experiments.parallel import Cell, cell, run_cells
 from repro.workloads.generators import uniform_keys
 
 EXPECTATION = (
@@ -25,38 +26,72 @@ EXPECTATION = (
     "all grow logarithmically with N"
 )
 
+SYSTEMS = ("baton", "chord", "multiway")
 
-def run(scale: Optional[ExperimentScale] = None) -> ExperimentResult:
-    scale = scale or default_scale()
+
+def grid_cell(
+    system: str, n_peers: int, seed: int, data_per_node: int, n_queries: int
+) -> Dict[str, List[int]]:
+    """One (system, size, seed) point: fresh inserts, then their deletes."""
+    builders = {
+        "baton": build_baton,
+        "chord": build_chord,
+        "multiway": build_multiway,
+    }
+    net = builders[system](n_peers, seed, data_per_node)
+    fresh = uniform_keys(n_queries, seed=seed + 101)
+    insert_costs = [net.insert(key).trace.total for key in fresh]
+    delete_costs = [net.delete(key).trace.total for key in fresh]
+    return {"insert": insert_costs, "delete": delete_costs}
+
+
+def cells(scale: ExperimentScale) -> List[Cell]:
+    return [
+        cell(
+            grid_cell,
+            group="fig8c",
+            system=system,
+            n_peers=n_peers,
+            seed=seed,
+            data_per_node=scale.data_per_node,
+            n_queries=scale.n_queries,
+        )
+        for system in SYSTEMS
+        for n_peers in scale.sizes
+        for seed in scale.seeds
+    ]
+
+
+def assemble(
+    scale: ExperimentScale, outputs: List[Dict[str, List[int]]]
+) -> ExperimentResult:
+    """Average per-seed cost lists into one row per (system, N)."""
     result = ExperimentResult(
         figure="Fig 8c",
         title="Insert and delete operations (avg messages)",
         columns=["system", "N", "insert", "delete"],
         expectation=EXPECTATION,
     )
-    builders = {
-        "baton": build_baton,
-        "chord": build_chord,
-        "multiway": build_multiway,
-    }
-    for system, build in builders.items():
+    per_point = len(scale.seeds)
+    index = 0
+    for system in SYSTEMS:
         for n_peers in scale.sizes:
-            insert_costs = []
-            delete_costs = []
-            for seed in scale.seeds:
-                net = build(n_peers, seed, scale.data_per_node)
-                fresh = uniform_keys(scale.n_queries, seed=seed + 101)
-                for key in fresh:
-                    insert_costs.append(net.insert(key).trace.total)
-                for key in fresh:
-                    delete_costs.append(net.delete(key).trace.total)
+            group = outputs[index : index + per_point]
+            index += per_point
             result.add_row(
                 system=system,
                 N=n_peers,
-                insert=mean(insert_costs),
-                delete=mean(delete_costs),
+                insert=mean([c for out in group for c in out["insert"]]),
+                delete=mean([c for out in group for c in out["delete"]]),
             )
     return result
+
+
+def run(
+    scale: Optional[ExperimentScale] = None, jobs: int = 1
+) -> ExperimentResult:
+    scale = scale or default_scale()
+    return assemble(scale, run_cells(cells(scale), jobs=jobs))
 
 
 def main() -> ExperimentResult:

@@ -7,7 +7,7 @@ tree — which pays long horizontal walks for its minimal routing state.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, List, Optional
 
 from repro.experiments.harness import (
     ExperimentResult,
@@ -19,47 +19,87 @@ from repro.experiments.harness import (
     loaded_keys,
     mean,
 )
-from repro.workloads.generators import exact_queries, uniform_keys
+from repro.experiments.parallel import Cell, cell, run_cells
+from repro.workloads.generators import exact_queries
 
 EXPECTATION = (
     "BATON ≈ Chord (slightly above, 1.44 factor), both ≪ multiway; all "
     "logarithmic in N; every query answered correctly"
 )
 
+SYSTEMS = ("baton", "chord", "multiway")
 
-def run(scale: Optional[ExperimentScale] = None) -> ExperimentResult:
-    scale = scale or default_scale()
+
+def grid_cell(
+    system: str, n_peers: int, seed: int, data_per_node: int, n_queries: int
+) -> Dict[str, object]:
+    """One (system, size, seed) point: exact queries over loaded keys."""
+    builders = {
+        "baton": build_baton,
+        "chord": build_chord,
+        "multiway": build_multiway,
+    }
+    loaded = loaded_keys(n_peers, data_per_node, seed)
+    net = builders[system](n_peers, seed, data_per_node)
+    costs: List[int] = []
+    hits = 0
+    total = 0
+    for key in exact_queries(loaded, n_queries, seed=seed + 31):
+        search = net.search_exact(key)
+        costs.append(search.trace.total)
+        hits += int(search.found)
+        total += 1
+    return {"costs": costs, "hits": hits, "total": total}
+
+
+def cells(scale: ExperimentScale) -> List[Cell]:
+    return [
+        cell(
+            grid_cell,
+            group="fig8d",
+            system=system,
+            n_peers=n_peers,
+            seed=seed,
+            data_per_node=scale.data_per_node,
+            n_queries=scale.n_queries,
+        )
+        for system in SYSTEMS
+        for n_peers in scale.sizes
+        for seed in scale.seeds
+    ]
+
+
+def assemble(
+    scale: ExperimentScale, outputs: List[Dict[str, object]]
+) -> ExperimentResult:
     result = ExperimentResult(
         figure="Fig 8d",
         title="Exact match query (avg messages)",
         columns=["system", "N", "messages", "hit_rate"],
         expectation=EXPECTATION,
     )
-    builders = {
-        "baton": build_baton,
-        "chord": build_chord,
-        "multiway": build_multiway,
-    }
-    for system, build in builders.items():
+    per_point = len(scale.seeds)
+    index = 0
+    for system in SYSTEMS:
         for n_peers in scale.sizes:
-            costs = []
-            hits = 0
-            total = 0
-            for seed in scale.seeds:
-                loaded = loaded_keys(n_peers, scale.data_per_node, seed)
-                net = build(n_peers, seed, scale.data_per_node)
-                for key in exact_queries(loaded, scale.n_queries, seed=seed + 31):
-                    search = net.search_exact(key)
-                    costs.append(search.trace.total)
-                    hits += int(search.found)
-                    total += 1
+            group = outputs[index : index + per_point]
+            index += per_point
+            hits = sum(out["hits"] for out in group)
+            total = sum(out["total"] for out in group)
             result.add_row(
                 system=system,
                 N=n_peers,
-                messages=mean(costs),
+                messages=mean([c for out in group for c in out["costs"]]),
                 hit_rate=hits / total if total else 0.0,
             )
     return result
+
+
+def run(
+    scale: Optional[ExperimentScale] = None, jobs: int = 1
+) -> ExperimentResult:
+    scale = scale or default_scale()
+    return assemble(scale, run_cells(cells(scale), jobs=jobs))
 
 
 def main() -> ExperimentResult:

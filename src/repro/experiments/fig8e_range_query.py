@@ -10,7 +10,7 @@ motivates the whole line of work.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, List, Optional
 
 from repro.experiments.harness import (
     ExperimentResult,
@@ -19,55 +19,91 @@ from repro.experiments.harness import (
     build_chord,
     build_multiway,
     default_scale,
-    loaded_keys,
     mean,
 )
-from repro.workloads.generators import range_queries, uniform_keys
+from repro.experiments.parallel import Cell, cell, run_cells
+from repro.workloads.generators import range_queries
 
 EXPECTATION = (
     "BATON ≈ O(log N + X) lowest; multiway above BATON; Chord (ring walk) "
     "= O(N), off the chart — the paper omits it for this reason"
 )
 
+SYSTEMS = ("baton", "multiway", "chord_ring_walk")
 
-def run(scale: Optional[ExperimentScale] = None) -> ExperimentResult:
-    scale = scale or default_scale()
+
+def grid_cell(
+    system: str, n_peers: int, seed: int, data_per_node: int, n_queries: int
+) -> Dict[str, List[float]]:
+    """One (system, size, seed) point: range queries over the loaded net."""
+    builders = {
+        "baton": build_baton,
+        "multiway": build_multiway,
+        "chord_ring_walk": build_chord,
+    }
+    net = builders[system](n_peers, seed, data_per_node)
+    costs: List[int] = []
+    answer_nodes: List[int] = []
+    queries = range_queries(n_queries, selectivity=0.002, seed=seed + 53)
+    for low, high in queries:
+        answer = net.search_range(low, high)
+        costs.append(answer.trace.total)
+        answer_nodes.append(
+            answer.nodes_visited
+            if hasattr(answer, "nodes_visited")
+            else len(answer.owners)
+        )
+    return {"costs": costs, "answer_nodes": answer_nodes}
+
+
+def cells(scale: ExperimentScale) -> List[Cell]:
+    return [
+        cell(
+            grid_cell,
+            group="fig8e",
+            system=system,
+            n_peers=n_peers,
+            seed=seed,
+            data_per_node=scale.data_per_node,
+            n_queries=scale.n_queries,
+        )
+        for system in SYSTEMS
+        for n_peers in scale.sizes
+        for seed in scale.seeds
+    ]
+
+
+def assemble(
+    scale: ExperimentScale, outputs: List[Dict[str, List[float]]]
+) -> ExperimentResult:
     result = ExperimentResult(
         figure="Fig 8e",
         title="Range query (avg messages)",
         columns=["system", "N", "messages", "answer_nodes"],
         expectation=EXPECTATION,
     )
-    builders = {
-        "baton": build_baton,
-        "multiway": build_multiway,
-        "chord_ring_walk": build_chord,
-    }
-    for system, build in builders.items():
+    per_point = len(scale.seeds)
+    index = 0
+    for system in SYSTEMS:
         for n_peers in scale.sizes:
-            costs = []
-            answer_nodes = []
-            for seed in scale.seeds:
-                loaded = loaded_keys(n_peers, scale.data_per_node, seed)
-                net = build(n_peers, seed, scale.data_per_node)
-                queries = range_queries(
-                    scale.n_queries, selectivity=0.002, seed=seed + 53
-                )
-                for low, high in queries:
-                    answer = net.search_range(low, high)
-                    costs.append(answer.trace.total)
-                    answer_nodes.append(
-                        answer.nodes_visited
-                        if hasattr(answer, "nodes_visited")
-                        else len(answer.owners)
-                    )
+            group = outputs[index : index + per_point]
+            index += per_point
             result.add_row(
                 system=system,
                 N=n_peers,
-                messages=mean(costs),
-                answer_nodes=mean(answer_nodes),
+                messages=mean([c for out in group for c in out["costs"]]),
+                answer_nodes=mean(
+                    [c for out in group for c in out["answer_nodes"]]
+                ),
             )
     return result
+
+
+def run(
+    scale: Optional[ExperimentScale] = None, jobs: int = 1
+) -> ExperimentResult:
+    scale = scale or default_scale()
+    return assemble(scale, run_cells(cells(scale), jobs=jobs))
 
 
 def main() -> ExperimentResult:

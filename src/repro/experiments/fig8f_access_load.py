@@ -10,7 +10,7 @@ lives there.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Optional
+from typing import Dict, List, Optional
 
 from repro.experiments.harness import (
     ExperimentResult,
@@ -19,6 +19,7 @@ from repro.experiments.harness import (
     default_scale,
     loaded_keys,
 )
+from repro.experiments.parallel import Cell, cell, run_cells
 from repro.net.message import MsgType
 from repro.workloads.generators import exact_queries, uniform_keys
 
@@ -28,12 +29,56 @@ EXPECTATION = (
 )
 
 
-def run(scale: Optional[ExperimentScale] = None) -> ExperimentResult:
-    scale = scale or default_scale()
-    # A mid-size network: the per-level profile is what matters here, and
-    # the routed-and-balanced loading this experiment requires (see
-    # build_baton_equalized) is the costliest builder in the suite.
-    n_peers = scale.sizes[len(scale.sizes) // 2]
+def mid_size(scale: ExperimentScale) -> int:
+    """A mid-size network: the per-level profile is what matters here, and
+    the routed-and-balanced loading this experiment requires (see
+    build_baton_equalized) is the costliest builder in the suite."""
+    return scale.sizes[len(scale.sizes) // 2]
+
+
+def grid_cell(
+    n_peers: int, seed: int, data_per_node: int, n_queries: int
+) -> Dict[str, Counter]:
+    """One membership sequence: measured insert + search streams."""
+    loaded = loaded_keys(n_peers, data_per_node, seed)
+    net = build_baton_equalized(n_peers, seed, data_per_node)
+    # Reset traffic counters: only the measured streams below count.
+    from repro.net.bus import TrafficStats
+
+    net.bus.stats = TrafficStats()
+    level_nodes: Counter = Counter()
+    for peer in net.peers.values():
+        level_nodes[peer.position.level] += 1
+    inserts = uniform_keys(n_queries * 5, seed=seed + 11)
+    for key in inserts:
+        net.insert(key)
+    for key in exact_queries(loaded, n_queries * 5, seed=seed + 13):
+        net.search_exact(key)
+    return {
+        "level_nodes": level_nodes,
+        "insert_load": Counter(net.bus.stats.level_load(MsgType.INSERT)),
+        "search_load": Counter(net.bus.stats.level_load(MsgType.SEARCH)),
+    }
+
+
+def cells(scale: ExperimentScale) -> List[Cell]:
+    return [
+        cell(
+            grid_cell,
+            group="fig8f",
+            n_peers=mid_size(scale),
+            seed=seed,
+            data_per_node=scale.data_per_node,
+            n_queries=scale.n_queries,
+        )
+        for seed in scale.seeds
+    ]
+
+
+def assemble(
+    scale: ExperimentScale, outputs: List[Dict[str, Counter]]
+) -> ExperimentResult:
+    n_peers = mid_size(scale)
     result = ExperimentResult(
         figure="Fig 8f",
         title=f"Access load by tree level (N={n_peers})",
@@ -43,24 +88,10 @@ def run(scale: Optional[ExperimentScale] = None) -> ExperimentResult:
     insert_load: Counter = Counter()
     search_load: Counter = Counter()
     level_nodes: Counter = Counter()
-    for seed in scale.seeds:
-        loaded = loaded_keys(n_peers, scale.data_per_node, seed)
-        net = build_baton_equalized(n_peers, seed, scale.data_per_node)
-        # Reset traffic counters: only the measured streams below count.
-        from repro.net.bus import TrafficStats
-
-        net.bus.stats = TrafficStats()
-        for peer in net.peers.values():
-            level_nodes[peer.position.level] += 1
-        inserts = uniform_keys(scale.n_queries * 5, seed=seed + 11)
-        for key in inserts:
-            net.insert(key)
-        for key in exact_queries(loaded, scale.n_queries * 5, seed=seed + 13):
-            net.search_exact(key)
-        for level, count in net.bus.stats.level_load(MsgType.INSERT).items():
-            insert_load[level] += count
-        for level, count in net.bus.stats.level_load(MsgType.SEARCH).items():
-            search_load[level] += count
+    for out in outputs:
+        level_nodes.update(out["level_nodes"])
+        insert_load.update(out["insert_load"])
+        search_load.update(out["search_load"])
     for level in sorted(level_nodes):
         nodes = level_nodes[level]
         result.add_row(
@@ -74,6 +105,13 @@ def run(scale: Optional[ExperimentScale] = None) -> ExperimentResult:
         f"{len(scale.seeds)} membership sequences"
     )
     return result
+
+
+def run(
+    scale: Optional[ExperimentScale] = None, jobs: int = 1
+) -> ExperimentResult:
+    scale = scale or default_scale()
+    return assemble(scale, run_cells(cells(scale), jobs=jobs))
 
 
 def main() -> ExperimentResult:

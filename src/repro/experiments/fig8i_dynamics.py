@@ -15,7 +15,7 @@ reproducible shuffle of joins, departures and queries.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, List, Optional
 
 from repro.core.invariants import collect_violations
 from repro.experiments.harness import (
@@ -26,10 +26,11 @@ from repro.experiments.harness import (
     loaded_keys,
     mean,
 )
+from repro.experiments.parallel import Cell, cell, run_cells
 from repro.sim.engine import Simulator
 from repro.sim.latency import ExponentialLatency
 from repro.util.rng import SeededRng
-from repro.workloads.generators import exact_queries, uniform_keys
+from repro.workloads.generators import exact_queries
 
 EXPECTATION = (
     "extra messages per query grow with the number of concurrent "
@@ -39,11 +40,47 @@ EXPECTATION = (
 CONCURRENCY_LEVELS = (2, 4, 8, 16, 32)
 
 
-def run(
-    scale: Optional[ExperimentScale] = None,
+def grid_cell(
+    k: int, n_peers: int, seed: int, data_per_node: int, n_queries: int
+) -> Dict[str, float]:
+    """One (concurrency level, seed) point: baseline, churn window, repair."""
+    loaded = loaded_keys(n_peers, data_per_node, seed)
+    net = build_baton(n_peers, seed, data_per_node)
+    queries = exact_queries(loaded, n_queries, seed=seed + 97)
+    baseline = mean([net.search_exact(q).trace.total for q in queries])
+    during = _churn_window(net, k, queries, seed)
+    net.repair_all()
+    return {
+        "baseline": baseline,
+        "during": during,
+        "violations": len(collect_violations(net)),
+    }
+
+
+def cells(
+    scale: ExperimentScale,
+    levels: tuple[int, ...] = CONCURRENCY_LEVELS,
+) -> List[Cell]:
+    return [
+        cell(
+            grid_cell,
+            group="fig8i",
+            k=k,
+            n_peers=scale.sizes[0],
+            seed=seed,
+            data_per_node=scale.data_per_node,
+            n_queries=scale.n_queries,
+        )
+        for k in levels
+        for seed in scale.seeds
+    ]
+
+
+def assemble(
+    scale: ExperimentScale,
+    outputs: List[Dict[str, float]],
     levels: tuple[int, ...] = CONCURRENCY_LEVELS,
 ) -> ExperimentResult:
-    scale = scale or default_scale()
     n_peers = scale.sizes[0]
     result = ExperimentResult(
         figure="Fig 8i",
@@ -51,29 +88,32 @@ def run(
         columns=["concurrent", "baseline", "during", "extra", "violations"],
         expectation=EXPECTATION,
     )
+    per_point = len(scale.seeds)
+    index = 0
     for k in levels:
-        baselines = []
-        durings = []
-        violations = 0
-        for seed in scale.seeds:
-            loaded = loaded_keys(n_peers, scale.data_per_node, seed)
-            net = build_baton(n_peers, seed, scale.data_per_node)
-            queries = exact_queries(loaded, scale.n_queries, seed=seed + 97)
-            baselines.append(
-                mean([net.search_exact(q).trace.total for q in queries])
-            )
-            during = _churn_window(net, k, queries, seed)
-            durings.append(during)
-            net.repair_all()
-            violations += len(collect_violations(net))
+        group = outputs[index : index + per_point]
+        index += per_point
+        baselines = [out["baseline"] for out in group]
+        durings = [out["during"] for out in group]
         result.add_row(
             concurrent=k,
             baseline=mean(baselines),
             during=mean(durings),
             extra=mean(durings) - mean(baselines),
-            violations=violations,
+            violations=sum(int(out["violations"]) for out in group),
         )
     return result
+
+
+def run(
+    scale: Optional[ExperimentScale] = None,
+    levels: tuple[int, ...] = CONCURRENCY_LEVELS,
+    jobs: int = 1,
+) -> ExperimentResult:
+    scale = scale or default_scale()
+    return assemble(
+        scale, run_cells(cells(scale, levels), jobs=jobs), levels
+    )
 
 
 def _churn_window(net, k: int, queries, seed: int) -> float:

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import hashlib
 import os
 import statistics
 from dataclasses import dataclass, field
@@ -14,6 +15,7 @@ from repro.core.network import (
     LoadBalanceConfig,
     LocalityConfig,
 )
+from repro.experiments import snapshot
 from repro.multiway.network import MultiwayNetwork
 from repro.workloads.generators import uniform_keys
 
@@ -88,6 +90,37 @@ class ExperimentResult:
             out.append(row[name])
         return out
 
+    #: Columns excluded from :meth:`fingerprint` — wall-clock and RSS
+    #: readings that legitimately differ run to run.  Everything else is
+    #: covered by the parallel-equals-sequential identity pin.
+    volatile: List[str] = field(default_factory=list)
+
+    def canonical_text(self) -> str:
+        """A deterministic rendering for identity comparison.
+
+        Volatile columns (wall-clock timings) render as ``~`` so the
+        text is stable across runs; every measured value renders at full
+        precision (``to_text`` rounds floats for display — too lossy to
+        pin byte-identity on).
+        """
+        lines = [f"### {self.figure}: {self.title}"]
+        lines.append("columns: " + ", ".join(self.columns))
+        if self.volatile:
+            lines.append("volatile: " + ", ".join(self.volatile))
+        for row in self.rows:
+            rendered = [
+                "~" if col in self.volatile else repr(row.get(col))
+                for col in self.columns
+            ]
+            lines.append(" | ".join(rendered))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines) + "\n"
+
+    def fingerprint(self) -> str:
+        """SHA-256 of :meth:`canonical_text` — the identity tests' pin."""
+        return hashlib.sha256(self.canonical_text().encode("utf-8")).hexdigest()
+
     def to_text(self) -> str:
         """Render as an aligned text table with header and expectation."""
         lines = [f"=== {self.figure}: {self.title} ===", f"scale: see harness"]
@@ -158,6 +191,14 @@ def build_baton(
     ``bulk=True`` skips the simulated joins and computes the same loaded,
     balanced end state directly (:mod:`repro.core.bulk_build`) — the only
     way to reach N=100k in seconds, and the default on scale surfaces.
+
+    Protocol-grown builds are routed through the snapshot cache when it
+    is enabled: the fingerprint covers every input that shapes the built
+    state (the dataset is derived from ``(n_peers, data_per_node,
+    seed)``, so those three cover ``keys``).  ``bulk=True`` builds skip
+    the cache on purpose — direct construction already costs about what
+    a restore does, so a snapshot would only burn disk (DESIGN.md,
+    "Parallelism contract").
     """
     config = BatonConfig(
         balance=LoadBalanceConfig(
@@ -167,6 +208,28 @@ def build_baton(
         replication=replication,
         locality=locality or LocalityConfig(),
     )
+    if bulk:
+        return _build_baton(n_peers, seed, data_per_node, config, bulk=True)
+    parts = {
+        "builder": "baton",
+        "n_peers": n_peers,
+        "seed": seed,
+        "data_per_node": data_per_node,
+        "config": snapshot.describe(config),
+    }
+    return snapshot.cached(
+        parts,
+        lambda: _build_baton(n_peers, seed, data_per_node, config, bulk=False),
+    )
+
+
+def _build_baton(
+    n_peers: int,
+    seed: int,
+    data_per_node: int,
+    config: BatonConfig,
+    bulk: bool,
+) -> BatonNetwork:
     if bulk:
         keys = (
             loaded_keys(n_peers, data_per_node, seed) if data_per_node else None
@@ -195,6 +258,20 @@ def build_baton_equalized(
     reproduces that regime: capacity 2× the fair share, every insert routed.
     The access-load experiment (Figure 8(f)) depends on it.
     """
+    parts = {
+        "builder": "baton-equalized",
+        "n_peers": n_peers,
+        "seed": seed,
+        "data_per_node": data_per_node,
+    }
+    return snapshot.cached(
+        parts, lambda: _build_baton_equalized(n_peers, seed, data_per_node)
+    )
+
+
+def _build_baton_equalized(
+    n_peers: int, seed: int, data_per_node: int
+) -> BatonNetwork:
     capacity = max(8, 2 * data_per_node)
     net = build_baton(
         n_peers, seed, data_per_node=0, balance_enabled=True, capacity=capacity
@@ -206,6 +283,18 @@ def build_baton_equalized(
 
 def build_chord(n_peers: int, seed: int, data_per_node: int) -> ChordNetwork:
     """A Chord ring preloaded with the same uniform data."""
+    parts = {
+        "builder": "chord",
+        "n_peers": n_peers,
+        "seed": seed,
+        "data_per_node": data_per_node,
+    }
+    return snapshot.cached(
+        parts, lambda: _build_chord(n_peers, seed, data_per_node)
+    )
+
+
+def _build_chord(n_peers: int, seed: int, data_per_node: int) -> ChordNetwork:
     net = ChordNetwork.build(n_peers, seed=seed)
     if data_per_node:
         net.bulk_load(loaded_keys(n_peers, data_per_node, seed))
@@ -214,6 +303,20 @@ def build_chord(n_peers: int, seed: int, data_per_node: int) -> ChordNetwork:
 
 def build_multiway(n_peers: int, seed: int, data_per_node: int) -> MultiwayNetwork:
     """A multiway tree grown around its data (same rationale as BATON)."""
+    parts = {
+        "builder": "multiway",
+        "n_peers": n_peers,
+        "seed": seed,
+        "data_per_node": data_per_node,
+    }
+    return snapshot.cached(
+        parts, lambda: _build_multiway(n_peers, seed, data_per_node)
+    )
+
+
+def _build_multiway(
+    n_peers: int, seed: int, data_per_node: int
+) -> MultiwayNetwork:
     net = MultiwayNetwork(seed=seed)
     root = net.bootstrap()
     if data_per_node:
@@ -253,9 +356,19 @@ def build_loaded(
     builder = builders.get(overlay)
     if builder is not None:
         return builder(n_peers, seed, data_per_node)
-    from repro import overlays
+    parts = {
+        "builder": overlay,
+        "n_peers": n_peers,
+        "seed": seed,
+        "data_per_node": data_per_node,
+    }
 
-    net = overlays.get(overlay).build(n_peers, seed=seed)
-    if data_per_node:
-        net.bulk_load(loaded_keys(n_peers, data_per_node, seed))
-    return net
+    def _build_generic():
+        from repro import overlays
+
+        net = overlays.get(overlay).build(n_peers, seed=seed)
+        if data_per_node:
+            net.bulk_load(loaded_keys(n_peers, data_per_node, seed))
+        return net
+
+    return snapshot.cached(parts, _build_generic)

@@ -18,7 +18,7 @@ curves climb fastest and its tail detaches first.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro import overlays
 from repro.experiments.harness import (
@@ -29,6 +29,7 @@ from repro.experiments.harness import (
     loaded_keys,
     mean,
 )
+from repro.experiments.parallel import Cell, cell, run_cells
 from repro.sim.topology import ClusteredTopology
 from repro.util.rng import derive_seed
 from repro.workloads.concurrent import ConcurrentConfig, run_concurrent_workload
@@ -52,8 +53,40 @@ INTRA_DELAY = 1.0
 GATEWAYS = 8
 
 
-def run(
-    scale: Optional[ExperimentScale] = None,
+def cells(
+    scale: ExperimentScale,
+    inter_delays: tuple[float, ...] = INTER_DELAYS,
+    names: Optional[Sequence[str]] = None,
+    n_peers: Optional[int] = None,
+    cached: bool = False,
+) -> List[Cell]:
+    names = list(names) if names is not None else overlays.available()
+    if cached:
+        names = names + ["baton+cache"]
+    if n_peers is None:
+        n_peers = scale.sizes[0]
+    duration = scale.n_queries / QUERY_RATE
+    return [
+        cell(
+            grid_cell,
+            group="hetero",
+            overlay=name,
+            n_peers=n_peers,
+            seed=seed,
+            data_per_node=scale.data_per_node,
+            inter_delay=inter_delay,
+            duration=duration,
+            gateways=GATEWAYS if cached else 0,
+        )
+        for name in names
+        for inter_delay in inter_delays
+        for seed in scale.seeds
+    ]
+
+
+def assemble(
+    scale: ExperimentScale,
+    outputs: List[Dict[str, float]],
     inter_delays: tuple[float, ...] = INTER_DELAYS,
     names: Optional[Sequence[str]] = None,
     n_peers: Optional[int] = None,
@@ -68,13 +101,11 @@ def run(
     their neighbours.  The default grid keeps the historical uniform
     entry draw.
     """
-    scale = scale or default_scale()
     names = list(names) if names is not None else overlays.available()
     if cached:
         names = names + ["baton+cache"]
     if n_peers is None:
         n_peers = scale.sizes[0]
-    duration = scale.n_queries / QUERY_RATE
     result = ExperimentResult(
         figure="Hetero links",
         title=(
@@ -103,47 +134,44 @@ def run(
             f"{GATEWAYS} fixed gateway peers (the cache's session regime); "
             "baton+cache adds the hot-range route cache on top"
         )
+    per_point = len(scale.seeds)
+    index = 0
     for name in names:
         for inter_delay in inter_delays:
-            successes, p50s, p99s, transit_p99s, msgs = [], [], [], [], []
-            stretch_p50s, stretch_p99s, hit_rates = [], [], []
-            queries = 0
-            for seed in scale.seeds:
-                report = _one_run(
-                    name,
-                    n_peers,
-                    seed,
-                    scale.data_per_node,
-                    inter_delay,
-                    duration,
-                    gateways=GATEWAYS if cached else 0,
-                )
-                successes.append(report.query_success_rate)
-                p50s.append(report.query_latency_p50)
-                p99s.append(report.query_latency_p99)
-                transit_p99s.append(report.query_transit_p99)
-                stretch_p50s.append(report.latency_stretch_p50)
-                stretch_p99s.append(report.latency_stretch_p99)
-                hit_rates.append(report.cache_hit_rate)
-                msgs.append(report.messages_per_query)
-                queries += report.query_total
+            group = outputs[index : index + per_point]
+            index += per_point
             result.add_row(
                 overlay=name,
                 inter_delay=inter_delay,
-                queries=queries,
-                success=mean(successes),
-                p50=mean(p50s),
-                p99=mean(p99s),
-                transit_p99=mean(transit_p99s),
-                stretch_p50=mean(stretch_p50s),
-                stretch_p99=mean(stretch_p99s),
-                hit_rate=mean(hit_rates),
-                msgs_per_query=mean(msgs),
+                queries=sum(int(out["queries"]) for out in group),
+                success=mean([out["success"] for out in group]),
+                p50=mean([out["p50"] for out in group]),
+                p99=mean([out["p99"] for out in group]),
+                transit_p99=mean([out["transit_p99"] for out in group]),
+                stretch_p50=mean([out["stretch_p50"] for out in group]),
+                stretch_p99=mean([out["stretch_p99"] for out in group]),
+                hit_rate=mean([out["hit_rate"] for out in group]),
+                msgs_per_query=mean([out["msgs_per_query"] for out in group]),
             )
     return result
 
 
-def _one_run(
+def run(
+    scale: Optional[ExperimentScale] = None,
+    inter_delays: tuple[float, ...] = INTER_DELAYS,
+    names: Optional[Sequence[str]] = None,
+    n_peers: Optional[int] = None,
+    cached: bool = False,
+    jobs: int = 1,
+) -> ExperimentResult:
+    scale = scale or default_scale()
+    outputs = run_cells(
+        cells(scale, inter_delays, names, n_peers, cached), jobs=jobs
+    )
+    return assemble(scale, outputs, inter_delays, names, n_peers, cached)
+
+
+def grid_cell(
     overlay: str,
     n_peers: int,
     seed: int,
@@ -151,7 +179,7 @@ def _one_run(
     inter_delay: float,
     duration: float,
     gateways: int = 0,
-):
+) -> Dict[str, float]:
     """One seeded run on a clustered WAN; query-only (the latency signal).
 
     ``overlay`` may carry a ``+cache`` suffix (the locality hot-range
@@ -185,9 +213,20 @@ def _one_run(
         range_fraction=0.2,
         client_gateways=gateways,
     )
-    return run_concurrent_workload(
+    report = run_concurrent_workload(
         anet, keys, config, seed=derive_seed(seed, "hetero-driver")
     )
+    return {
+        "queries": report.query_total,
+        "success": report.query_success_rate,
+        "p50": report.query_latency_p50,
+        "p99": report.query_latency_p99,
+        "transit_p99": report.query_transit_p99,
+        "stretch_p50": report.latency_stretch_p50,
+        "stretch_p99": report.latency_stretch_p99,
+        "hit_rate": report.cache_hit_rate,
+        "msgs_per_query": report.messages_per_query,
+    }
 
 
 def main() -> ExperimentResult:

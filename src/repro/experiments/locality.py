@@ -33,11 +33,12 @@ misses, not wrong results.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
 from repro import overlays
 from repro.core.cache import DEFAULT_CACHE_SIZE
 from repro.core.network import BatonConfig, BatonNetwork, LocalityConfig
+from repro.experiments import snapshot
 from repro.experiments.harness import (
     ExperimentResult,
     ExperimentScale,
@@ -45,6 +46,7 @@ from repro.experiments.harness import (
     loaded_keys,
     mean,
 )
+from repro.experiments.parallel import Cell, cell, run_cells
 from repro.sim.topology import ClusteredTopology
 from repro.util.rng import derive_seed
 from repro.workloads.concurrent import ConcurrentConfig, run_concurrent_workload
@@ -92,16 +94,41 @@ def hot_keys(keys: list[int], data_per_node: int) -> list[int]:
     return ordered[offset : offset + width]
 
 
-def run(
-    scale: Optional[ExperimentScale] = None,
+def cells(
+    scale: ExperimentScale,
     sizes: Optional[tuple[int, ...]] = None,
     with_churn: bool = True,
-) -> ExperimentResult:
-    """One row per (N, join mode, cache), identical workloads per N."""
-    scale = scale or default_scale()
+) -> List[Cell]:
     if sizes is None:
         sizes = (scale.sizes[0],)
     duration = max(scale.n_queries, MIN_QUERIES) / QUERY_RATE
+    return [
+        cell(
+            locality_cell,
+            group="locality",
+            n_peers=n_peers,
+            seed=seed,
+            data_per_node=scale.data_per_node,
+            duration=duration,
+            aware_join=join_mode == "aware",
+            cache=cache,
+            with_churn=with_churn,
+        )
+        for n_peers in sizes
+        for join_mode in ("uniform", "aware")
+        for cache in (False, True)
+        for seed in scale.seeds
+    ]
+
+
+def assemble(
+    scale: ExperimentScale,
+    outputs: List[dict],
+    sizes: Optional[tuple[int, ...]] = None,
+) -> ExperimentResult:
+    """One row per (N, join mode, cache), identical workloads per N."""
+    if sizes is None:
+        sizes = (scale.sizes[0],)
     result = ExperimentResult(
         figure="Locality",
         title=(
@@ -125,56 +152,84 @@ def run(
         ],
         expectation=EXPECTATION,
     )
+    per_point = len(scale.seeds)
+    index = 0
     for n_peers in sizes:
         for join_mode in ("uniform", "aware"):
             for cache in (False, True):
-                cells = [
-                    _one_run(
-                        n_peers,
-                        seed,
-                        scale.data_per_node,
-                        duration,
-                        aware_join=join_mode == "aware",
-                        cache=cache,
-                        with_churn=with_churn,
-                    )
-                    for seed in scale.seeds
-                ]
+                group = outputs[index : index + per_point]
+                index += per_point
                 result.add_row(
                     n_peers=n_peers,
                     join=join_mode,
                     cache=int(cache),
-                    queries=sum(c["queries"] for c in cells),
-                    success=mean([c["success"] for c in cells]),
-                    hit_rate=mean([c["hit_rate"] for c in cells]),
-                    invalidations=sum(c["invalidations"] for c in cells),
-                    p50=mean([c["p50"] for c in cells]),
-                    stretch_p50=mean([c["stretch_p50"] for c in cells]),
-                    stretch_p99=mean([c["stretch_p99"] for c in cells]),
-                    msgs_per_query=mean([c["msgs_per_query"] for c in cells]),
+                    queries=sum(c["queries"] for c in group),
+                    success=mean([c["success"] for c in group]),
+                    hit_rate=mean([c["hit_rate"] for c in group]),
+                    invalidations=sum(c["invalidations"] for c in group),
+                    p50=mean([c["p50"] for c in group]),
+                    stretch_p50=mean([c["stretch_p50"] for c in group]),
+                    stretch_p99=mean([c["stretch_p99"] for c in group]),
+                    msgs_per_query=mean([c["msgs_per_query"] for c in group]),
                     build_msgs_per_join=mean(
-                        [c["build_msgs_per_join"] for c in cells]
+                        [c["build_msgs_per_join"] for c in group]
                     ),
                 )
     return result
 
 
-def _one_run(
-    n_peers: int,
-    seed: int,
-    data_per_node: int,
-    duration: float,
-    aware_join: bool,
-    cache: bool,
+def run(
+    scale: Optional[ExperimentScale] = None,
+    sizes: Optional[tuple[int, ...]] = None,
     with_churn: bool = True,
-) -> dict:
-    """One seeded cell: grow the overlay on the WAN, then query it.
+    jobs: int = 1,
+) -> ExperimentResult:
+    scale = scale or default_scale()
+    outputs = run_cells(cells(scale, sizes, with_churn), jobs=jobs)
+    return assemble(scale, outputs, sizes)
+
+
+def build_locality_net(
+    n_peers: int, seed: int, data_per_node: int, aware_join: bool, cache: bool
+):
+    """Grow the overlay on its WAN; returns (net, build msgs per join).
 
     The overlay grows through real joins (not bulk construction) so the
     join mode can actually shape which region each peer attaches in; the
     topology is installed *before* growth, exactly as a deployment would
-    bootstrap against the physical network it lives on.
+    bootstrap against the physical network it lives on.  Snapshot-cached:
+    the topology travels inside the snapshot (``net.topology``), and
+    probing reads only its deterministic ``direct_delay`` during growth,
+    so a restored (net, topology) pair drives exactly like a fresh one.
     """
+    parts = {
+        "builder": "locality",
+        "n_peers": n_peers,
+        "seed": seed,
+        "data_per_node": data_per_node,
+        "aware_join": aware_join,
+        "cache": cache,
+        "topology": (
+            "clustered",
+            REGIONS,
+            INTRA_DELAY,
+            INTER_DELAY,
+            0.2,  # jitter
+            0.1,  # asymmetry
+            JOIN_PROBES if aware_join else 0,
+        ),
+    }
+    return snapshot.cached(
+        parts,
+        lambda: _grow_locality_net(
+            n_peers, seed, data_per_node, aware_join, cache
+        ),
+    )
+
+
+def _grow_locality_net(
+    n_peers: int, seed: int, data_per_node: int, aware_join: bool, cache: bool
+):
     locality = LocalityConfig(
         join_probes=JOIN_PROBES if aware_join else 0,
         cache_size=DEFAULT_CACHE_SIZE if cache else 0,
@@ -200,8 +255,25 @@ def _one_run(
         if n_peers > 1
         else 0.0
     )
+    return net, build_msgs_per_join
+
+
+def locality_cell(
+    n_peers: int,
+    seed: int,
+    data_per_node: int,
+    duration: float,
+    aware_join: bool,
+    cache: bool,
+    with_churn: bool = True,
+) -> dict:
+    """One seeded cell: grow (or restore) the overlay, then query it."""
+    net, build_msgs_per_join = build_locality_net(
+        n_peers, seed, data_per_node, aware_join, cache
+    )
+    keys = loaded_keys(n_peers, data_per_node, seed)
     anet = overlays.get("baton").wrap(
-        net, topology=topology, record_events=False, retain_ops=False
+        net, topology=net.topology, record_events=False, retain_ops=False
     )
     config = ConcurrentConfig(
         duration=duration,

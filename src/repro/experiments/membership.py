@@ -4,6 +4,10 @@ Figures 8(a) and 8(b) read different halves of the same trials: (a) the
 messages spent *finding* the join position or the replacement node, (b) the
 messages spent *updating routing state* afterwards.  Run the trials once,
 report both.
+
+Each (system, size, seed) point is one pure cell
+(:func:`membership_cell`), so the suite scheduler can fan the grid out
+over a process pool (see ``experiments/parallel.py``).
 """
 
 from __future__ import annotations
@@ -18,6 +22,7 @@ from repro.experiments.harness import (
     build_multiway,
     mean,
 )
+from repro.experiments.parallel import Cell, cell, run_cells
 
 
 @dataclass
@@ -33,51 +38,70 @@ class MembershipCosts:
     leave_update: float
 
 
-def measure_membership(
-    scale: ExperimentScale, systems: tuple[str, ...] = ("baton", "chord", "multiway")
-) -> List[MembershipCosts]:
-    """Run join/leave trials for every (system, size, seed) cell."""
+def membership_cell(
+    system: str, n_peers: int, seed: int, n_trials: int
+) -> MembershipCosts:
+    """One (system, size, seed) grid point: n_trials joins, then leaves."""
     builders: dict[str, Callable] = {
         "baton": build_baton,
         "chord": build_chord,
         "multiway": build_multiway,
     }
-    cells: List[MembershipCosts] = []
-    for system in systems:
-        build = builders[system]
-        for n_peers in scale.sizes:
-            for seed in scale.seeds:
-                net = build(n_peers, seed, data_per_node=0)
-                join_find: List[int] = []
-                join_update: List[int] = []
-                leave_find: List[int] = []
-                leave_update: List[int] = []
-                joined: List = []
-                for _ in range(scale.n_trials):
-                    result = net.join()
-                    join_find.append(result.find_trace.total)
-                    join_update.append(result.update_trace.total)
-                    joined.append(result.address)
-                for _ in range(scale.n_trials):
-                    if system == "baton":
-                        victim = net.random_peer_address()
-                    else:
-                        victim = net.random_node_address()
-                    result = net.leave(victim)
-                    leave_find.append(result.find_trace.total)
-                    leave_update.append(result.update_trace.total)
-                cells.append(
-                    MembershipCosts(
-                        system=system,
-                        n_peers=n_peers,
-                        seed=seed,
-                        join_find=mean(join_find),
-                        join_update=mean(join_update),
-                        leave_find=mean(leave_find),
-                        leave_update=mean(leave_update),
-                    )
-                )
-    return cells
+    net = builders[system](n_peers, seed, data_per_node=0)
+    join_find: List[int] = []
+    join_update: List[int] = []
+    leave_find: List[int] = []
+    leave_update: List[int] = []
+    for _ in range(n_trials):
+        result = net.join()
+        join_find.append(result.find_trace.total)
+        join_update.append(result.update_trace.total)
+    for _ in range(n_trials):
+        if system == "baton":
+            victim = net.random_peer_address()
+        else:
+            victim = net.random_node_address()
+        result = net.leave(victim)
+        leave_find.append(result.find_trace.total)
+        leave_update.append(result.update_trace.total)
+    return MembershipCosts(
+        system=system,
+        n_peers=n_peers,
+        seed=seed,
+        join_find=mean(join_find),
+        join_update=mean(join_update),
+        leave_find=mean(leave_find),
+        leave_update=mean(leave_update),
+    )
+
+
+def cells(
+    scale: ExperimentScale,
+    systems: tuple[str, ...] = ("baton", "chord", "multiway"),
+) -> List[Cell]:
+    """The membership grid as schedulable cells."""
+    return [
+        cell(
+            membership_cell,
+            group="membership",
+            system=system,
+            n_peers=n_peers,
+            seed=seed,
+            n_trials=scale.n_trials,
+        )
+        for system in systems
+        for n_peers in scale.sizes
+        for seed in scale.seeds
+    ]
+
+
+def measure_membership(
+    scale: ExperimentScale,
+    systems: tuple[str, ...] = ("baton", "chord", "multiway"),
+    jobs: int = 1,
+) -> List[MembershipCosts]:
+    """Run join/leave trials for every (system, size, seed) cell."""
+    return run_cells(cells(scale, systems), jobs=jobs)
 
 
 def aggregate(

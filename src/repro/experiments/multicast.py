@@ -28,7 +28,7 @@ sideways tables to delegate through; neither advertises ``multicast`` /
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
 from repro import overlays
 from repro.experiments.harness import (
@@ -39,6 +39,7 @@ from repro.experiments.harness import (
     loaded_keys,
     mean,
 )
+from repro.experiments.parallel import Cell, cell, run_cells
 from repro.pubsub import flood_steps, multicast_steps, range_owners, unicast_steps
 from repro.sim.faults import FaultPlan
 from repro.sim.topology import ClusteredTopology
@@ -74,9 +75,38 @@ def showdown_sizes(scale: ExperimentScale) -> tuple[int, ...]:
     return (1000, 10_000)
 
 
-def run(scale: Optional[ExperimentScale] = None) -> ExperimentResult:
+def cells(scale: ExperimentScale) -> List[Cell]:
+    """The showdown grid plus the lossy-channel cell, in row order."""
+    sizes = showdown_sizes(scale)
+    plan = [
+        cell(
+            _showdown_cell,
+            group="multicast",
+            n_peers=n_peers,
+            span_fraction=span_fraction,
+            seed=seed,
+        )
+        for n_peers in sizes
+        for span_fraction in SPANS
+        for seed in scale.seeds
+    ]
+    plan.append(
+        cell(
+            _lossy_cell,
+            group="multicast",
+            n_peers=scale.sizes[0],
+            seed=scale.seeds[0],
+            data_per_node=scale.data_per_node,
+            n_queries=scale.n_queries,
+        )
+    )
+    return plan
+
+
+def assemble(
+    scale: ExperimentScale, outputs: List[dict]
+) -> ExperimentResult:
     """The showdown grid plus the lossy-channel cell."""
-    scale = scale or default_scale()
     sizes = showdown_sizes(scale)
     result = ExperimentResult(
         figure="Multicast",
@@ -113,39 +143,45 @@ def run(scale: Optional[ExperimentScale] = None) -> ExperimentResult:
                 "hash partitioning / missing sideways tables cannot route "
                 "a range fan-out)"
             )
+    per_point = len(scale.seeds)
+    index = 0
     for n_peers in sizes:
         for span_fraction in SPANS:
-            cells = [
-                _showdown_cell(n_peers, span_fraction, seed)
-                for seed in scale.seeds
-            ]
+            group = outputs[index : index + per_point]
+            index += per_point
             result.add_row(
                 cell="showdown",
                 overlay="baton",
                 n_peers=n_peers,
                 span_pct=f"{span_fraction:.0%}",
-                owners=mean([c["owners"] for c in cells]),
-                tree_msgs=mean([c["tree_msgs"] for c in cells]),
-                uni_msgs=mean([c["uni_msgs"] for c in cells]),
-                flood_msgs=mean([c["flood_msgs"] for c in cells]),
-                optimality=mean([c["optimality"] for c in cells]),
-                depth=max(c["depth"] for c in cells),
-                wan_tree=mean([c["wan_tree"] for c in cells]),
-                wan_uni=mean([c["wan_uni"] for c in cells]),
-                wan_flood=mean([c["wan_flood"] for c in cells]),
+                owners=mean([c["owners"] for c in group]),
+                tree_msgs=mean([c["tree_msgs"] for c in group]),
+                uni_msgs=mean([c["uni_msgs"] for c in group]),
+                flood_msgs=mean([c["flood_msgs"] for c in group]),
+                optimality=mean([c["optimality"] for c in group]),
+                depth=max(c["depth"] for c in group),
+                wan_tree=mean([c["wan_tree"] for c in group]),
+                wan_uni=mean([c["wan_uni"] for c in group]),
+                wan_flood=mean([c["wan_flood"] for c in group]),
                 notifs="",
                 dup_suppressed="",
                 wire_dups="",
                 amplification="",
             )
-    lossy = _lossy_cell(scale)
-    result.add_row(**lossy)
+    result.add_row(**outputs[index])
     result.notes.append(
         "lossy cell: FaultPlan drops/duplicates 5% of hops; every "
         "duplicate arrival was suppressed by the dissemination ids — "
         "zero notifications or multicasts applied twice"
     )
     return result
+
+
+def run(
+    scale: Optional[ExperimentScale] = None, jobs: int = 1
+) -> ExperimentResult:
+    scale = scale or default_scale()
+    return assemble(scale, run_cells(cells(scale), jobs=jobs))
 
 
 def _showdown_cell(n_peers: int, span_fraction: float, seed: int) -> dict:
@@ -202,11 +238,11 @@ def _priced_drive(steps, topology) -> tuple:
             total += topology.direct_delay(hop.src, hop.dst) * hop.size
 
 
-def _lossy_cell(scale: ExperimentScale) -> dict:
+def _lossy_cell(
+    n_peers: int, seed: int, data_per_node: int, n_queries: int
+) -> dict:
     """Pub/sub traffic through the chaos runtime on a lossy channel."""
-    n_peers = scale.sizes[0]
-    seed = scale.seeds[0]
-    duration = max(16.0, scale.n_queries / 8.0)
+    duration = max(16.0, n_queries / 8.0)
     inner = ClusteredTopology(
         seed=derive_seed(seed, "multicast-lossy-topology"), regions=REGIONS
     )
@@ -224,7 +260,7 @@ def _lossy_cell(scale: ExperimentScale) -> dict:
         record_events=False,
         retain_ops=False,
     )
-    keys = loaded_keys(n_peers, scale.data_per_node, seed)
+    keys = loaded_keys(n_peers, data_per_node, seed)
     anet.net.bulk_load(keys)
     config = ConcurrentConfig(
         duration=duration,

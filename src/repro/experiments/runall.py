@@ -5,6 +5,17 @@ Usage::
     python -m repro.experiments.runall            # laptop scale
     REPRO_FULL_SCALE=1 python -m repro.experiments.runall
     python -m repro.experiments.runall --quick    # smoke scale
+    python -m repro.experiments.runall --jobs 4   # process-pool fan-out
+
+Every driver exposes its grid as pure ``(fn, params)`` cells
+(:mod:`repro.experiments.parallel`); ``run_all`` concatenates all of them
+into one flat plan, hands it to the scheduler once — so a single pool
+serves the whole suite and late, expensive cells backfill idle workers —
+and then reassembles each figure from its group's outputs.  Output is
+byte-identical at every ``--jobs`` value: results are collected by
+submission index, never by completion order, and the wall-clock profile's
+cells are marked serial so they run alone in the parent after the pool
+drains.
 """
 
 from __future__ import annotations
@@ -16,6 +27,7 @@ from typing import List
 
 from repro.experiments import harness
 from repro.experiments import (
+    balancing,
     chaos,
     concurrent_dynamics,
     durability,
@@ -30,85 +42,158 @@ from repro.experiments import (
     fig8i_dynamics,
     hetero_links,
     locality,
+    membership,
     multicast,
     scale_profile,
+    snapshot,
 )
-from repro.experiments.balancing import run_balancing
 from repro.experiments.harness import ExperimentResult
-from repro.experiments.membership import measure_membership
+from repro.experiments.parallel import Cell, default_jobs, run_grouped
 
 
-def run_all(scale=None, quick: bool = False) -> List[ExperimentResult]:
+def run_all(
+    scale=None, quick: bool = False, jobs: int = 1
+) -> List[ExperimentResult]:
     """Execute every driver, sharing trial data where figures overlap."""
     if scale is None:
         scale = harness.quick_scale() if quick else harness.default_scale()
+    levels = (2, 4) if quick else fig8i_dynamics.CONCURRENCY_LEVELS
+    churn_rates = (0.0, 2.0) if quick else concurrent_dynamics.CHURN_RATES
+    comparison_rates = (
+        (0.0,) if quick else concurrent_dynamics.COMPARISON_CHURN_RATES
+    )
+    inter_delays = (1.0, 10.0) if quick else hetero_links.INTER_DELAYS
+    durability_churn = (1.0,) if quick else durability.CHURN_RATES
+    durability_intervals = (
+        (0.0, 6.0) if quick else durability.MAINTENANCE_INTERVALS
+    )
+    # Quick mode keeps one cheap channel scenario and one correlated one.
+    chaos_scenarios = (
+        ("lossy_links", "partition_heal") if quick else chaos.SCENARIO_NAMES
+    )
+
+    # One flat plan: each driver contributes its grid under its own group
+    # tag, the scheduler runs everything through one shared pool, and the
+    # serial profile cells close the suite in the parent process.
+    plan: List[Cell] = []
+    plan += membership.cells(scale)
+    plan += balancing.cells(scale)
+    plan += fig8c_insert_delete.cells(scale)
+    plan += fig8d_exact_query.cells(scale)
+    plan += fig8e_range_query.cells(scale)
+    plan += fig8f_access_load.cells(scale)
+    plan += fig8i_dynamics.cells(scale, levels)
+    plan += concurrent_dynamics.cells(scale, churn_rates)
+    plan += concurrent_dynamics.comparison_cells(scale, comparison_rates)
+    plan += hetero_links.cells(scale, inter_delays)
+    # The locality grid: what the hot-range cache and topology-aware
+    # joins win back on the same clustered WAN.
+    plan += locality.cells(scale)
+    plan += durability.cells(
+        scale,
+        churn_rates=durability_churn,
+        maintenance_intervals=durability_intervals,
+    )
+    # The chaos suite: correlated disaster (region outage, partition,
+    # flash crowd, lossy links) across every capable overlay.
+    plan += chaos.cells(scale, chaos_scenarios)
+    # The dissemination showdown: range multicast vs unicast vs flood,
+    # WAN-priced, plus the lossy pub/sub cell (exactly-once application).
+    plan += multicast.cells(scale)
+    # Wall-clock profile of the runtime itself; the full grid reaches the
+    # paper's N=10k under REPRO_FULL_SCALE=1 (sizes come from the scale).
+    plan += scale_profile.cells(scale)
+
+    outputs = run_grouped(plan, jobs=jobs)
+
     results: List[ExperimentResult] = []
-
-    membership_cells = measure_membership(scale)
-    results.append(fig8a_join_leave_find.run(scale, cells=membership_cells))
-    results.append(fig8b_table_updates.run(scale, cells=membership_cells))
-    results.append(fig8c_insert_delete.run(scale))
-    results.append(fig8d_exact_query.run(scale))
-    results.append(fig8e_range_query.run(scale))
-    results.append(fig8f_access_load.run(scale))
-
-    balancing_runs = run_balancing(scale)
+    membership_costs = outputs["membership"]
+    results.append(fig8a_join_leave_find.run(scale, cells=membership_costs))
+    results.append(fig8b_table_updates.run(scale, cells=membership_costs))
+    results.append(fig8c_insert_delete.assemble(scale, outputs["fig8c"]))
+    results.append(fig8d_exact_query.assemble(scale, outputs["fig8d"]))
+    results.append(fig8e_range_query.assemble(scale, outputs["fig8e"]))
+    results.append(fig8f_access_load.assemble(scale, outputs["fig8f"]))
+    balancing_runs = outputs["balancing"]
     results.append(fig8g_load_balancing.run(scale, runs=balancing_runs))
     results.append(
         fig8h_shift_sizes.run(
             scale, runs=[r for r in balancing_runs if r.distribution == "zipf"]
         )
     )
-    levels = (2, 4) if quick else fig8i_dynamics.CONCURRENCY_LEVELS
-    results.append(fig8i_dynamics.run(scale, levels=levels))
-    churn_rates = (
-        (0.0, 2.0) if quick else concurrent_dynamics.CHURN_RATES
-    )
-    results.append(concurrent_dynamics.run(scale, churn_rates=churn_rates))
-    comparison_rates = (
-        (0.0,) if quick else concurrent_dynamics.COMPARISON_CHURN_RATES
+    results.append(fig8i_dynamics.assemble(scale, outputs["fig8i"], levels))
+    results.append(
+        concurrent_dynamics.assemble(scale, outputs["concurrent"], churn_rates)
     )
     results.append(
-        concurrent_dynamics.run_comparison(scale, churn_rates=comparison_rates)
+        concurrent_dynamics.assemble_comparison(
+            scale, outputs["comparison"], comparison_rates
+        )
     )
-    inter_delays = (1.0, 10.0) if quick else hetero_links.INTER_DELAYS
-    results.append(hetero_links.run(scale, inter_delays=inter_delays))
-    # The locality grid: what the hot-range cache and topology-aware
-    # joins win back on the same clustered WAN.
-    results.append(locality.run(scale))
-    durability_churn = (1.0,) if quick else durability.CHURN_RATES
-    durability_intervals = (0.0, 6.0) if quick else durability.MAINTENANCE_INTERVALS
     results.append(
-        durability.run(
+        hetero_links.assemble(scale, outputs["hetero"], inter_delays)
+    )
+    results.append(locality.assemble(scale, outputs["locality"]))
+    results.append(
+        durability.assemble(
             scale,
+            outputs["durability"],
             churn_rates=durability_churn,
             maintenance_intervals=durability_intervals,
         )
     )
-    # The chaos suite: correlated disaster (region outage, partition,
-    # flash crowd, lossy links) across every capable overlay.  Quick mode
-    # keeps one cheap channel scenario and one correlated one.
-    chaos_scenarios = (
-        ("lossy_links", "partition_heal") if quick else chaos.SCENARIO_NAMES
-    )
-    results.append(chaos.run(scale, scenarios=chaos_scenarios))
-    # The dissemination showdown: range multicast vs unicast vs flood,
-    # WAN-priced, plus the lossy pub/sub cell (exactly-once application).
-    results.append(multicast.run(scale))
-    # Wall-clock profile of the runtime itself; the full grid reaches the
-    # paper's N=10k under REPRO_FULL_SCALE=1 (sizes come from the scale).
-    results.append(scale_profile.run(scale))
+    results.append(chaos.assemble(scale, outputs["chaos"], chaos_scenarios))
+    results.append(multicast.assemble(scale, outputs["multicast"]))
+    results.append(scale_profile.assemble(scale, outputs["profile"]))
     return results
+
+
+def canonical_report(results: List[ExperimentResult]) -> str:
+    """The suite's canonical form: volatile columns masked, full precision.
+
+    This is the artifact CI diffs between the sequential and pooled runs —
+    byte equality here is the deterministic-reassembly contract.
+    """
+    return "\n".join(result.canonical_text() for result in results)
 
 
 def main(argv: List[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true", help="smoke-test scale")
     parser.add_argument("--out", default=None, help="also write results to a file")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for the cell fan-out "
+        "(default: REPRO_JOBS or 1; output is identical at any value)",
+    )
+    parser.add_argument(
+        "--canonical-out",
+        default=None,
+        help="write the canonical (volatile-masked) report to this path "
+        "for byte-for-byte comparison across --jobs values",
+    )
+    cache_group = parser.add_mutually_exclusive_group()
+    cache_group.add_argument(
+        "--snapshot-cache",
+        dest="snapshot_cache",
+        action="store_true",
+        default=True,
+        help="reuse built-network snapshots keyed by build config (default)",
+    )
+    cache_group.add_argument(
+        "--no-snapshot-cache",
+        dest="snapshot_cache",
+        action="store_false",
+        help="always build networks from scratch",
+    )
     args = parser.parse_args(argv)
 
+    snapshot.configure(enabled=args.snapshot_cache)
+    jobs = args.jobs if args.jobs is not None else default_jobs()
     started = time.time()
-    results = run_all(quick=args.quick)
+    results = run_all(quick=args.quick, jobs=jobs)
     body = "\n\n".join(result.to_text() for result in results)
     elapsed = time.time() - started
     footer = f"\n\nall experiments completed in {elapsed:.1f}s"
@@ -116,6 +201,9 @@ def main(argv: List[str] | None = None) -> int:
     if args.out:
         with open(args.out, "w") as handle:
             handle.write(body + footer + "\n")
+    if args.canonical_out:
+        with open(args.canonical_out, "w") as handle:
+            handle.write(canonical_report(results))
     return 0
 
 

@@ -52,9 +52,27 @@ class AddressPoolDict(dict):
     def pop(self, *args):  # pragma: no cover - guard against silent desync
         raise NotImplementedError("use `del` so the draw pool stays in sync")
 
+    def __reduce__(self):
+        # The default dict-subclass reduce replays items through
+        # __setitem__ before slot state exists, and would re-derive the
+        # pool in dict order — but swap-remove deletions leave the pool
+        # in its own order, and random_address draws index into it, so a
+        # restored network must get the pool back *verbatim* to drive
+        # identically to the original (see experiments/snapshot.py).
+        return (_restore_pool_dict, (dict(self), list(self._pool)))
+
     def random_address(self, rng) -> Address:
         """A uniformly random live key (``rng`` needs ``randint``)."""
         return self._pool[rng.randint(0, len(self._pool) - 1)]
+
+
+def _restore_pool_dict(items: dict, pool: list) -> "AddressPoolDict":
+    """Rebuild an :class:`AddressPoolDict` with its draw pool intact."""
+    restored = AddressPoolDict()
+    dict.update(restored, items)
+    restored._pool = pool
+    restored._pool_index = {address: i for i, address in enumerate(pool)}
+    return restored
 
 
 class AddressAllocator:

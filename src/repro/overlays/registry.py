@@ -70,6 +70,13 @@ class OverlayEntry:
         ``replication=True`` turns on the data-durability extension and is
         refused (:class:`CapabilityError`) by overlays that do not
         advertise the capability.
+
+        Protocol-grown base networks go through the snapshot cache when
+        it is enabled (``repro.experiments.snapshot``): the synchronous
+        build is deterministic in ``(overlay, n_peers, seed, config)``,
+        while ``topology`` and every runtime kwarg are wrap-time choices
+        that never touch the built state — so chaos/multicast cells that
+        drive one base differently share a single build.
         """
         if replication:
             if (
@@ -85,9 +92,48 @@ class OverlayEntry:
                     "(set replication on your config instead)"
                 )
             kwargs["config"] = self.replicated_config()
-        return self.runtime_cls.build(
-            n_peers, seed=seed, latency=latency, topology=topology, **kwargs
+        if self.runtime_cls.network_cls is None:
+            raise TypeError(
+                f"{self.runtime_cls.__name__} has no network_cls to build"
+            )
+        net = self._build_base(
+            n_peers,
+            seed,
+            config=kwargs.pop("config", None),
+            bulk=kwargs.pop("bulk", False),
+            keys=kwargs.pop("keys", None),
         )
+        return self.runtime_cls(
+            net, latency=latency, topology=topology, **kwargs
+        )
+
+    def _build_base(self, n_peers: int, seed: int, *, config, bulk, keys):
+        """The synchronous network under :meth:`build_async`, snapshot-
+        cached when eligible (protocol-grown, describable config)."""
+        build_kwargs = {"bulk": True, "keys": keys} if bulk else {}
+
+        def builder():
+            return self.runtime_cls.network_cls.build(
+                n_peers, seed=seed, config=config, **build_kwargs
+            )
+
+        from repro.experiments import snapshot
+
+        if bulk or not snapshot.enabled():
+            # Bulk construction is already restore-priced; caching it
+            # would trade disk for nothing (DESIGN.md, "Parallelism
+            # contract").
+            return builder()
+        try:
+            parts = {
+                "builder": f"{self.name}-sync",
+                "n_peers": n_peers,
+                "seed": seed,
+                "config": snapshot.describe(config),
+            }
+        except TypeError:
+            return builder()  # an undescribable config is never keyed
+        return snapshot.cached(parts, builder)
 
     def wrap(
         self,

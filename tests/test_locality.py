@@ -238,7 +238,7 @@ class TestStretchAccounting:
         from repro.experiments import locality
 
         cells = {
-            cache: locality._one_run(
+            cache: locality.locality_cell(
                 60,
                 seed=0,
                 data_per_node=50,

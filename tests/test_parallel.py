@@ -1,0 +1,136 @@
+"""The parallel cell scheduler: identity, ordering, serial cells, errors.
+
+The core pin: every experiment's output is **byte-identical** at every
+``--jobs`` value (DESIGN.md, "Parallelism contract").  Results are
+reassembled by submission index, so completion order — the only thing
+the pool changes — never leaks into a table.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import hetero_links, runall
+from repro.experiments.harness import ExperimentResult, ExperimentScale
+from repro.experiments.parallel import (
+    cell,
+    default_jobs,
+    run_cells,
+    run_grouped,
+)
+
+SMALL = ExperimentScale(
+    sizes=(50, 90), seeds=(0, 1), data_per_node=5, n_queries=30, n_trials=5
+)
+
+
+def square(x: int) -> int:
+    return x * x
+
+
+def own_pid() -> int:
+    return os.getpid()
+
+
+def boom() -> None:
+    raise RuntimeError("broken grid point")
+
+
+def test_run_cells_preserves_submission_order():
+    cells = [cell(square, x=x) for x in range(20)]
+    assert run_cells(cells, jobs=1) == [x * x for x in range(20)]
+    assert run_cells(cells, jobs=4) == [x * x for x in range(20)]
+
+
+def test_pooled_cells_run_in_workers_serial_cells_in_parent():
+    parent = os.getpid()
+    cells = [
+        cell(own_pid),
+        cell(own_pid),
+        cell(own_pid, serial=True),
+        cell(own_pid),
+    ]
+    pids = run_cells(cells, jobs=2)
+    assert pids[2] == parent  # serial: the parent, after the pool drains
+    assert all(pid != parent for i, pid in enumerate(pids) if i != 2)
+
+
+def test_jobs_one_runs_everything_inline():
+    parent = os.getpid()
+    assert run_cells([cell(own_pid), cell(own_pid)], jobs=1) == [
+        parent,
+        parent,
+    ]
+
+
+def test_cell_exception_propagates():
+    with pytest.raises(RuntimeError, match="broken grid point"):
+        run_cells([cell(boom), cell(square, x=2)], jobs=2)
+    with pytest.raises(RuntimeError, match="broken grid point"):
+        run_cells([cell(boom)], jobs=1)
+
+
+def test_run_grouped_slices_by_group_in_order():
+    cells = [
+        cell(square, group="a", x=1),
+        cell(square, group="b", x=2),
+        cell(square, group="a", x=3),
+        cell(square, group="b", x=4),
+    ]
+    grouped = run_grouped(cells, jobs=2)
+    assert grouped == {"a": [1, 9], "b": [4, 16]}
+
+
+def test_default_jobs_reads_env(monkeypatch):
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    assert default_jobs() == 1
+    monkeypatch.setenv("REPRO_JOBS", "6")
+    assert default_jobs() == 6
+    monkeypatch.setenv("REPRO_JOBS", "junk")
+    assert default_jobs() == 1
+
+
+def test_canonical_text_masks_volatile_columns():
+    result = ExperimentResult(
+        figure="F",
+        title="t",
+        columns=["n", "wall_s"],
+        volatile=["wall_s"],
+    )
+    result.add_row(n=10, wall_s=0.123)
+    other = ExperimentResult(
+        figure="F",
+        title="t",
+        columns=["n", "wall_s"],
+        volatile=["wall_s"],
+    )
+    other.add_row(n=10, wall_s=9.876)
+    assert result.canonical_text() == other.canonical_text()
+    assert result.fingerprint() == other.fingerprint()
+    assert "0.123" not in result.canonical_text()
+    # A behavioural column still distinguishes.
+    third = ExperimentResult(
+        figure="F", title="t", columns=["n", "wall_s"], volatile=["wall_s"]
+    )
+    third.add_row(n=11, wall_s=0.123)
+    assert third.fingerprint() != result.fingerprint()
+
+
+def test_grid_experiment_parallel_equals_sequential():
+    """One real driver, pooled vs inline: identical canonical output."""
+    sequential = hetero_links.run(SMALL, inter_delays=(1.0, 10.0), jobs=1)
+    pooled = hetero_links.run(SMALL, inter_delays=(1.0, 10.0), jobs=3)
+    assert pooled.canonical_text() == sequential.canonical_text()
+    assert pooled.fingerprint() == sequential.fingerprint()
+
+
+def test_runall_quick_parallel_equals_sequential():
+    """The acceptance pin: the whole quick suite, --jobs 2 vs sequential,
+    byte-identical canonical report."""
+    sequential = runall.run_all(quick=True, jobs=1)
+    pooled = runall.run_all(quick=True, jobs=2)
+    assert runall.canonical_report(pooled) == runall.canonical_report(
+        sequential
+    )
